@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared plumbing for the per-figure bench binaries: scale knobs, standard
+/// campaign/live-run recipes, and session sweeps used by several figures.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/sessions.h"
+#include "apps/cbr.h"
+#include "handoff/policies.h"
+#include "handoff/replay.h"
+#include "scenario/campaign.h"
+#include "scenario/live.h"
+#include "scenario/testbed.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace vifi::bench {
+
+/// VIFI_BENCH_SCALE multiplies trip counts; 1 is the quick default.
+inline int scale() {
+  if (const char* s = std::getenv("VIFI_BENCH_SCALE")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  return 1;
+}
+
+/// Standard VanLAN measurement campaign (§3.1 methodology).
+inline trace::Campaign vanlan_campaign(const scenario::Testbed& bed,
+                                       int days = 3, int trips_per_day = 4,
+                                       std::uint64_t seed = 20080817) {
+  scenario::CampaignConfig cfg;
+  cfg.days = days;
+  cfg.trips_per_day = trips_per_day * scale();
+  cfg.seed = seed;
+  cfg.log_probes = true;
+  cfg.log_bs_beacons = false;
+  return scenario::generate_campaign(bed, cfg);
+}
+
+/// Beacon-only campaign (DieselNet §2.2: the vehicle can only log beacons).
+inline trace::Campaign beacon_campaign(const scenario::Testbed& bed,
+                                       int days = 3, int trips_per_day = 2,
+                                       std::uint64_t seed = 20071201) {
+  scenario::CampaignConfig cfg;
+  cfg.days = days;
+  cfg.trips_per_day = trips_per_day * scale();
+  cfg.seed = seed;
+  cfg.log_probes = false;
+  cfg.log_bs_beacons = false;
+  return scenario::generate_campaign(bed, cfg);
+}
+
+/// Converts replay outcomes into the analysis slot stream.
+inline analysis::SlotStream to_stream(
+    const std::vector<handoff::SlotOutcome>& outcomes) {
+  analysis::SlotStream s;
+  s.slot = Time::millis(100);
+  s.per_slot_max = 2;
+  s.delivered.reserve(outcomes.size());
+  for (const auto& o : outcomes) s.delivered.push_back(o.delivered());
+  return s;
+}
+
+/// Names used across figures, in the paper's ordering.
+inline const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names{
+      "AllBSes", "BestBS", "History", "RSSI", "BRR", "Sticky"};
+  return names;
+}
+
+/// Replays one trip under a named §3.1 policy (AllBSes handled specially).
+inline std::vector<handoff::SlotOutcome> replay_policy(
+    const trace::MeasurementTrace& trip, const std::string& name,
+    const trace::Campaign& campaign) {
+  using namespace handoff;
+  if (name == "AllBSes") return replay_allbses(trip);
+  std::unique_ptr<HandoffPolicy> policy;
+  if (name == "BestBS") policy = std::make_unique<BestBsPolicy>();
+  if (name == "History") policy = std::make_unique<HistoryPolicy>(campaign);
+  if (name == "RSSI") policy = std::make_unique<RssiPolicy>();
+  if (name == "BRR") policy = std::make_unique<BrrPolicy>();
+  if (name == "Sticky") policy = std::make_unique<StickyPolicy>();
+  return replay_hard_handoff(trip, *policy);
+}
+
+/// Session lengths under a named policy across a whole campaign.
+inline std::vector<double> policy_session_lengths(
+    const trace::Campaign& campaign, const std::string& name,
+    const analysis::SessionDef& def) {
+  std::vector<double> lengths;
+  for (const auto& trip : campaign.trips) {
+    const auto stream = to_stream(replay_policy(trip, name, campaign));
+    const auto trip_lengths = analysis::session_lengths_s(stream, def);
+    lengths.insert(lengths.end(), trip_lengths.begin(), trip_lengths.end());
+  }
+  return lengths;
+}
+
+/// Live-run recipe: ViFi/BRR CBR link workload sessions over several trips
+/// (used by Figs. 7/8).
+inline std::vector<double> live_link_session_lengths(
+    const scenario::Testbed& bed, const core::SystemConfig& config,
+    const analysis::SessionDef& def, int trips, std::uint64_t seed_base,
+    std::vector<analysis::SlotStream>* streams_out = nullptr) {
+  std::vector<double> lengths;
+  for (int trip = 0; trip < trips; ++trip) {
+    core::SystemConfig cfg = config;
+    cfg.vifi.max_retx = 0;  // §5.2: link-layer retransmissions disabled
+    scenario::LiveTrip live(bed, cfg, seed_base + static_cast<std::uint64_t>(trip));
+    live.run_until(scenario::LiveTrip::warmup());
+    apps::CbrWorkload cbr(live.simulator(), live.transport());
+    const Time end = live.simulator().now() + bed.trip_duration();
+    cbr.start(end);
+    live.run_until(end + Time::seconds(1.0));
+    const auto stream = cbr.slot_stream();
+    if (streams_out != nullptr) streams_out->push_back(stream);
+    const auto trip_lengths = analysis::session_lengths_s(stream, def);
+    lengths.insert(lengths.end(), trip_lengths.begin(), trip_lengths.end());
+  }
+  return lengths;
+}
+
+/// Standard protocol configurations (§5.1).
+inline core::SystemConfig vifi_system() {
+  core::SystemConfig cfg;
+  return cfg;
+}
+
+inline core::SystemConfig brr_system() {
+  core::SystemConfig cfg;
+  cfg.vifi.diversity = false;
+  cfg.vifi.salvage = false;
+  return cfg;
+}
+
+inline core::SystemConfig diversity_only_system() {
+  core::SystemConfig cfg;
+  cfg.vifi.salvage = false;
+  return cfg;
+}
+
+}  // namespace vifi::bench

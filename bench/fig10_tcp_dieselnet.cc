@@ -1,0 +1,65 @@
+// Figure 10: TCP transfers per second in the trace-driven DieselNet
+// environments (channels 1 and 6), BRR vs ViFi.
+//
+// Paper shape: ViFi roughly doubles BRR's completed transfers per second
+// on both channels.
+
+#include <iostream>
+
+#include "apps/transfer_driver.h"
+#include "bench_util.h"
+
+using namespace vifi;
+using namespace vifi::bench;
+
+namespace {
+
+double transfers_per_second(const scenario::Testbed& bed,
+                            const trace::Campaign& campaign,
+                            core::SystemConfig cfg, std::uint64_t seed) {
+  int completed = 0;
+  double seconds = 0.0;
+  for (std::size_t i = 0; i < campaign.trips.size(); ++i) {
+    scenario::LiveTrip live(bed, campaign.trips[i], cfg,
+                            seed + static_cast<std::uint64_t>(i));
+    live.run_until(scenario::LiveTrip::warmup());
+    apps::TransferDriver down(live.simulator(), live.transport(),
+                              net::Direction::Downstream);
+    apps::TransferDriverParams up_params;
+    up_params.first_flow = 20000;
+    apps::TransferDriver up(live.simulator(), live.transport(),
+                            net::Direction::Upstream, up_params);
+    const Time end = campaign.trips[i].duration;
+    down.start(end);
+    up.start(end);
+    live.run_until(end + Time::seconds(2.0));
+    completed += down.result().completed + up.result().completed;
+    seconds += down.result().duration_s + up.result().duration_s;
+  }
+  return seconds > 0.0 ? completed / seconds : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table(
+      "Figure 10 — TCP transfers/second, trace-driven DieselNet");
+  table.set_header({"channel", "BRR", "ViFi", "ViFi/BRR"});
+
+  for (int channel : {1, 6}) {
+    const scenario::Testbed bed = scenario::make_dieselnet(channel);
+    const trace::Campaign campaign =
+        beacon_campaign(bed, 2, 1, 555 + static_cast<std::uint64_t>(channel));
+    const double brr =
+        transfers_per_second(bed, campaign, brr_system(), 10100);
+    const double vifi =
+        transfers_per_second(bed, campaign, vifi_system(), 10100);
+    table.add_row({"Ch. " + std::to_string(channel),
+                   TextTable::num(brr, 3), TextTable::num(vifi, 3),
+                   TextTable::num(brr > 0 ? vifi / brr : 0.0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape check: ViFi roughly doubles BRR's transfer "
+               "rate on both channels.\n";
+  return 0;
+}

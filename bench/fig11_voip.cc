@@ -1,0 +1,124 @@
+// Figure 11: median length of uninterrupted VoIP sessions — VanLAN (live)
+// and trace-driven DieselNet channels 1 and 6 — BRR vs ViFi, plus the
+// mean 3-second-MoS comparison quoted in §5.3.2.
+//
+// Paper shape: ViFi's sessions are >2x BRR's on VanLAN, >1.5x on Ch. 1 and
+// >1.65x on Ch. 6; mean MoS 3.4 (ViFi) vs 3.0 (BRR) on VanLAN.
+
+#include <algorithm>
+#include <iostream>
+
+#include "apps/voip.h"
+#include "bench_util.h"
+
+using namespace vifi;
+using namespace vifi::bench;
+
+namespace {
+
+struct VoipOutcome {
+  std::vector<double> sessions_s;
+  double mos_sum = 0.0;
+  int mos_n = 0;
+  int interruptions = 0;
+  double call_seconds = 0.0;
+  double median_session() const {
+    return analysis::median_session_length(sessions_s);
+  }
+  double mean_mos() const { return mos_n ? mos_sum / mos_n : 0.0; }
+  double interruptions_per_hour() const {
+    return call_seconds > 0.0 ? interruptions * 3600.0 / call_seconds : 0.0;
+  }
+  void fold(const apps::VoipResult& r) {
+    sessions_s.insert(sessions_s.end(), r.session_lengths_s.begin(),
+                      r.session_lengths_s.end());
+    for (double m : r.window_mos) {
+      mos_sum += m;
+      ++mos_n;
+      if (m < 2.0) ++interruptions;
+      call_seconds += 3.0;
+    }
+  }
+};
+
+apps::VoipResult run_voip_trip(scenario::LiveTrip& live, Time duration) {
+  live.run_until(scenario::LiveTrip::warmup());
+  apps::VoipCall call(live.simulator(), live.transport());
+  const Time end = live.simulator().now() + duration;
+  call.start(end);
+  live.run_until(end + Time::seconds(1.0));
+  return call.result();
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("Figure 11 — uninterrupted VoIP sessions");
+  table.set_header({"environment", "BRR median (s)", "ViFi median (s)",
+                    "ViFi/BRR", "BRR intr/h", "ViFi intr/h"});
+
+  double vanlan_mos_brr = 0.0, vanlan_mos_vifi = 0.0;
+
+  {
+    const scenario::Testbed bed = scenario::make_vanlan();
+    const int trips = 8 * scale();
+    VoipOutcome brr, vifi;
+    for (int t = 0; t < trips; ++t) {
+      const auto seed = 11100 + static_cast<std::uint64_t>(t);
+      scenario::LiveTrip live_brr(bed, brr_system(), seed);
+      brr.fold(run_voip_trip(live_brr, bed.trip_duration()));
+      scenario::LiveTrip live_vifi(bed, vifi_system(), seed);
+      vifi.fold(run_voip_trip(live_vifi, bed.trip_duration()));
+    }
+    vanlan_mos_brr = brr.mean_mos();
+    vanlan_mos_vifi = vifi.mean_mos();
+    table.add_row(
+        {"VanLAN (deployment)", TextTable::num(brr.median_session(), 1),
+         TextTable::num(vifi.median_session(), 1),
+         TextTable::num(brr.median_session() > 0
+                            ? vifi.median_session() / brr.median_session()
+                            : 0.0,
+                        2),
+         TextTable::num(brr.interruptions_per_hour(), 1),
+         TextTable::num(vifi.interruptions_per_hour(), 1)});
+  }
+
+  for (int channel : {1, 6}) {
+    const scenario::Testbed bed = scenario::make_dieselnet(channel);
+    const trace::Campaign campaign = beacon_campaign(
+        bed, 2, 2, 777 + static_cast<std::uint64_t>(channel));
+    VoipOutcome brr, vifi;
+    for (std::size_t i = 0; i < campaign.trips.size(); ++i) {
+      const auto seed = 11200 + static_cast<std::uint64_t>(i);
+      // Cap call length: enough windows per trip, affordable with more
+      // trips for tighter medians.
+      const Time duration =
+          std::min(campaign.trips[i].duration - scenario::LiveTrip::warmup(),
+                   Time::seconds(360.0));
+      scenario::LiveTrip live_brr(bed, campaign.trips[i], brr_system(), seed);
+      brr.fold(run_voip_trip(live_brr, duration));
+      scenario::LiveTrip live_vifi(bed, campaign.trips[i], vifi_system(),
+                                   seed);
+      vifi.fold(run_voip_trip(live_vifi, duration));
+    }
+    table.add_row(
+        {"DieselNet Ch. " + std::to_string(channel) + " (trace-driven)",
+         TextTable::num(brr.median_session(), 1),
+         TextTable::num(vifi.median_session(), 1),
+         TextTable::num(brr.median_session() > 0
+                            ? vifi.median_session() / brr.median_session()
+                            : 0.0,
+                        2),
+         TextTable::num(brr.interruptions_per_hour(), 1),
+         TextTable::num(vifi.interruptions_per_hour(), 1)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nMean 3-second MoS on VanLAN: ViFi="
+            << TextTable::num(vanlan_mos_vifi, 2)
+            << " BRR=" << TextTable::num(vanlan_mos_brr, 2)
+            << " (paper: 3.4 vs 3.0)\n";
+  std::cout << "Paper shape check: ViFi sessions >2x BRR on VanLAN and "
+               ">1.5x on both DieselNet channels; ViFi MoS above BRR.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 12: efficiency of medium usage — application packets delivered
+// per data transmission on the vehicle-BS wireless channel, upstream and
+// downstream, for BRR, ViFi and the PerfectRelay oracle estimated from
+// ViFi's own logs (§5.4).
+//
+// Paper shape: upstream, ViFi ~ PerfectRelay > BRR; downstream all three
+// are comparable (BRR marginally ahead of ViFi).
+
+#include <iostream>
+
+#include "apps/transfer_driver.h"
+#include "bench_util.h"
+
+using namespace vifi;
+using namespace vifi::bench;
+
+namespace {
+
+struct EffOutcome {
+  double up = 0.0;
+  double down = 0.0;
+  double perfect_up = 0.0;
+  double perfect_down = 0.0;
+};
+
+EffOutcome run(const scenario::Testbed& bed, core::SystemConfig cfg,
+               int trips, std::uint64_t seed_base) {
+  double up_num = 0, up_den = 0, down_num = 0, down_den = 0;
+  double pu = 0, pd = 0;
+  int n = 0;
+  for (int trip = 0; trip < trips; ++trip) {
+    scenario::LiveTrip live(bed, cfg,
+                            seed_base + static_cast<std::uint64_t>(trip));
+    live.run_until(scenario::LiveTrip::warmup());
+    apps::TransferDriver down(live.simulator(), live.transport(),
+                              net::Direction::Downstream);
+    apps::TransferDriverParams up_params;
+    up_params.first_flow = 20000;
+    apps::TransferDriver up(live.simulator(), live.transport(),
+                            net::Direction::Upstream, up_params);
+    const Time end = live.simulator().now() + bed.trip_duration();
+    down.start(end);
+    up.start(end);
+    live.run_until(end + Time::seconds(2.0));
+
+    const auto& stats = live.system().stats();
+    up_num += static_cast<double>(stats.app_delivered(net::Direction::Upstream));
+    up_den += static_cast<double>(
+        stats.wireless_data_tx(net::Direction::Upstream));
+    down_num += static_cast<double>(
+        stats.app_delivered(net::Direction::Downstream));
+    down_den += static_cast<double>(
+        stats.wireless_data_tx(net::Direction::Downstream));
+    const auto eff = stats.efficiency();
+    pu += eff.perfect_up;
+    pd += eff.perfect_down;
+    ++n;
+  }
+  EffOutcome out;
+  out.up = up_den > 0 ? up_num / up_den : 0.0;
+  out.down = down_den > 0 ? down_num / down_den : 0.0;
+  out.perfect_up = n ? pu / n : 0.0;
+  out.perfect_down = n ? pd / n : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const scenario::Testbed bed = scenario::make_vanlan();
+  const int trips = 4 * scale();
+
+  const EffOutcome brr = run(bed, brr_system(), trips, 12000);
+  const EffOutcome vifi = run(bed, vifi_system(), trips, 12000);
+
+  TextTable table(
+      "Figure 12 — packets delivered per wireless data transmission");
+  table.set_header({"direction", "BRR", "ViFi", "PerfectRelay (from ViFi "
+                    "logs)"});
+  table.add_row({"upstream", TextTable::num(brr.up, 2),
+                 TextTable::num(vifi.up, 2),
+                 TextTable::num(vifi.perfect_up, 2)});
+  table.add_row({"downstream", TextTable::num(brr.down, 2),
+                 TextTable::num(vifi.down, 2),
+                 TextTable::num(vifi.perfect_down, 2)});
+  table.print(std::cout);
+
+  std::cout << "\nPaper shape check: upstream ViFi well above BRR and near "
+               "PerfectRelay; downstream all comparable (relays spend some "
+               "airtime, so BRR can edge ViFi slightly).\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator
+// and the protocol: event queue throughput, channel sampling, the relay
+// probability computation (per-packet cost at each auxiliary), and medium
+// transmission with collision bookkeeping.
+
+#include <benchmark/benchmark.h>
+
+#include "channel/vehicular.h"
+#include "core/pab.h"
+#include "core/relay_policy.h"
+#include "mac/medium.h"
+#include "mac/radio.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vifi;
+using sim::NodeId;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule(Time::micros(i), [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_ChannelSample(benchmark::State& state) {
+  channel::VehicularChannelParams params;
+  channel::VehicularChannel ch(
+      params,
+      [](NodeId id, Time) {
+        return mobility::Vec2{id.value() * 60.0, 0.0};
+      },
+      Rng(1));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ch.sample_delivery(NodeId(0), NodeId(1), Time::micros(t)));
+    t += 100;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSample);
+
+void BM_RelayProbability(benchmark::State& state) {
+  const auto n_aux = static_cast<int>(state.range(0));
+  core::PabTable pab(NodeId(0));
+  std::vector<mac::ProbReport> reports;
+  const NodeId src(100), dst(101);
+  for (int i = 0; i < n_aux; ++i) {
+    reports.push_back({src, NodeId(i), 0.7});
+    reports.push_back({dst, NodeId(i), 0.4});
+    reports.push_back({NodeId(i), dst, 0.6});
+  }
+  reports.push_back({src, dst, 0.5});
+  pab.fold_reports(reports, Time::zero());
+  core::RelayContext ctx;
+  ctx.self = NodeId(0);
+  ctx.src = src;
+  ctx.dst = dst;
+  for (int i = 0; i < n_aux; ++i) ctx.auxiliaries.push_back(NodeId(i));
+  ctx.pab = &pab;
+  ctx.now = Time::zero();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::relay_probability(ctx, core::RelayVariant::ViFi));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelayProbability)->Arg(2)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_MediumBroadcast(benchmark::State& state) {
+  const auto n_nodes = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  channel::VehicularChannelParams params;
+  channel::VehicularChannel loss(
+      params,
+      [](NodeId id, Time) {
+        return mobility::Vec2{(id.value() % 4) * 50.0,
+                              (id.value() / 4) * 50.0};
+      },
+      Rng(2));
+  mac::Medium medium(sim, loss, {});
+  class NullSink final : public mac::FrameSink {
+   public:
+    void on_frame(const mac::Frame&) override {}
+  };
+  std::vector<std::unique_ptr<NullSink>> sinks;
+  for (int i = 0; i < n_nodes; ++i) {
+    sinks.push_back(std::make_unique<NullSink>());
+    medium.attach(NodeId(i), sinks.back().get());
+  }
+  net::PacketFactory factory;
+  for (auto _ : state) {
+    mac::Frame f;
+    f.type = mac::FrameType::Data;
+    f.tx = NodeId(0);
+    f.packet = factory.make(net::Direction::Upstream, NodeId(0), NodeId(1),
+                            500, sim.now());
+    f.data.packet_id = f.packet->id;
+    f.data.origin = NodeId(0);
+    f.data.hop_dst = NodeId(1);
+    medium.transmit(std::move(f));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumBroadcast)->Arg(4)->Arg(12);
+
+void BM_PabTick(benchmark::State& state) {
+  core::PabTable pab(NodeId(0));
+  std::int64_t sec = 1;
+  for (auto _ : state) {
+    for (int n = 1; n <= 12; ++n)
+      for (int b = 0; b < 8; ++b)
+        pab.note_beacon(NodeId(n), Time::seconds(static_cast<double>(sec)));
+    pab.tick_second(Time::seconds(static_cast<double>(sec)));
+    ++sec;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PabTick);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Table 2: comparison of downstream coordination mechanisms on DieselNet
+// Channel 1 — ViFi's formulation vs the three guideline-violating variants
+// of §5.5.1 (¬G1 ignore other relays, ¬G2 ignore connectivity, ¬G3 expected
+// deliveries = 1).
+//
+// Paper values: false positives 19% / 50% / 40% / 157%; false negatives
+// 14% / 14% / 12% / 10%.
+
+#include <iostream>
+
+#include "apps/cbr.h"
+#include "bench_util.h"
+
+using namespace vifi;
+using namespace vifi::bench;
+
+int main() {
+  const scenario::Testbed bed = scenario::make_dieselnet(1);
+  const trace::Campaign campaign = beacon_campaign(bed, 2, 1, 556);
+
+  TextTable table(
+      "Table 2 — downstream coordination mechanisms, DieselNet Ch. 1");
+  table.set_header({"mechanism", "false positives", "false negatives"});
+
+  for (const auto& [name, variant] :
+       std::vector<std::pair<std::string, core::RelayVariant>>{
+           {"ViFi", core::RelayVariant::ViFi},
+           {"!G1 (ignore other relays)", core::RelayVariant::NoG1},
+           {"!G2 (ignore connectivity)", core::RelayVariant::NoG2},
+           {"!G3 (expected deliveries = 1)", core::RelayVariant::NoG3}}) {
+    double fp_num = 0.0, fn_num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < campaign.trips.size(); ++i) {
+      core::SystemConfig cfg = vifi_system();
+      cfg.vifi.variant = variant;
+      cfg.vifi.max_retx = 0;  // isolate the coordination mechanism
+      scenario::LiveTrip live(bed, campaign.trips[i], cfg,
+                              14000 + static_cast<std::uint64_t>(i));
+      live.run_until(scenario::LiveTrip::warmup());
+      apps::CbrWorkload cbr(live.simulator(), live.transport());
+      const Time end = campaign.trips[i].duration;
+      cbr.start(end);
+      live.run_until(end + Time::seconds(1.0));
+      const auto s = live.system().stats().coordination(
+          net::Direction::Downstream);
+      fp_num += s.false_positive_rate * static_cast<double>(s.attempts);
+      fn_num += s.false_negative_rate * static_cast<double>(s.attempts);
+      den += static_cast<double>(s.attempts);
+    }
+    table.add_row({name, TextTable::pct(den > 0 ? fp_num / den : 0.0),
+                   TextTable::pct(den > 0 ? fn_num / den : 0.0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper shape check: false negatives similar across all "
+               "mechanisms; ViFi has clearly the lowest false positives, "
+               "!G3 by far the highest.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Handoff-policy shoot-out (the §3 measurement study in miniature): run a
+// VanLAN measurement campaign, replay it under all six handoff policies,
+// and compare aggregate delivery with interactive-session quality — the
+// contrast that motivates ViFi.
+
+#include <iostream>
+
+#include "analysis/sessions.h"
+#include "handoff/policies.h"
+#include "handoff/replay.h"
+#include "scenario/campaign.h"
+#include "scenario/testbed.h"
+#include "util/table.h"
+
+using namespace vifi;
+
+int main() {
+  const scenario::Testbed bed = scenario::make_vanlan();
+
+  scenario::CampaignConfig config;
+  config.days = 2;
+  config.trips_per_day = 3;
+  config.seed = 99;
+  const trace::Campaign campaign = generate_campaign(bed, config);
+  std::cout << "Campaign: " << campaign.trips.size() << " trips over "
+            << campaign.days() << " days on " << bed.layout().name << "\n\n";
+
+  TextTable table("Six handoff policies on the same trace");
+  table.set_header({"policy", "packets delivered", "median session (s)",
+                    "interruptions"});
+
+  const analysis::SessionDef def{};  // >= 50% reception per 1 s interval
+  for (const std::string name :
+       {"AllBSes", "BestBS", "History", "RSSI", "BRR", "Sticky"}) {
+    std::int64_t delivered = 0;
+    std::vector<double> sessions;
+    int interruptions = 0;
+    for (const auto& trip : campaign.trips) {
+      std::vector<handoff::SlotOutcome> outcomes;
+      if (name == "AllBSes") {
+        outcomes = handoff::replay_allbses(trip);
+      } else {
+        std::unique_ptr<handoff::HandoffPolicy> policy;
+        if (name == "BestBS")
+          policy = std::make_unique<handoff::BestBsPolicy>();
+        else if (name == "History")
+          policy = std::make_unique<handoff::HistoryPolicy>(campaign);
+        else if (name == "RSSI")
+          policy = std::make_unique<handoff::RssiPolicy>();
+        else if (name == "BRR")
+          policy = std::make_unique<handoff::BrrPolicy>();
+        else
+          policy = std::make_unique<handoff::StickyPolicy>();
+        outcomes = handoff::replay_hard_handoff(trip, *policy);
+      }
+      delivered += handoff::packets_delivered(outcomes);
+
+      analysis::SlotStream stream;
+      stream.slot = Time::millis(100);
+      stream.per_slot_max = 2;
+      for (const auto& o : outcomes) stream.delivered.push_back(o.delivered());
+      const auto lengths = analysis::session_lengths_s(stream, def);
+      sessions.insert(sessions.end(), lengths.begin(), lengths.end());
+      interruptions +=
+          analysis::connectivity_timeline(stream, def).interruptions;
+    }
+    table.add_row({name, std::to_string(delivered),
+                   TextTable::num(analysis::median_session_length(sessions), 1),
+                   std::to_string(interruptions)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote how similar the delivery totals are (within ~25% "
+               "apart from Sticky) while the session metrics differ "
+               "hugely — the paper's core observation (§3.2-§3.3).\n";
+  return 0;
+}

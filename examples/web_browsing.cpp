@@ -1,0 +1,66 @@
+// Web browsing from the bus: back-to-back short TCP fetches (the §5.3.1
+// workload) over ViFi while the vehicle drives a trip. Prints each
+// transfer's completion time and the session structure the paper scores.
+
+#include <iostream>
+
+#include "apps/transfer_driver.h"
+#include "scenario/live.h"
+#include "scenario/testbed.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vifi;
+
+  const scenario::Testbed bed = scenario::make_vanlan();
+  scenario::LiveTrip trip(bed, core::SystemConfig{}, /*trip_seed=*/3);
+  trip.run_until(scenario::LiveTrip::warmup());
+
+  // Fetch 10 KB pages continuously; a fetch stalled for 10 s is abandoned
+  // and restarted, which also ends the current "session".
+  apps::TransferDriver driver(trip.simulator(), trip.transport(),
+                              net::Direction::Downstream);
+  const Time end = trip.simulator().now() + bed.trip_duration();
+  driver.start(end);
+  trip.run_until(end + Time::seconds(2.0));
+
+  const auto result = driver.result();
+
+  std::cout << "Fetched " << result.completed << " pages ("
+            << result.aborted << " abandoned) in "
+            << TextTable::num(result.duration_s, 0) << "s of driving\n\n";
+
+  // Histogram of transfer times.
+  TextTable hist("Page fetch times");
+  hist.set_header({"bucket", "count"});
+  const std::vector<std::pair<std::string, std::pair<double, double>>>
+      buckets{{"< 0.5 s", {0.0, 0.5}},
+              {"0.5 - 1 s", {0.5, 1.0}},
+              {"1 - 2 s", {1.0, 2.0}},
+              {"2 - 5 s", {2.0, 5.0}},
+              {"> 5 s", {5.0, 1e9}}};
+  for (const auto& [label, range] : buckets) {
+    int n = 0;
+    for (double t : result.transfer_times_s)
+      if (t >= range.first && t < range.second) ++n;
+    hist.add_row({label, std::to_string(n)});
+  }
+  hist.print(std::cout);
+
+  TextTable table("Summary");
+  table.set_header({"metric", "value"});
+  if (!result.transfer_times_s.empty()) {
+    table.add_row({"median fetch (s)",
+                   TextTable::num(result.median_transfer_time_s(), 2)});
+    table.add_row({"p90 fetch (s)",
+                   TextTable::num(percentile(result.transfer_times_s, 90), 2)});
+  }
+  table.add_row({"fetches per uninterrupted session",
+                 TextTable::num(result.mean_transfers_per_session(), 1)});
+  table.add_row({"fetches per second",
+                 TextTable::num(result.transfers_per_second(), 2)});
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "analysis/burst.h"
+
+#include "util/contracts.h"
+
+namespace vifi::analysis {
+
+double unconditional_loss(const ProbeSeries& s) {
+  VIFI_EXPECTS(s.received.size() == s.in_range.size());
+  std::size_t n = 0, losses = 0;
+  for (std::size_t i = 0; i < s.received.size(); ++i) {
+    if (!s.in_range[i]) continue;
+    ++n;
+    if (!s.received[i]) ++losses;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(losses) / static_cast<double>(n);
+}
+
+std::vector<double> conditional_loss_curve(const ProbeSeries& s,
+                                           const std::vector<int>& lags) {
+  VIFI_EXPECTS(s.received.size() == s.in_range.size());
+  const double fallback = unconditional_loss(s);
+  std::vector<double> out;
+  out.reserve(lags.size());
+  for (int k : lags) {
+    VIFI_EXPECTS(k > 0);
+    std::size_t n = 0, losses = 0;
+    for (std::size_t i = 0; i + static_cast<std::size_t>(k) < s.received.size();
+         ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(k);
+      if (!s.in_range[i] || !s.in_range[j]) continue;
+      if (s.received[i]) continue;  // condition: probe i lost
+      ++n;
+      if (!s.received[j]) ++losses;
+    }
+    out.push_back(n == 0 ? fallback
+                         : static_cast<double>(losses) /
+                               static_cast<double>(n));
+  }
+  return out;
+}
+
+PairConditionals pair_conditionals(const PairSeries& s) {
+  VIFI_EXPECTS(s.a_received.size() == s.b_received.size());
+  VIFI_EXPECTS(s.a_received.size() == s.both_in_range.size());
+  PairConditionals out;
+  std::size_t n = 0, a_got = 0, b_got = 0;
+  std::size_t a_lost_n = 0, a_next_after_a = 0, b_next_after_a = 0;
+  std::size_t b_lost_n = 0, b_next_after_b = 0, a_next_after_b = 0;
+  for (std::size_t i = 0; i < s.a_received.size(); ++i) {
+    if (!s.both_in_range[i]) continue;
+    ++n;
+    if (s.a_received[i]) ++a_got;
+    if (s.b_received[i]) ++b_got;
+    const std::size_t j = i + 1;
+    if (j >= s.a_received.size() || !s.both_in_range[j]) continue;
+    if (!s.a_received[i]) {
+      ++a_lost_n;
+      if (s.a_received[j]) ++a_next_after_a;
+      if (s.b_received[j]) ++b_next_after_a;
+    }
+    if (!s.b_received[i]) {
+      ++b_lost_n;
+      if (s.b_received[j]) ++b_next_after_b;
+      if (s.a_received[j]) ++a_next_after_b;
+    }
+  }
+  auto ratio = [](std::size_t num, std::size_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  out.p_a = ratio(a_got, n);
+  out.p_b = ratio(b_got, n);
+  out.p_a_next_after_a_loss = ratio(a_next_after_a, a_lost_n);
+  out.p_b_next_after_a_loss = ratio(b_next_after_a, a_lost_n);
+  out.p_b_next_after_b_loss = ratio(b_next_after_b, b_lost_n);
+  out.p_a_next_after_b_loss = ratio(a_next_after_b, b_lost_n);
+  return out;
+}
+
+}  // namespace vifi::analysis

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file burst.h
+/// Loss-burstiness statistics for Fig. 6: (a) the conditional loss
+/// probability P(loss_{i+k} | loss_i) as a function of lag k, and (b) the
+/// cross-BS conditional reception table showing losses are path-dependent
+/// rather than receiver-dependent (§3.4.2).
+
+#include <vector>
+
+namespace vifi::analysis {
+
+/// A dense probe record: received[i] says whether probe i was decoded;
+/// in_range[i] masks probes taken while the pair was in radio range (the
+/// curve conditions on in-range losses only, to measure *channel* bursts
+/// rather than out-of-coverage runs).
+struct ProbeSeries {
+  std::vector<bool> received;
+  std::vector<bool> in_range;
+};
+
+/// P(loss at i) over in-range probes.
+double unconditional_loss(const ProbeSeries& s);
+
+/// P(loss at i+k | loss at i) for each lag in \p lags; both indices must be
+/// in range. Returns one value per lag (NaN-free: lags with no support
+/// yield the unconditional loss).
+std::vector<double> conditional_loss_curve(const ProbeSeries& s,
+                                           const std::vector<int>& lags);
+
+/// The Fig. 6(b) table for a BS pair A, B probed in lockstep.
+struct PairConditionals {
+  double p_a = 0.0;                ///< P(A): unconditional reception from A.
+  double p_b = 0.0;                ///< P(B).
+  double p_a_next_after_a_loss = 0.0;  ///< P(A_{i+1} | !A_i).
+  double p_b_next_after_a_loss = 0.0;  ///< P(B_{i+1} | !A_i).
+  double p_b_next_after_b_loss = 0.0;  ///< P(B_{i+1} | !B_i).
+  double p_a_next_after_b_loss = 0.0;  ///< P(A_{i+1} | !B_i).
+};
+
+struct PairSeries {
+  std::vector<bool> a_received;
+  std::vector<bool> b_received;
+  std::vector<bool> both_in_range;
+};
+
+PairConditionals pair_conditionals(const PairSeries& s);
+
+}  // namespace vifi::analysis

@@ -1,0 +1,41 @@
+#include "analysis/diversity.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace vifi::analysis {
+
+namespace {
+void add_trip(Cdf& cdf, const trace::MeasurementTrace& trip,
+              double min_fraction) {
+  const auto counts = trace::beacon_counts_per_second(trip);
+  const int secs = trip.seconds();
+  const double threshold =
+      std::max(1.0, min_fraction * trip.beacons_per_second);
+  for (int s = 0; s < secs; ++s) {
+    int visible = 0;
+    for (const auto& [bs, row] : counts) {
+      (void)bs;
+      const int c =
+          static_cast<std::size_t>(s) < row.size() ? row[static_cast<std::size_t>(s)] : 0;
+      if (static_cast<double>(c) >= threshold) ++visible;
+    }
+    cdf.add(static_cast<double>(visible));
+  }
+}
+}  // namespace
+
+Cdf visible_bs_cdf(const trace::MeasurementTrace& trip, double min_fraction) {
+  Cdf cdf;
+  add_trip(cdf, trip, min_fraction);
+  return cdf;
+}
+
+Cdf visible_bs_cdf(const trace::Campaign& campaign, double min_fraction) {
+  Cdf cdf;
+  for (const auto& trip : campaign.trips) add_trip(cdf, trip, min_fraction);
+  return cdf;
+}
+
+}  // namespace vifi::analysis

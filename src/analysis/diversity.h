@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file diversity.h
+/// BS-diversity statistics (Fig. 5): how many BSes can the vehicle hear per
+/// one-second period? Both visibility definitions from the paper are
+/// supported — at least one beacon, and at least 50% of beacons.
+
+#include "trace/observations.h"
+#include "util/cdf.h"
+
+namespace vifi::analysis {
+
+/// CDF over seconds of the number of BSes with a beacon reception fraction
+/// >= \p min_fraction in that second (min_fraction <= 1/bps reduces to "at
+/// least one beacon").
+Cdf visible_bs_cdf(const trace::MeasurementTrace& trip, double min_fraction);
+
+/// Same, pooled over all trips of a campaign.
+Cdf visible_bs_cdf(const trace::Campaign& campaign, double min_fraction);
+
+}  // namespace vifi::analysis

@@ -1,0 +1,57 @@
+#include "apps/cbr.h"
+
+#include "util/contracts.h"
+
+namespace vifi::apps {
+
+CbrWorkload::CbrWorkload(sim::Simulator& sim, Transport& transport,
+                         CbrParams params)
+    : sim_(sim),
+      transport_(transport),
+      params_(params),
+      tick_(sim, params.interval, [this] { on_tick(); }) {
+  transport_.subscribe(params_.flow,
+                       [this](const net::PacketPtr& p) { on_delivery(p); });
+}
+
+void CbrWorkload::start(Time until) {
+  until_ = until;
+  tick_.start_after(params_.interval);
+}
+
+void CbrWorkload::on_tick() {
+  if (sim_.now() >= until_) {
+    tick_.stop();
+    return;
+  }
+  const auto slot = slots_++;
+  delivered_per_slot_.push_back(0);
+  slot_start_.push_back(sim_.now());
+  transport_.send(Direction::Upstream, params_.payload_bytes, params_.flow,
+                  slot);
+  transport_.send(Direction::Downstream, params_.payload_bytes, params_.flow,
+                  slot);
+}
+
+void CbrWorkload::on_delivery(const net::PacketPtr& p) {
+  const auto slot = static_cast<std::size_t>(p->app_seq);
+  if (slot >= slots_) return;
+  if (sim_.now() - slot_start_[slot] > params_.delivery_deadline) return;
+  if (delivered_per_slot_[slot] < 2) ++delivered_per_slot_[slot];
+}
+
+analysis::SlotStream CbrWorkload::slot_stream() const {
+  analysis::SlotStream s;
+  s.slot = params_.interval;
+  s.per_slot_max = 2;
+  s.delivered = delivered_per_slot_;
+  return s;
+}
+
+std::int64_t CbrWorkload::delivered() const {
+  std::int64_t n = 0;
+  for (int d : delivered_per_slot_) n += d;
+  return n;
+}
+
+}  // namespace vifi::apps

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file cbr.h
+/// The link-layer probe workload (§5.2): a 500-byte packet each way every
+/// 100 ms, link-layer retransmissions disabled. Produces the per-slot
+/// delivery stream the session analysis consumes.
+
+#include <vector>
+
+#include "analysis/sessions.h"
+#include "apps/transport.h"
+#include "sim/simulator.h"
+
+namespace vifi::apps {
+
+struct CbrParams {
+  Time interval = Time::millis(100);
+  int payload_bytes = 500;
+  int flow = 55;
+  /// Deliveries later than this after send don't count for their slot
+  /// (keeps slot accounting causal; generous vs. one-way relay delays).
+  Time delivery_deadline = Time::millis(95);
+};
+
+/// Bidirectional constant-bit-rate probe stream over a transport.
+class CbrWorkload {
+ public:
+  CbrWorkload(sim::Simulator& sim, Transport& transport, CbrParams params = {});
+
+  void start(Time until);
+
+  /// Slot stream: 2 packets attempted per slot (one per direction);
+  /// delivered counts those that arrived within the deadline. Valid after
+  /// the simulator has passed `until`.
+  analysis::SlotStream slot_stream() const;
+
+  std::int64_t sent() const { return 2 * static_cast<std::int64_t>(slots_); }
+  std::int64_t delivered() const;
+
+ private:
+  void on_tick();
+  void on_delivery(const net::PacketPtr& p);
+
+  sim::Simulator& sim_;
+  Transport& transport_;
+  CbrParams params_;
+  sim::PeriodicTimer tick_;
+  Time until_;
+  std::size_t slots_ = 0;
+  std::vector<int> delivered_per_slot_;
+  std::vector<Time> slot_start_;
+};
+
+}  // namespace vifi::apps

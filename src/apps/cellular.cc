@@ -1,0 +1,44 @@
+#include "apps/cellular.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace vifi::apps {
+
+namespace {
+// Arbitrary endpoint ids for the synthetic bearer.
+const sim::NodeId kVehicleEnd{9001};
+const sim::NodeId kHostEnd{9002};
+}  // namespace
+
+CellularTransport::CellularTransport(sim::Simulator& sim,
+                                     CellularParams params, Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {
+  VIFI_EXPECTS(params.down_rate_bps > 0 && params.up_rate_bps > 0);
+}
+
+void CellularTransport::send(Direction dir, int bytes, int flow,
+                             std::uint64_t app_seq, std::any data) {
+  const bool up = dir == Direction::Upstream;
+  auto packet = factory_.make(dir, up ? kVehicleEnd : kHostEnd,
+                              up ? kHostEnd : kVehicleEnd, bytes, sim_.now(),
+                              flow, app_seq, std::move(data));
+  if (rng_.bernoulli(params_.loss)) return;
+  Time& next_free = up ? up_free_ : down_free_;
+  const double rate = up ? params_.up_rate_bps : params_.down_rate_bps;
+  const Time start = std::max(sim_.now(), next_free);
+  next_free = start + Time::seconds(static_cast<double>(bytes) * 8.0 / rate);
+  const Time deliver_at = next_free + params_.one_way_latency;
+  sim_.schedule_at(deliver_at, [this, packet] {
+    const auto it = handlers_.find(packet->flow);
+    if (it != handlers_.end()) it->second(packet);
+  });
+}
+
+void CellularTransport::subscribe(int flow, Handler handler) {
+  VIFI_EXPECTS(handler != nullptr);
+  handlers_[flow] = std::move(handler);
+}
+
+}  // namespace vifi::apps

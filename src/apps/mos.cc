@@ -1,0 +1,30 @@
+#include "apps/mos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace vifi::apps {
+
+double r_factor_g729(double mouth_to_ear_delay_ms, double loss_rate) {
+  VIFI_EXPECTS(mouth_to_ear_delay_ms >= 0.0);
+  VIFI_EXPECTS(loss_rate >= 0.0 && loss_rate <= 1.0);
+  const double d = mouth_to_ear_delay_ms;
+  const double e = loss_rate;
+  const double heaviside = d > 177.3 ? 1.0 : 0.0;
+  return 94.2 - 0.024 * d - 0.11 * (d - 177.3) * heaviside - 11.0 -
+         40.0 * std::log10(1.0 + 10.0 * e);
+}
+
+double mos_from_r(double r) {
+  if (r < 0.0) return 1.0;
+  if (r > 100.0) return 4.5;
+  return 1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r);
+}
+
+double mos_g729(double mouth_to_ear_delay_ms, double loss_rate) {
+  return mos_from_r(r_factor_g729(mouth_to_ear_delay_ms, loss_rate));
+}
+
+}  // namespace vifi::apps

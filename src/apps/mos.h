@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file mos.h
+/// VoIP call quality scoring (§5.3.2): the E-model R-factor for the G.729
+/// codec reduced per Cole & Rosenbluth, and its mapping to the Mean Opinion
+/// Score. MoS labels: 5 perfect, 4 fair, 3 annoying, 2 very annoying,
+/// 1 impossible to communicate.
+
+namespace vifi::apps {
+
+/// G.729 R-factor with expectation factor A = 0:
+///   R = 94.2 - 0.024 d - 0.11 (d - 177.3) H(d - 177.3)
+///       - 11 - 40 log10(1 + 10 e)
+/// where d is the mouth-to-ear delay in milliseconds and e the total loss
+/// rate (network losses plus late arrivals) in [0, 1].
+double r_factor_g729(double mouth_to_ear_delay_ms, double loss_rate);
+
+/// MoS from R: 1 if R < 0; 4.5 if R > 100;
+/// else 1 + 0.035 R + 7e-6 R (R - 60)(100 - R).
+double mos_from_r(double r);
+
+/// Convenience composition.
+double mos_g729(double mouth_to_ear_delay_ms, double loss_rate);
+
+/// The fixed delay budget used in the evaluation (§5.3.2).
+struct VoipDelayBudget {
+  double coding_ms = 25.0;
+  double jitter_buffer_ms = 60.0;
+  double wired_ms = 40.0;  ///< Cross-country wired segment.
+  /// Mouth-to-ear target; beyond it the delay impairment grows sharply.
+  double target_mouth_to_ear_ms = 177.0;
+  /// Maximum tolerable wireless-segment delay: packets later than this are
+  /// counted as lost ("... packets that take more than 52 ms in the
+  /// wireless part should be considered lost").
+  double wireless_deadline_ms() const {
+    return target_mouth_to_ear_ms - coding_ms - jitter_buffer_ms - wired_ms;
+  }
+};
+
+}  // namespace vifi::apps

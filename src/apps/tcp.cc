@@ -1,0 +1,252 @@
+#include "apps/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace vifi::apps {
+
+namespace {
+Direction reverse(Direction d) {
+  return d == Direction::Upstream ? Direction::Downstream
+                                  : Direction::Upstream;
+}
+}  // namespace
+
+TcpTransfer::TcpTransfer(sim::Simulator& sim, Transport& transport, int flow,
+                         Direction dir, std::int64_t total_bytes,
+                         TcpParams params)
+    : sim_(sim),
+      transport_(transport),
+      flow_(flow),
+      dir_(dir),
+      total_(total_bytes),
+      params_(params) {
+  VIFI_EXPECTS(total_bytes > 0);
+  VIFI_EXPECTS(params.mss > 0);
+  const auto segments = static_cast<std::size_t>(
+      (total_ + params_.mss - 1) / params_.mss);
+  got_.assign(segments, false);
+  cwnd_ = static_cast<double>(params_.init_cwnd_segments) * params_.mss;
+  ssthresh_ = static_cast<double>(params_.init_ssthresh);
+  transport_.subscribe(flow_,
+                       [this](const net::PacketPtr& p) { on_packet(p); });
+}
+
+TcpTransfer::~TcpTransfer() {
+  abort();
+  // Late packets for this flow may still be in flight; drop them rather
+  // than dispatching into a dead object.
+  transport_.unsubscribe(flow_);
+}
+
+void TcpTransfer::start() {
+  VIFI_EXPECTS(!started_);
+  started_ = true;
+  started_at_ = sim_.now();
+  last_progress_ = sim_.now();
+  // Client requests the file: SYN travels opposite to the payload.
+  TcpSegment syn;
+  syn.kind = TcpSegment::Kind::Syn;
+  ++syn_attempts_;
+  transport_.send(reverse(dir_), params_.header_bytes, flow_, 0, syn);
+  arm_rto();  // SYN is also guarded by the RTO
+}
+
+void TcpTransfer::abort() {
+  if (aborted_) return;
+  aborted_ = true;
+  if (rto_armed_) sim_.cancel(rto_event_);
+  rto_armed_ = false;
+}
+
+void TcpTransfer::set_completion_handler(std::function<void()> fn) {
+  on_complete_ = std::move(fn);
+}
+
+void TcpTransfer::on_packet(const net::PacketPtr& p) {
+  if (aborted_ || complete_) return;
+  const TcpSegment* seg = std::any_cast<TcpSegment>(&p->app_data);
+  if (seg == nullptr) return;
+  switch (seg->kind) {
+    case TcpSegment::Kind::Syn: {
+      if (p->dir == dir_) return;  // stray
+      // Server side: answer and establish.
+      TcpSegment synack;
+      synack.kind = TcpSegment::Kind::SynAck;
+      transport_.send(dir_, params_.header_bytes, flow_, 0, synack);
+      establish();
+      break;
+    }
+    case TcpSegment::Kind::SynAck:
+      // Client side: connection up; data will follow from the server.
+      last_progress_ = sim_.now();
+      break;
+    case TcpSegment::Kind::Data:
+      if (p->dir != dir_) return;
+      on_data(*seg);
+      break;
+    case TcpSegment::Kind::Ack:
+      if (p->dir != reverse(dir_)) return;
+      on_ack(*seg);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------- sender --
+
+void TcpTransfer::establish() {
+  if (established_) return;
+  established_ = true;
+  last_progress_ = sim_.now();
+  backoff_ = 0;
+  send_window();
+}
+
+void TcpTransfer::send_window() {
+  if (aborted_ || complete_) return;
+  while (next_seq_ < total_ &&
+         static_cast<double>(next_seq_ - highest_ack_) < cwnd_) {
+    send_segment(next_seq_, /*is_retransmit=*/false);
+    next_seq_ += std::min<std::int64_t>(params_.mss, total_ - next_seq_);
+  }
+  arm_rto();
+}
+
+void TcpTransfer::send_segment(std::int64_t seq, bool is_retransmit) {
+  TcpSegment seg;
+  seg.kind = TcpSegment::Kind::Data;
+  seg.seq = seq;
+  seg.len = static_cast<int>(std::min<std::int64_t>(params_.mss, total_ - seq));
+  if (is_retransmit) {
+    ++retransmissions_;
+    // Karn: a retransmitted segment cannot provide an RTT sample.
+    if (timed_seq_ == seq) timed_seq_ = -1;
+  } else if (timed_seq_ < 0) {
+    timed_seq_ = seq;
+    timed_sent_at_ = sim_.now();
+  }
+  transport_.send(dir_, params_.header_bytes + seg.len, flow_,
+                  static_cast<std::uint64_t>(seq), seg);
+}
+
+Time TcpTransfer::current_rto() const {
+  Time base = params_.initial_rto;
+  if (srtt_valid_) {
+    base = Time::seconds(srtt_s_ + std::max(4.0 * rttvar_s_, 0.010));
+  }
+  base = std::max(base, params_.min_rto);
+  for (int i = 0; i < backoff_; ++i) base = base * 2.0;
+  return std::min(base, params_.max_rto);
+}
+
+void TcpTransfer::arm_rto() {
+  if (aborted_ || complete_) return;
+  if (rto_armed_) sim_.cancel(rto_event_);
+  rto_armed_ = true;
+  rto_event_ = sim_.schedule(current_rto(), [this] {
+    rto_armed_ = false;
+    on_rto();
+  });
+}
+
+void TcpTransfer::note_rtt_sample(Time rtt) {
+  const double r = rtt.to_seconds();
+  if (!srtt_valid_) {
+    srtt_s_ = r;
+    rttvar_s_ = r / 2.0;
+    srtt_valid_ = true;
+  } else {
+    rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::abs(srtt_s_ - r);
+    srtt_s_ = 0.875 * srtt_s_ + 0.125 * r;
+  }
+}
+
+void TcpTransfer::on_ack(const TcpSegment& seg) {
+  if (!established_) establish();
+  if (seg.ack > highest_ack_) {
+    // New data acknowledged.
+    highest_ack_ = seg.ack;
+    last_progress_ = sim_.now();
+    dupacks_ = 0;
+    backoff_ = 0;
+    if (timed_seq_ >= 0 && seg.ack > timed_seq_) {
+      note_rtt_sample(sim_.now() - timed_sent_at_);
+      timed_seq_ = -1;
+    }
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += params_.mss;  // slow start
+    } else {
+      cwnd_ += static_cast<double>(params_.mss) * params_.mss / cwnd_;
+    }
+    if (highest_ack_ >= total_) {
+      complete_ = true;
+      completed_at_ = sim_.now();
+      if (rto_armed_) sim_.cancel(rto_event_);
+      rto_armed_ = false;
+      if (on_complete_) on_complete_();
+      return;
+    }
+    send_window();
+  } else if (seg.ack == highest_ack_ && next_seq_ > highest_ack_) {
+    ++dupacks_;
+    if (dupacks_ == params_.dupack_threshold) {
+      // Fast retransmit.
+      const double in_flight =
+          static_cast<double>(next_seq_ - highest_ack_);
+      ssthresh_ = std::max(in_flight / 2.0,
+                           2.0 * params_.mss);
+      cwnd_ = ssthresh_;
+      send_segment(highest_ack_, /*is_retransmit=*/true);
+      arm_rto();
+    }
+  }
+}
+
+void TcpTransfer::on_rto() {
+  if (aborted_ || complete_) return;
+  if (!established_) {
+    // Retransmit the SYN (client side has nothing else to do).
+    TcpSegment syn;
+    syn.kind = TcpSegment::Kind::Syn;
+    ++syn_attempts_;
+    ++retransmissions_;
+    ++backoff_;
+    transport_.send(reverse(dir_), params_.header_bytes, flow_, 0, syn);
+    arm_rto();
+    return;
+  }
+  if (next_seq_ <= highest_ack_) return;  // nothing outstanding
+  // Timeout: multiplicative backoff, restart from the hole.
+  ssthresh_ = std::max(static_cast<double>(next_seq_ - highest_ack_) / 2.0,
+                       2.0 * params_.mss);
+  cwnd_ = params_.mss;
+  ++backoff_;
+  dupacks_ = 0;
+  send_segment(highest_ack_, /*is_retransmit=*/true);
+  arm_rto();
+}
+
+// -------------------------------------------------------------- receiver --
+
+void TcpTransfer::on_data(const TcpSegment& seg) {
+  const auto index = static_cast<std::size_t>(seg.seq / params_.mss);
+  if (index < got_.size()) got_[index] = true;
+  while (rcv_next_ < total_) {
+    const auto i = static_cast<std::size_t>(rcv_next_ / params_.mss);
+    if (!got_[i]) break;
+    rcv_next_ += std::min<std::int64_t>(params_.mss, total_ - rcv_next_);
+  }
+  send_ack_segment();
+}
+
+void TcpTransfer::send_ack_segment() {
+  TcpSegment ack;
+  ack.kind = TcpSegment::Kind::Ack;
+  ack.ack = rcv_next_;
+  transport_.send(reverse(dir_), params_.header_bytes, flow_,
+                  static_cast<std::uint64_t>(rcv_next_), ack);
+}
+
+}  // namespace vifi::apps

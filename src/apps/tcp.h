@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file tcp.h
+/// A compact TCP (Reno-style) sufficient for the paper's short-transfer
+/// workload: three-way handshake, slow start, congestion avoidance,
+/// triple-duplicate-ACK fast retransmit, and an RFC 6298-style RTO with a
+/// 1-second minimum (the figure from which ViFi's salvage window derives,
+/// §4.5). Both connection endpoints live in this object; the Transport
+/// moves their segments across the wireless system.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "apps/transport.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace vifi::apps {
+
+struct TcpParams {
+  int mss = 1200;
+  int init_cwnd_segments = 2;
+  std::int64_t init_ssthresh = 64 * 1024;
+  int dupack_threshold = 3;
+  Time min_rto = Time::seconds(1.0);
+  Time max_rto = Time::seconds(16.0);
+  Time initial_rto = Time::seconds(1.0);
+  int header_bytes = 40;  ///< TCP/IP header on every segment.
+};
+
+/// Segment exchanged through the Transport's app_data.
+struct TcpSegment {
+  enum class Kind { Syn, SynAck, Data, Ack };
+  Kind kind = Kind::Data;
+  std::int64_t seq = 0;  ///< First payload byte (Data) — or ISN exchange.
+  int len = 0;           ///< Payload bytes (Data only).
+  std::int64_t ack = 0;  ///< Cumulative ack (Ack / SynAck).
+};
+
+/// One connection transferring `total_bytes` in direction `dir`
+/// (Downstream = wired host serves the file to the vehicle).
+class TcpTransfer {
+ public:
+  TcpTransfer(sim::Simulator& sim, Transport& transport, int flow,
+              Direction dir, std::int64_t total_bytes, TcpParams params = {});
+  ~TcpTransfer();
+  TcpTransfer(const TcpTransfer&) = delete;
+  TcpTransfer& operator=(const TcpTransfer&) = delete;
+
+  /// Kicks off the handshake (client side = receiver of the file).
+  void start();
+
+  /// Cancels all timers; no further segments are sent.
+  void abort();
+
+  bool complete() const { return complete_; }
+  Time completion_time() const { return completed_at_; }
+  Time start_time() const { return started_at_; }
+  /// Monotone progress marker for the driver's 10 s stall rule.
+  Time last_progress() const { return last_progress_; }
+  std::int64_t bytes_acked() const { return highest_ack_; }
+  int retransmissions() const { return retransmissions_; }
+
+  /// Invoked once when the last byte is cumulatively acknowledged.
+  void set_completion_handler(std::function<void()> fn);
+
+ private:
+  // --- sender side ---
+  void establish();
+  void send_window();
+  void send_segment(std::int64_t seq, bool is_retransmit);
+  void on_ack(const TcpSegment& seg);
+  void on_rto();
+  void arm_rto();
+  Time current_rto() const;
+  void note_rtt_sample(Time rtt);
+
+  // --- receiver side ---
+  void on_data(const TcpSegment& seg);
+  void send_ack_segment();
+
+  void on_packet(const net::PacketPtr& p);
+
+  sim::Simulator& sim_;
+  Transport& transport_;
+  int flow_;
+  Direction dir_;  ///< Direction payload travels.
+  std::int64_t total_;
+  TcpParams params_;
+
+  // Sender state.
+  bool established_ = false;
+  std::int64_t next_seq_ = 0;      ///< Next new byte to send.
+  std::int64_t highest_ack_ = 0;   ///< Cumulative bytes acked.
+  double cwnd_ = 0.0;              ///< Bytes.
+  double ssthresh_ = 0.0;
+  int dupacks_ = 0;
+  std::int64_t timed_seq_ = -1;    ///< Segment being RTT-timed (Karn).
+  Time timed_sent_at_;
+  bool srtt_valid_ = false;
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  int backoff_ = 0;                ///< RTO exponential backoff shift.
+  sim::EventId rto_event_{};
+  bool rto_armed_ = false;
+  int retransmissions_ = 0;
+  int syn_attempts_ = 0;
+
+  // Receiver state.
+  std::vector<bool> got_;          ///< Per MSS-aligned segment.
+  std::int64_t rcv_next_ = 0;      ///< Next expected byte.
+
+  bool started_ = false;
+  bool complete_ = false;
+  bool aborted_ = false;
+  Time started_at_;
+  Time completed_at_;
+  Time last_progress_;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace vifi::apps

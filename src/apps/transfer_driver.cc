@@ -1,0 +1,98 @@
+#include "apps/transfer_driver.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace vifi::apps {
+
+double TransferDriverResult::median_transfer_time_s() const {
+  if (transfer_times_s.empty()) return 0.0;
+  return median(transfer_times_s);
+}
+
+double TransferDriverResult::mean_transfers_per_session() const {
+  if (transfers_per_session.empty()) return 0.0;
+  double sum = 0.0;
+  for (int n : transfers_per_session) sum += n;
+  return sum / static_cast<double>(transfers_per_session.size());
+}
+
+double TransferDriverResult::transfers_per_second() const {
+  return duration_s > 0.0 ? completed / duration_s : 0.0;
+}
+
+TransferDriver::TransferDriver(sim::Simulator& sim, Transport& transport,
+                               Direction dir, TransferDriverParams params)
+    : sim_(sim),
+      transport_(transport),
+      dir_(dir),
+      params_(params),
+      stall_check_(sim, Time::seconds(1.0), [this] { check_stall(); }),
+      next_flow_(params.first_flow) {}
+
+TransferDriver::~TransferDriver() {
+  if (current_) current_->abort();
+}
+
+void TransferDriver::start(Time until) {
+  VIFI_EXPECTS(!running_);
+  running_ = true;
+  until_ = until;
+  started_ = sim_.now();
+  stall_check_.start();
+  launch_next();
+}
+
+void TransferDriver::launch_next() {
+  if (sim_.now() >= until_) {
+    running_ = false;
+    stall_check_.stop();
+    close_session();
+    result_.duration_s = (sim_.now() - started_).to_seconds();
+    return;
+  }
+  current_ = std::make_unique<TcpTransfer>(
+      sim_, transport_, next_flow_++, dir_, params_.transfer_bytes,
+      params_.tcp);
+  current_->set_completion_handler([this] { on_complete(); });
+  current_->start();
+}
+
+void TransferDriver::on_complete() {
+  result_.transfer_times_s.push_back(
+      (current_->completion_time() - current_->start_time()).to_seconds());
+  ++result_.completed;
+  ++session_count_;
+  // Start the next fetch immediately (back-to-back workload).
+  sim_.schedule(Time::micros(1), [this] { launch_next(); });
+}
+
+void TransferDriver::check_stall() {
+  if (!running_ || !current_ || current_->complete()) return;
+  if (sim_.now() >= until_) {
+    current_->abort();
+    running_ = false;
+    stall_check_.stop();
+    close_session();
+    result_.duration_s = (sim_.now() - started_).to_seconds();
+    return;
+  }
+  if (sim_.now() - current_->last_progress() >= params_.stall_timeout) {
+    current_->abort();
+    ++result_.aborted;
+    close_session();
+    launch_next();
+  }
+}
+
+void TransferDriver::close_session() {
+  if (session_count_ > 0)
+    result_.transfers_per_session.push_back(session_count_);
+  session_count_ = 0;
+}
+
+TransferDriverResult TransferDriver::result() const { return result_; }
+
+}  // namespace vifi::apps

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file transfer_driver.h
+/// The §5.3.1 short-transfer workload: repeatedly fetch a 10 KB file;
+/// transfers making no progress for ten seconds are terminated and started
+/// afresh; a *session* is a period in which no transfer attempt was
+/// terminated for lack of progress.
+
+#include <memory>
+#include <vector>
+
+#include "apps/tcp.h"
+#include "apps/transport.h"
+#include "sim/simulator.h"
+
+namespace vifi::apps {
+
+struct TransferDriverParams {
+  std::int64_t transfer_bytes = 10 * 1024;
+  Time stall_timeout = Time::seconds(10.0);
+  TcpParams tcp{};
+  int first_flow = 1000;  ///< Flow ids: one per transfer attempt.
+};
+
+struct TransferDriverResult {
+  std::vector<double> transfer_times_s;    ///< Completed transfers only.
+  std::vector<int> transfers_per_session;  ///< Completed count per session.
+  int completed = 0;
+  int aborted = 0;
+  double duration_s = 0.0;
+
+  double median_transfer_time_s() const;
+  double mean_transfers_per_session() const;
+  double transfers_per_second() const;
+};
+
+/// Runs back-to-back transfers in one direction until `until`.
+class TransferDriver {
+ public:
+  TransferDriver(sim::Simulator& sim, Transport& transport, Direction dir,
+                 TransferDriverParams params = {});
+  ~TransferDriver();
+  TransferDriver(const TransferDriver&) = delete;
+  TransferDriver& operator=(const TransferDriver&) = delete;
+
+  void start(Time until);
+
+  /// Valid after the simulator has run past `until`.
+  TransferDriverResult result() const;
+
+ private:
+  void launch_next();
+  void on_complete();
+  void check_stall();
+  void close_session();
+
+  sim::Simulator& sim_;
+  Transport& transport_;
+  Direction dir_;
+  TransferDriverParams params_;
+  sim::PeriodicTimer stall_check_;
+  Time until_;
+  Time started_;
+  int next_flow_;
+  std::unique_ptr<TcpTransfer> current_;
+  TransferDriverResult result_;
+  int session_count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace vifi::apps

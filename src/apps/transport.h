@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file transport.h
+/// The application-facing datagram service between the vehicle and the
+/// wired host. Applications (VoIP, TCP, probes) are transport-agnostic:
+/// they run unchanged over ViFi/BRR (VifiTransport) or over the cellular
+/// comparison link (§5.3.1).
+
+#include <any>
+#include <functional>
+#include <map>
+
+#include "core/system.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace vifi::apps {
+
+using net::Direction;
+
+/// Unreliable datagram transport between the vehicle end and the host end.
+class Transport {
+ public:
+  using Handler = std::function<void(const net::PacketPtr&)>;
+
+  virtual ~Transport() = default;
+
+  /// Sends \p bytes toward the other end. Upstream = vehicle-to-host.
+  virtual void send(Direction dir, int bytes, int flow,
+                    std::uint64_t app_seq, std::any data = {}) = 0;
+
+  /// Registers the unique-delivery handler for a flow (both directions;
+  /// the packet's dir field disambiguates).
+  virtual void subscribe(int flow, Handler handler) = 0;
+
+  /// Removes a flow's handler. Must be called before the handler's
+  /// captures die — late packets for the flow may still be in flight.
+  virtual void unsubscribe(int flow) = 0;
+
+  virtual Time now() const = 0;
+};
+
+/// Transport over a live ViFi (or BRR-configured) deployment.
+class VifiTransport final : public Transport {
+ public:
+  explicit VifiTransport(core::VifiSystem& system);
+
+  void send(Direction dir, int bytes, int flow, std::uint64_t app_seq,
+            std::any data = {}) override;
+  void subscribe(int flow, Handler handler) override;
+  void unsubscribe(int flow) override;
+  Time now() const override;
+
+ private:
+  void dispatch(const net::PacketPtr& p);
+
+  core::VifiSystem& system_;
+  std::map<int, Handler> handlers_;
+};
+
+}  // namespace vifi::apps

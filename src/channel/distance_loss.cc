@@ -1,0 +1,32 @@
+#include "channel/distance_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace vifi::channel {
+
+DistanceLossCurve::DistanceLossCurve(const Params& p) : params_(p) {
+  VIFI_EXPECTS(p.p_max > 0.0 && p.p_max <= 1.0);
+  VIFI_EXPECTS(p.midpoint_m > 0.0);
+  VIFI_EXPECTS(p.width_m > 0.0);
+  // Solve p_max / (1 + exp((d - mid)/w)) < 1e-3 for d.
+  cutoff_m_ = params_.midpoint_m +
+              params_.width_m * std::log(params_.p_max / 1e-3 - 1.0);
+}
+
+double DistanceLossCurve::reception_prob(double distance_m) const {
+  VIFI_EXPECTS(distance_m >= 0.0);
+  const double z = (distance_m - params_.midpoint_m) / params_.width_m;
+  return params_.p_max / (1.0 + std::exp(z));
+}
+
+double synthesize_rssi_dbm(double distance_m, Rng& rng) {
+  // Log-distance path loss, exponent 2.8 (suburban), 8 dB shadowing.
+  const double d = std::max(distance_m, 1.0);
+  const double mean = -40.0 - 10.0 * 2.8 * std::log10(d);
+  return mean + rng.normal(0.0, 4.0);
+}
+
+}  // namespace vifi::channel

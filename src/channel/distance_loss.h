@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file distance_loss.h
+/// Distance-dependent mean reception probability and a synthetic RSSI.
+/// The shape (near-perfect close in, a soft shoulder, then rapid falloff)
+/// matches outdoor 1 Mbps 802.11b with omni antennas — the fixed, lowest
+/// rate the paper uses to maximise range (§5.1).
+
+#include "util/rng.h"
+
+namespace vifi::channel {
+
+/// Logistic distance→delivery-probability curve.
+class DistanceLossCurve {
+ public:
+  struct Params {
+    double p_max = 0.97;       ///< Delivery probability right at the BS.
+    double midpoint_m = 135.0; ///< Distance where probability halves.
+    /// Shoulder softness: a wide shoulder creates the broad marginal bands
+    /// (reception 0.2-0.7, several BSes at once) that the paper's campus
+    /// exhibits — the regime where diversity pays.
+    double width_m = 48.0;
+  };
+
+  DistanceLossCurve() : DistanceLossCurve(Params{}) {}
+  explicit DistanceLossCurve(const Params& p);
+
+  /// Mean delivery probability at the given distance (meters, >= 0).
+  double reception_prob(double distance_m) const;
+
+  /// Distance beyond which reception is negligible (< 0.1%); callers can
+  /// skip work for pairs farther apart.
+  double cutoff_m() const { return cutoff_m_; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  double cutoff_m_;
+};
+
+/// Synthetic received signal strength (dBm) for beacon logs: log-distance
+/// path loss with shadowing noise. Only its *ordering* matters — the RSSI
+/// handoff policy picks the strongest BS.
+double synthesize_rssi_dbm(double distance_m, Rng& rng);
+
+}  // namespace vifi::channel

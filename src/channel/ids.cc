@@ -1,0 +1,11 @@
+#include <ostream>
+
+#include "sim/ids.h"
+
+namespace vifi::sim {
+
+std::ostream& operator<<(std::ostream& os, NodeId id) {
+  return os << id.to_string();
+}
+
+}  // namespace vifi::sim

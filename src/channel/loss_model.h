@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file loss_model.h
+/// The channel abstraction: given (transmitter, receiver, time), does a
+/// frame get through? Two families implement it — the stochastic vehicular
+/// model used for "deployment" experiments (VanLAN role) and the
+/// trace-driven schedule used for DieselNet-style replay (§5.1).
+
+#include "sim/ids.h"
+#include "util/time.h"
+
+namespace vifi::channel {
+
+using sim::NodeId;
+
+/// Per-link packet-delivery oracle.
+///
+/// `sample_delivery` draws one channel realisation for a single frame and
+/// may advance hidden burst state; it must be called in non-decreasing time
+/// order per link. `reception_prob` is a side-effect-free snapshot of the
+/// current average delivery probability (what a perfect estimator would
+/// know), used by idealised policies and analysis.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  virtual bool sample_delivery(NodeId tx, NodeId rx, Time now) = 0;
+
+  virtual double reception_prob(NodeId tx, NodeId rx, Time now) const = 0;
+};
+
+}  // namespace vifi::channel

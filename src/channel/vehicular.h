@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file vehicular.h
+/// The stochastic vehicular radio environment used for "deployment"
+/// experiments (the reproduction's VanLAN). It composes, per link:
+///
+///   reception = distance_curve(d)            (slow, geometry-driven)
+///             x Gilbert–Elliott burst state  (fast, path-dependent fading)
+///             x gray-period state            (rare seconds-long collapses)
+///             x common-mode vehicle fade     (small receiver-dependent term)
+///
+/// Calibration targets are the paper's measured statistics, not RF truth:
+/// Fig. 5 (number of BSes audible per second), Fig. 6(a) (burstiness:
+/// P(loss_{i+k} | loss_i) decaying from ~0.7 to the unconditional rate) and
+/// Fig. 6(b) (losses nearly independent across BSes — the common-mode fade
+/// supplies the paper's small residual correlation).
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "channel/distance_loss.h"
+#include "channel/loss_model.h"
+#include "channel/markov.h"
+#include "mobility/vec2.h"
+#include "util/rng.h"
+
+namespace vifi::channel {
+
+struct VehicularChannelParams {
+  DistanceLossCurve::Params distance{};
+
+  // Gilbert–Elliott burst fading (per directed link).
+  Time ge_mean_good = Time::seconds(3.0);
+  Time ge_mean_bad = Time::seconds(0.9);
+  double ge_bad_multiplier = 0.12;  ///< Reception multiplier in Bad state.
+
+  // Gray periods (per undirected path; §3.3): sharp unpredictable drops
+  // even close to a BS.
+  Time gray_mean_off = Time::seconds(55.0);
+  Time gray_mean_on = Time::seconds(4.0);
+  double gray_multiplier = 0.05;
+
+  // Common-mode fade tied to a *mobile node* (vehicle passing an
+  // obstruction). Affects all of that node's links at once; kept weak so
+  // cross-BS losses stay roughly independent (Fig. 6b).
+  Time common_mean_off = Time::seconds(30.0);
+  Time common_mean_on = Time::seconds(1.2);
+  double common_multiplier = 0.45;
+};
+
+/// Stochastic per-link delivery model; see file comment.
+class VehicularChannel final : public LossModel {
+ public:
+  /// \p positions maps any registered node to its position at a time.
+  using PositionFn = std::function<mobility::Vec2(NodeId, Time)>;
+
+  VehicularChannel(VehicularChannelParams params, PositionFn positions,
+                   Rng rng);
+
+  /// Marks a node as mobile: it gets a common-mode fade process.
+  void mark_mobile(NodeId node);
+
+  bool sample_delivery(NodeId tx, NodeId rx, Time now) override;
+  double reception_prob(NodeId tx, NodeId rx, Time now) const override;
+
+  /// Distance-only mean reception (no fade states); for analysis and tests.
+  double geometric_reception_prob(NodeId tx, NodeId rx, Time now) const;
+
+  const VehicularChannelParams& params() const { return params_; }
+
+ private:
+  struct LinkState {
+    TwoStateProcess ge_bad;  // ON == Bad (burst-loss) state
+  };
+  struct PathState {
+    TwoStateProcess gray_on;  // ON == gray period
+  };
+  struct NodeState {
+    TwoStateProcess fade_on;  // ON == vehicle-wide fade
+  };
+
+  LinkState& link_state(NodeId tx, NodeId rx) const;
+  PathState& path_state(NodeId a, NodeId b) const;
+  NodeState* node_state(NodeId n) const;  // nullptr if not mobile
+  double instantaneous_prob(NodeId tx, NodeId rx, Time now) const;
+
+  VehicularChannelParams params_;
+  DistanceLossCurve curve_;
+  PositionFn positions_;
+  mutable Rng rng_;
+  mutable std::unordered_map<sim::LinkKey, LinkState> links_;
+  mutable std::unordered_map<sim::LinkKey, PathState> paths_;  // a < b key
+  mutable std::unordered_map<NodeId, NodeState> mobile_;
+  std::unordered_set<NodeId> mobile_ids_;
+  mutable Rng draw_rng_;
+};
+
+}  // namespace vifi::channel

@@ -1,0 +1,395 @@
+#include "core/basestation.h"
+
+#include <algorithm>
+
+#include "core/relay_policy.h"
+#include "util/contracts.h"
+
+namespace vifi::core {
+
+namespace {
+/// Wire overhead of a relayed/forwarded packet beyond its payload.
+constexpr int kWireHeaderBytes = 28;
+/// Wire size of small control messages (salvage request, register).
+constexpr int kControlBytes = 24;
+}  // namespace
+
+VifiBasestation::VifiBasestation(sim::Simulator& sim, mac::Radio& radio,
+                                 net::Backplane& backplane,
+                                 NodeId wired_gateway,
+                                 const VifiConfig& config, Rng rng,
+                                 VifiStats* stats)
+    : sim_(sim),
+      radio_(radio),
+      backplane_(backplane),
+      gateway_(wired_gateway),
+      config_(config),
+      stats_(stats),
+      rng_(rng),
+      pab_(radio.self()),
+      beaconing_(sim, radio, rng.fork("beacons"), config.beacon_period),
+      second_tick_(sim, Time::seconds(1.0), [this] { on_second_tick(); }),
+      relay_tick_(sim, config.relay_check_period, [this] { on_relay_tick(); }),
+      pump_tick_(sim, Time::millis(50), [this] { pump_all(); }) {
+  radio_.set_receiver([this](const mac::Frame& f) { on_frame(f); });
+  radio_.set_idle_callback([this] { pump_all(); });
+  beaconing_.set_payload_provider([this] { return beacon_payload(); });
+  backplane_.attach(self(),
+                    [this](const net::WireMessage& m) { on_wire(m); });
+}
+
+VifiSender& VifiBasestation::sender_for(NodeId vehicle) {
+  VIFI_EXPECTS(vehicle.valid());
+  auto it = senders_.find(vehicle);
+  if (it == senders_.end()) {
+    auto sender = std::make_unique<VifiSender>(
+        sim_, radio_, config_, self(), Direction::Downstream);
+    sender->set_hop_dst_provider([this, vehicle]() -> NodeId {
+      return is_anchor_for(vehicle) ? vehicle : NodeId{};
+    });
+    sender->set_piggyback_provider(
+        [this] { return recent_received_ids(); });
+    sender->set_designated_aux_provider([this, vehicle] {
+      const auto vit = vehicles_.find(vehicle);
+      return vit == vehicles_.end()
+                 ? 0
+                 : static_cast<int>(vit->second.auxiliaries.size());
+    });
+    sender->set_stats(stats_);
+    it = senders_.emplace(vehicle, std::move(sender)).first;
+  }
+  return *it->second;
+}
+
+VifiSender& VifiBasestation::sender(NodeId vehicle) {
+  return sender_for(vehicle);
+}
+
+void VifiBasestation::pump_all() {
+  for (auto& [vehicle, sender] : senders_) {
+    (void)vehicle;
+    sender->pump();
+  }
+}
+
+void VifiBasestation::start() {
+  beaconing_.start();
+  second_tick_.start();
+  pump_tick_.start();
+  if (config_.diversity) {
+    // Random phase desynchronises relay timers across BSes (§4.4).
+    relay_tick_.start_after(config_.relay_check_period *
+                            rng_.uniform(0.1, 1.0));
+  }
+}
+
+bool VifiBasestation::is_anchor_for(NodeId vehicle) const {
+  const auto it = vehicles_.find(vehicle);
+  return it != vehicles_.end() && it->second.anchor == self();
+}
+
+mac::BeaconPayload VifiBasestation::beacon_payload() {
+  mac::BeaconPayload p;
+  p.from_vehicle = false;
+  p.prob_reports = pab_.export_reports(sim_.now());
+  return p;
+}
+
+std::vector<std::uint64_t> VifiBasestation::recent_received_ids() const {
+  return {recent_rx_order_.begin(), recent_rx_order_.end()};
+}
+
+void VifiBasestation::send_ack(std::uint64_t packet_id) {
+  mac::Frame ack;
+  ack.type = mac::FrameType::Ack;
+  ack.ack.packet_id = packet_id;
+  radio_.send(std::move(ack));
+}
+
+void VifiBasestation::on_frame(const mac::Frame& f) {
+  const Time now = sim_.now();
+  switch (f.type) {
+    case mac::FrameType::Beacon:
+      pab_.note_beacon(f.tx, now);
+      pab_.fold_reports(f.beacon.prob_reports, now);
+      if (f.beacon.from_vehicle) on_vehicle_beacon(f);
+      break;
+    case mac::FrameType::Ack:
+      acks_overheard_.insert(f.ack.packet_id);
+      for (auto& [vehicle, sender] : senders_) {
+        (void)vehicle;
+        sender->acknowledge(f.ack.packet_id, now, /*explicit_ack=*/true);
+      }
+      salvage_buffer_.erase(f.ack.packet_id);
+      break;
+    case mac::FrameType::Data:
+      on_data(f);
+      break;
+  }
+}
+
+void VifiBasestation::on_vehicle_beacon(const mac::Frame& f) {
+  VehicleState& st = vehicles_[f.tx];
+  const bool was_anchor = st.anchor == self();
+  st.anchor = f.beacon.anchor;
+  st.prev_anchor = f.beacon.prev_anchor;
+  st.auxiliaries = f.beacon.auxiliaries;
+  st.last_beacon = sim_.now();
+  if (st.anchor == self() && !was_anchor) {
+    become_anchor(f.tx, st.prev_anchor);
+  } else if (st.anchor != self()) {
+    st.registered_as_anchor = false;
+  }
+}
+
+void VifiBasestation::become_anchor(NodeId vehicle, NodeId prev_anchor) {
+  VehicleState& st = vehicles_[vehicle];
+  if (!st.registered_as_anchor) {
+    st.registered_as_anchor = true;
+    net::WireMessage reg;
+    reg.kind = net::WireMessage::Kind::AnchorRegister;
+    reg.from = self();
+    reg.to = gateway_;
+    reg.about = vehicle;
+    reg.bytes = kControlBytes;
+    backplane_.send(std::move(reg));
+  }
+  if (config_.salvage && prev_anchor.valid() && prev_anchor != self()) {
+    net::WireMessage req;
+    req.kind = net::WireMessage::Kind::SalvageRequest;
+    req.from = self();
+    req.to = prev_anchor;
+    req.about = vehicle;
+    req.bytes = kControlBytes;
+    backplane_.send(std::move(req));
+  }
+  sender_for(vehicle).pump();
+}
+
+net::Direction VifiBasestation::frame_direction(const mac::Frame& f,
+                                                NodeId vehicle) const {
+  return f.data.origin == vehicle ? Direction::Upstream
+                                  : Direction::Downstream;
+}
+
+void VifiBasestation::on_data(const mac::Frame& f) {
+  if (f.data.hop_dst == self()) {
+    // We are the wireless-hop destination: upstream data from the vehicle.
+    for (std::uint64_t id : f.data.piggyback_acked) {
+      for (auto& [vehicle, sender] : senders_) {
+        (void)vehicle;
+        sender->acknowledge(id, sim_.now(), /*explicit_ack=*/false);
+      }
+      salvage_buffer_.erase(id);
+    }
+    accept_upstream(f.packet, f.data.packet_id, f.data.link_seq,
+                    f.data.attempt, f.data.is_relay, f.data.relayer);
+    return;
+  }
+
+  // Auxiliary path: consider overheard frames for relaying (§4.3 step 3).
+  if (!config_.diversity) return;
+  if (f.data.is_relay) return;  // relays of relays are forbidden
+  if (relay_considered_.contains(f.data.packet_id)) return;
+
+  // Identify the vehicle this packet concerns.
+  NodeId vehicle{};
+  if (vehicles_.contains(f.data.origin)) {
+    vehicle = f.data.origin;  // upstream
+  } else if (vehicles_.contains(f.data.hop_dst)) {
+    vehicle = f.data.hop_dst;  // downstream
+  } else {
+    return;  // not a ViFi client we know about
+  }
+  const VehicleState& st = vehicles_.at(vehicle);
+  // Only BSes the vehicle designated act as auxiliaries (§4.3).
+  if (std::find(st.auxiliaries.begin(), st.auxiliaries.end(), self()) ==
+      st.auxiliaries.end())
+    return;
+
+  if (stats_)
+    stats_->on_aux_overhear(f.data.packet_id, f.data.attempt, self());
+  // Buffer only once per packet.
+  for (const OverheardEntry& e : overheard_)
+    if (e.frame.data.packet_id == f.data.packet_id) return;
+  overheard_.push_back({f, sim_.now(), vehicle});
+}
+
+void VifiBasestation::accept_upstream(const net::PacketPtr& packet,
+                                      std::uint64_t id,
+                                      std::uint64_t link_seq, int attempt,
+                                      bool relayed, NodeId relayer) {
+  VIFI_EXPECTS(packet != nullptr);
+  const bool is_new = received_up_.insert(id);
+
+  if (stats_) {
+    if (relayed)
+      stats_->on_relay_reached_dst(id, attempt, relayer);
+    else
+      stats_->on_dst_rx_direct(id, attempt);
+  }
+
+  if (!relayed) {
+    send_ack(id);
+    acked_once_.insert(id);
+  } else if (acked_once_.insert(id)) {
+    send_ack(id);
+  }
+
+  if (is_new) {
+    recent_rx_order_.push_back(id);
+    while (recent_rx_order_.size() >
+           static_cast<std::size_t>(config_.piggyback_depth))
+      recent_rx_order_.pop_front();
+    if (config_.inorder_delivery && link_seq != 0) {
+      auto it = sequencers_.find(packet->src);
+      if (it == sequencers_.end()) {
+        it = sequencers_
+                 .emplace(packet->src,
+                          std::make_unique<Sequencer>(
+                              sim_, config_.reorder_hold,
+                              [this](const net::PacketPtr& p) {
+                                forward_to_gateway(p);
+                              }))
+                 .first;
+      }
+      it->second->push(link_seq, packet);
+    } else {
+      forward_to_gateway(packet);
+    }
+  }
+}
+
+void VifiBasestation::forward_to_gateway(const net::PacketPtr& packet) {
+  net::WireMessage fwd;
+  fwd.kind = net::WireMessage::Kind::Data;
+  fwd.from = self();
+  fwd.to = gateway_;
+  fwd.packet = packet;
+  fwd.bytes = packet->bytes + kWireHeaderBytes;
+  backplane_.send(std::move(fwd));
+}
+
+void VifiBasestation::enqueue_downstream(const net::PacketPtr& packet) {
+  salvage_buffer_[packet->id] = {packet, sim_.now()};
+  sender_for(packet->dst).enqueue(packet);
+}
+
+void VifiBasestation::on_wire(const net::WireMessage& msg) {
+  switch (msg.kind) {
+    case net::WireMessage::Kind::Data:
+      VIFI_EXPECTS(msg.packet != nullptr);
+      enqueue_downstream(msg.packet);
+      break;
+    case net::WireMessage::Kind::RelayedData:
+      VIFI_EXPECTS(msg.packet != nullptr);
+      accept_upstream(msg.packet, msg.packet->id, msg.link_seq, msg.attempt,
+                      /*relayed=*/true, msg.from);
+      break;
+    case net::WireMessage::Kind::SalvageRequest: {
+      // Hand over unacknowledged recent Internet packets destined for the
+      // vehicle in question (§4.5).
+      const Time cutoff = sim_.now() - config_.salvage_window;
+      std::vector<std::uint64_t> moved;
+      for (const auto& [id, entry] : salvage_buffer_) {
+        if (entry.arrived < cutoff) continue;
+        if (entry.packet->dst != msg.about) continue;
+        net::WireMessage reply;
+        reply.kind = net::WireMessage::Kind::SalvageReply;
+        reply.from = self();
+        reply.to = msg.from;
+        reply.packet = entry.packet;
+        reply.bytes = entry.packet->bytes + kWireHeaderBytes;
+        backplane_.send(std::move(reply));
+        moved.push_back(id);
+        ++salvaged_out_;
+      }
+      for (std::uint64_t id : moved) salvage_buffer_.erase(id);
+      break;
+    }
+    case net::WireMessage::Kind::SalvageReply:
+      VIFI_EXPECTS(msg.packet != nullptr);
+      if (stats_) stats_->on_salvaged();
+      // Treat as if it arrived from the Internet (§4.5).
+      enqueue_downstream(msg.packet);
+      break;
+    case net::WireMessage::Kind::AnchorRegister:
+      break;  // gateway-only message; ignore
+  }
+}
+
+void VifiBasestation::on_relay_tick() {
+  const Time now = sim_.now();
+  std::vector<OverheardEntry> pending;
+  pending.reserve(overheard_.size());
+  for (OverheardEntry& e : overheard_) {
+    if (e.heard_at + config_.ack_wait > now) {
+      pending.push_back(std::move(e));
+      continue;
+    }
+    const std::uint64_t id = e.frame.data.packet_id;
+    relay_considered_.insert(id);  // considered at most once (§4.3)
+    if (acks_overheard_.contains(id)) continue;  // suppressed
+
+    const auto vit = vehicles_.find(e.vehicle);
+    if (vit == vehicles_.end()) continue;
+    const VehicleState& st = vit->second;
+    const Direction dir = frame_direction(e.frame, e.vehicle);
+    const NodeId src = e.frame.data.origin;
+    const NodeId dst =
+        dir == Direction::Upstream ? st.anchor : e.frame.data.hop_dst;
+    if (!dst.valid()) continue;
+
+    if (stats_) stats_->on_aux_contend(id, e.frame.data.attempt, self());
+
+    RelayContext ctx;
+    ctx.self = self();
+    ctx.src = src;
+    ctx.dst = dst;
+    ctx.auxiliaries = st.auxiliaries;
+    ctx.pab = &pab_;
+    ctx.now = now;
+    const double p = relay_probability(ctx, config_.variant);
+    if (!rng_.bernoulli(p)) continue;
+
+    ++relays_sent_;
+    if (stats_) stats_->on_aux_relay(id, e.frame.data.attempt, self());
+    if (dir == Direction::Upstream) {
+      // Relay over the inter-BS backplane (§4.3).
+      net::WireMessage relay;
+      relay.kind = net::WireMessage::Kind::RelayedData;
+      relay.from = self();
+      relay.to = dst;
+      relay.packet = e.frame.packet;
+      relay.attempt = e.frame.data.attempt;
+      relay.link_seq = e.frame.data.link_seq;
+      relay.bytes = e.frame.packet->bytes + kWireHeaderBytes;
+      backplane_.send(std::move(relay));
+    } else {
+      // Relay on the vehicle-BS channel.
+      mac::Frame relay = e.frame;
+      relay.data.is_relay = true;
+      relay.data.relayer = self();
+      relay.data.piggyback_acked.clear();
+      if (stats_) stats_->on_wireless_data_tx(Direction::Downstream);
+      radio_.send(std::move(relay));
+    }
+  }
+  overheard_ = std::move(pending);
+}
+
+void VifiBasestation::on_second_tick() {
+  const Time now = sim_.now();
+  pab_.tick_second(now);
+  // Drop state for vehicles not heard from in a long time.
+  std::erase_if(vehicles_, [now](const auto& kv) {
+    return (now - kv.second.last_beacon) > Time::seconds(10.0);
+  });
+  // Salvage buffer pruning: entries too old to ever be salvaged.
+  const Time cutoff = now - config_.salvage_window * 5.0;
+  std::erase_if(salvage_buffer_, [cutoff](const auto& kv) {
+    return kv.second.arrived < cutoff;
+  });
+}
+
+}  // namespace vifi::core

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file basestation.h
+/// A ViFi basestation. Its behaviour towards a vehicle depends on the role
+/// the *vehicle's* beacons assign to it (§4.3):
+///
+///   anchor    — terminates the wireless hop: receives upstream data
+///               (direct or relayed over the backplane), acknowledges,
+///               forwards to the wired gateway; sources downstream data
+///               received from the gateway; keeps a salvage buffer and
+///               answers salvage pulls (§4.5);
+///   auxiliary — opportunistically overhears data frames and, when no ACK
+///               follows within a short window, probabilistically relays:
+///               upstream over the backplane, downstream over the air
+///               (§4.3 step 3, §4.4);
+///   neither   — just beacons and maintains pab estimates.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/id_set.h"
+#include "core/pab.h"
+#include "core/sender.h"
+#include "core/sequencer.h"
+#include "core/stats.h"
+#include "mac/beaconing.h"
+#include "mac/radio.h"
+#include "net/backplane.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace vifi::core {
+
+class VifiBasestation {
+ public:
+  VifiBasestation(sim::Simulator& sim, mac::Radio& radio,
+                  net::Backplane& backplane, NodeId wired_gateway,
+                  const VifiConfig& config, Rng rng, VifiStats* stats);
+
+  VifiBasestation(const VifiBasestation&) = delete;
+  VifiBasestation& operator=(const VifiBasestation&) = delete;
+
+  NodeId self() const { return radio_.self(); }
+
+  void start();
+
+  /// True if this BS currently believes it anchors \p vehicle.
+  bool is_anchor_for(NodeId vehicle) const;
+
+  const PabTable& pab() const { return pab_; }
+  /// The downstream sender serving \p vehicle (single-vehicle callers can
+  /// pass the only vehicle id they know).
+  VifiSender& sender(NodeId vehicle);
+
+  std::uint64_t relays_sent() const { return relays_sent_; }
+  std::uint64_t packets_salvaged_out() const { return salvaged_out_; }
+
+ private:
+  /// Vehicle-side state learned from its beacons.
+  struct VehicleState {
+    NodeId anchor{};
+    NodeId prev_anchor{};
+    std::vector<NodeId> auxiliaries;
+    Time last_beacon;
+    bool registered_as_anchor = false;
+  };
+
+  /// An overheard, not-yet-decided data frame (auxiliary duty).
+  struct OverheardEntry {
+    mac::Frame frame;
+    Time heard_at;
+    NodeId vehicle;  ///< The vehicle this packet concerns.
+  };
+
+  /// Downstream packet kept for acknowledgment tracking and salvaging.
+  struct SalvageEntry {
+    net::PacketPtr packet;
+    Time arrived;  ///< When it came in from the Internet (or via salvage).
+  };
+
+  void on_frame(const mac::Frame& f);
+  void on_vehicle_beacon(const mac::Frame& f);
+  void on_data(const mac::Frame& f);
+  void on_wire(const net::WireMessage& msg);
+  void on_second_tick();
+  void on_relay_tick();
+  void accept_upstream(const net::PacketPtr& packet, std::uint64_t id,
+                       std::uint64_t link_seq, int attempt, bool relayed,
+                       NodeId relayer);
+  void forward_to_gateway(const net::PacketPtr& packet);
+  void enqueue_downstream(const net::PacketPtr& packet);
+  void become_anchor(NodeId vehicle, NodeId prev_anchor);
+  void send_ack(std::uint64_t packet_id);
+  std::vector<std::uint64_t> recent_received_ids() const;
+  mac::BeaconPayload beacon_payload();
+  net::Direction frame_direction(const mac::Frame& f, NodeId vehicle) const;
+
+  /// Lazily creates the downstream sender serving \p vehicle.
+  VifiSender& sender_for(NodeId vehicle);
+  void pump_all();
+
+  sim::Simulator& sim_;
+  mac::Radio& radio_;
+  net::Backplane& backplane_;
+  NodeId gateway_;
+  VifiConfig config_;
+  VifiStats* stats_;
+  Rng rng_;
+  PabTable pab_;
+  mac::Beaconing beaconing_;
+  sim::PeriodicTimer second_tick_;
+  sim::PeriodicTimer relay_tick_;
+  sim::PeriodicTimer pump_tick_;
+  /// Downstream data paths (anchor duty), one per served vehicle — VanLAN
+  /// itself ran two vans (§2.1).
+  std::map<NodeId, std::unique_ptr<VifiSender>> senders_;
+
+  std::map<NodeId, VehicleState> vehicles_;
+
+  std::vector<OverheardEntry> overheard_;
+  RecentIdSet relay_considered_;
+  RecentIdSet acks_overheard_;
+  RecentIdSet received_up_;
+  RecentIdSet acked_once_;
+  std::deque<std::uint64_t> recent_rx_order_;
+
+  std::map<std::uint64_t, SalvageEntry> salvage_buffer_;
+  std::uint64_t relays_sent_ = 0;
+  std::uint64_t salvaged_out_ = 0;
+  /// In-order forwarding buffers per vehicle (§4.7 extension).
+  std::map<NodeId, std::unique_ptr<Sequencer>> sequencers_;
+};
+
+}  // namespace vifi::core

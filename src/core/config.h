@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file config.h
+/// ViFi protocol configuration. The baselines of the evaluation are
+/// expressed as configurations of the same stack (§5.1: "To ensure a fair
+/// comparison, we implement BRR within the same framework as ViFi but with
+/// the auxiliary BS functionality switched off"):
+///
+///   * BRR baseline ........ diversity=false, salvage=false
+///   * "Only Diversity" .... diversity=true,  salvage=false  (Fig. 9)
+///   * ViFi ................ diversity=true,  salvage=true
+///
+/// `variant` selects the §5.5.1 coordination ablations.
+
+#include "util/time.h"
+
+namespace vifi::core {
+
+/// Relay-probability formulations (§4.4 guidelines G1–G3 and their
+/// violations studied in §5.5.1 / Table 2).
+enum class RelayVariant {
+  ViFi,  ///< Expected relays = 1, weighted by connectivity to destination.
+  NoG1,  ///< Ignore other auxiliaries: relay w.p. own delivery ratio.
+  NoG2,  ///< Ignore connectivity: relay w.p. 1 / sum(c_i).
+  NoG3,  ///< Expected *deliveries* = 1 (waterfilling; §5.5.1).
+};
+
+inline const char* to_string(RelayVariant v) {
+  switch (v) {
+    case RelayVariant::ViFi:
+      return "ViFi";
+    case RelayVariant::NoG1:
+      return "!G1";
+    case RelayVariant::NoG2:
+      return "!G2";
+    case RelayVariant::NoG3:
+      return "!G3";
+  }
+  return "?";
+}
+
+struct VifiConfig {
+  bool diversity = true;  ///< Auxiliary overhearing + relaying enabled.
+  bool salvage = true;    ///< §4.5 anchor-to-anchor packet salvaging.
+  RelayVariant variant = RelayVariant::ViFi;
+
+  /// Source retransmissions of unacknowledged packets. 0 disables (link-
+  /// layer experiments, §5.2); application experiments use 3 (§5.3).
+  int max_retx = 3;
+
+  Time beacon_period = Time::millis(100);
+
+  /// Auxiliary relay timers fire this often, with random per-BS phase
+  /// (§4.4: "relay attempts of auxiliary BSes are not synchronized").
+  Time relay_check_period = Time::millis(10);
+  /// Minimum age of an overheard packet before a relay decision, giving
+  /// the destination's ACK time to arrive.
+  Time ack_wait = Time::millis(8);
+
+  /// Retransmission timer: 99th percentile of observed ack delays (§4.7),
+  /// clamped to [floor, cap]; `initial` is used before enough samples.
+  Time retx_initial = Time::millis(60);
+  Time retx_floor = Time::millis(15);
+  Time retx_cap = Time::seconds(1.0);
+
+  /// Relative BRR advantage a challenger BS needs before the vehicle
+  /// re-anchors (prevents flapping between equals).
+  double anchor_hysteresis = 0.15;
+  /// A BS must have been heard within this window to serve as anchor or
+  /// auxiliary.
+  Time neighbor_staleness = Time::seconds(3.0);
+
+  /// Anchor keeps unacknowledged Internet packets this long for the next
+  /// anchor to salvage (§4.5: one second, from the minimum TCP RTO).
+  Time salvage_window = Time::seconds(1.0);
+
+  /// Size of the piggybacked recently-received id list (§4.8's 1-byte
+  /// bitmap covers the last eight packets).
+  int piggyback_depth = 8;
+
+  /// §4.3 extension: cap the auxiliary set to the k best-heard BSes
+  /// (negative = designate every BS heard, the paper's default). §3.4.1
+  /// finds two or three auxiliaries capture nearly all of the gain, and
+  /// §5.5.2 suggests the cap as a fix for high-density deployments.
+  int max_auxiliaries = -1;
+
+  /// §4.7 extension: deliver packets to the application in link-sequence
+  /// order through a sequencing buffer (off by default; the paper measures
+  /// that reordering is small and does not hurt TCP).
+  bool inorder_delivery = false;
+  /// How long the sequencing buffer waits for missing predecessors.
+  Time reorder_hold = Time::millis(50);
+};
+
+}  // namespace vifi::core

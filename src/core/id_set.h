@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file id_set.h
+/// A bounded recently-seen-ids set with FIFO eviction, used for duplicate
+/// suppression (received packets, acked packets, relay-considered packets).
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace vifi::core {
+
+class RecentIdSet {
+ public:
+  explicit RecentIdSet(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Inserts; returns true if the id was new.
+  bool insert(std::uint64_t id) {
+    if (set_.contains(id)) return false;
+    set_.insert(id);
+    order_.push_back(id);
+    while (order_.size() > capacity_) {
+      set_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  bool contains(std::uint64_t id) const { return set_.contains(id); }
+  std::size_t size() const { return set_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> set_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace vifi::core

@@ -1,0 +1,102 @@
+#include "core/pab.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace vifi::core {
+
+PabTable::PabTable(NodeId self, int beacons_per_second, double alpha)
+    : self_(self), beacons_per_second_(beacons_per_second), alpha_(alpha) {
+  VIFI_EXPECTS(self.valid());
+  VIFI_EXPECTS(beacons_per_second > 0);
+}
+
+void PabTable::note_beacon(NodeId from, Time now) {
+  ++counts_this_second_[from];
+  last_heard_[from] = now;
+}
+
+void PabTable::fold_reports(const std::vector<mac::ProbReport>& reports,
+                            Time now) {
+  for (const mac::ProbReport& r : reports) {
+    if (!r.from.valid() || !r.to.valid()) continue;
+    if (r.to == self_) continue;  // we know our own incoming better
+    remote_[{r.from, r.to}] = {std::clamp(r.prob, 0.0, 1.0), now};
+  }
+}
+
+void PabTable::tick_second(Time now) {
+  // Every neighbour heard recently gets an update; silence counts as zero
+  // so estimates age out naturally.
+  for (auto& [from, est] : incoming_) {
+    const auto it = counts_this_second_.find(from);
+    const int c = it == counts_this_second_.end() ? 0 : it->second;
+    // Only keep feeding zeros while the neighbour is plausibly nearby.
+    const auto lh = last_heard_.find(from);
+    const bool fresh = lh != last_heard_.end() &&
+                       (now - lh->second).to_seconds() < kFreshnessSeconds;
+    if (c > 0 || fresh) {
+      est.avg.update(std::min(
+          1.0, static_cast<double>(c) / beacons_per_second_));
+      est.last_update = now;
+    }
+  }
+  // New neighbours.
+  for (const auto& [from, c] : counts_this_second_) {
+    if (incoming_.contains(from)) continue;
+    Estimate est;
+    est.avg = Ewma(alpha_);
+    est.avg.update(
+        std::min(1.0, static_cast<double>(c) / beacons_per_second_));
+    est.last_update = now;
+    incoming_.emplace(from, est);
+  }
+  counts_this_second_.clear();
+}
+
+double PabTable::incoming(NodeId from, Time now, double fallback) const {
+  const auto it = incoming_.find(from);
+  if (it == incoming_.end() || !it->second.avg.initialized())
+    return fallback;
+  if ((now - it->second.last_update).to_seconds() > kFreshnessSeconds)
+    return fallback;
+  return it->second.avg.value();
+}
+
+double PabTable::get(NodeId from, NodeId to, Time now,
+                     double fallback) const {
+  if (to == self_) return incoming(from, now, fallback);
+  const auto it = remote_.find({from, to});
+  if (it == remote_.end()) return fallback;
+  if ((now - it->second.last_update).to_seconds() > kFreshnessSeconds)
+    return fallback;
+  return it->second.prob;
+}
+
+std::vector<NodeId> PabTable::recent_neighbors(Time now,
+                                               Time staleness) const {
+  std::vector<NodeId> out;
+  for (const auto& [from, t] : last_heard_)
+    if (now - t <= staleness) out.push_back(from);
+  return out;
+}
+
+std::vector<mac::ProbReport> PabTable::export_reports(Time now) const {
+  std::vector<mac::ProbReport> out;
+  // Own incoming estimates: (neighbour -> self).
+  for (const auto& [from, est] : incoming_) {
+    if (!est.avg.initialized()) continue;
+    if ((now - est.last_update).to_seconds() > kFreshnessSeconds) continue;
+    out.push_back({from, self_, est.avg.value()});
+  }
+  // Reverse direction learned from gossip: (self -> neighbour).
+  for (const auto& [key, rem] : remote_) {
+    if (key.tx != self_) continue;
+    if ((now - rem.last_update).to_seconds() > kFreshnessSeconds) continue;
+    out.push_back({key.tx, key.rx, rem.prob});
+  }
+  return out;
+}
+
+}  // namespace vifi::core

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file relay_policy.h
+/// The decentralized relay-probability computation (§4.4). A contending
+/// auxiliary Bx — one that overheard the packet but no acknowledgment —
+/// computes, purely from gossiped reception probabilities:
+///
+///   c_i = p(s->Bi) * (1 - p(s->d) * p(d->Bi))        (Eq. 3)
+///   sum_i c_i * r_i = 1,   r_i = r * p(Bi->d)        (Eq. 1, 2)
+///   relay with probability min(r * p(Bx->d), 1)
+///
+/// plus the three §5.5.1 ablations that each violate one guideline.
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/pab.h"
+#include "sim/ids.h"
+
+namespace vifi::core {
+
+/// Inputs to one relay decision.
+struct RelayContext {
+  NodeId self;  ///< The contending auxiliary Bx.
+  NodeId src;   ///< Wireless-hop source (vehicle or anchor).
+  NodeId dst;   ///< Wireless-hop destination.
+  /// The full auxiliary set B1..BK designated by the vehicle (self
+  /// included).
+  std::vector<NodeId> auxiliaries;
+  const PabTable* pab = nullptr;
+  Time now;
+};
+
+/// p(a->b) with a symmetry fallback: if the directed estimate is unknown,
+/// the reverse direction is used (WiFi links are roughly symmetric at
+/// beacon granularity — the trace methodology itself assumes this, §5.1).
+double pab_or_symmetric(const PabTable& pab, NodeId from, NodeId to,
+                        Time now, double fallback);
+
+/// Contention probability c_i of auxiliary \p bi (Eq. 3).
+double contention_probability(const RelayContext& ctx, NodeId bi);
+
+/// The probability with which `ctx.self` should relay under \p variant.
+/// Returns a value in [0, 1].
+double relay_probability(const RelayContext& ctx, RelayVariant variant);
+
+}  // namespace vifi::core

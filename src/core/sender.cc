@@ -1,0 +1,146 @@
+#include "core/sender.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace vifi::core {
+
+namespace {
+constexpr std::size_t kDelayWindow = 512;
+}
+
+VifiSender::VifiSender(sim::Simulator& sim, mac::Radio& radio,
+                       const VifiConfig& config, NodeId self, Direction dir)
+    : sim_(sim), radio_(radio), config_(config), self_(self), dir_(dir) {
+  VIFI_EXPECTS(self.valid());
+}
+
+void VifiSender::set_hop_dst_provider(std::function<NodeId()> provider) {
+  hop_dst_ = std::move(provider);
+}
+
+void VifiSender::set_piggyback_provider(
+    std::function<std::vector<std::uint64_t>()> provider) {
+  piggyback_ = std::move(provider);
+}
+
+void VifiSender::set_designated_aux_provider(std::function<int()> provider) {
+  designated_aux_ = std::move(provider);
+}
+
+void VifiSender::set_drop_handler(
+    std::function<void(const net::PacketPtr&)> handler) {
+  on_drop_ = std::move(handler);
+}
+
+void VifiSender::enqueue(net::PacketPtr packet) {
+  VIFI_EXPECTS(packet != nullptr);
+  Entry e;
+  e.packet = std::move(packet);
+  e.next_ready = sim_.now();
+  e.order = next_order_++;
+  entries_.push_back(std::move(e));
+  pump();
+}
+
+Time VifiSender::retx_interval() const {
+  if (ack_delays_s_.size() < 20) return config_.retx_initial;
+  std::vector<double> v(ack_delays_s_.begin(), ack_delays_s_.end());
+  const Time p99 = Time::seconds(percentile(std::move(v), 99.0));
+  return std::clamp(p99, config_.retx_floor, config_.retx_cap);
+}
+
+void VifiSender::acknowledge(std::uint64_t packet_id, Time now,
+                             bool explicit_ack) {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(), [packet_id](const Entry& e) {
+        return e.packet->id == packet_id;
+      });
+  if (it == entries_.end()) return;  // late or duplicate ack
+  if (explicit_ack && it->attempts > 0) {
+    // Delay measured from the latest attempt: unique per-packet ids keep
+    // acks from being credited to older *packets*; crediting an older
+    // attempt of the same packet only makes the timer more conservative,
+    // which is the direction §4.7 prefers.
+    ack_delays_s_.push_back((now - it->last_tx).to_seconds());
+    if (ack_delays_s_.size() > kDelayWindow) ack_delays_s_.pop_front();
+  }
+  ++acked_;
+  entries_.erase(it);
+}
+
+void VifiSender::pump() {
+  if (!radio_.idle()) return;  // one frame pending at the interface (§4.8)
+  if (!hop_dst_ || !hop_dst_().valid()) return;
+  const Time now = sim_.now();
+
+  // Earliest-queued packet that is ready (§4.7).
+  Entry* ready = nullptr;
+  Time earliest_future = Time::max();
+  for (Entry& e : entries_) {
+    if (e.next_ready <= now) {
+      if (ready == nullptr || e.order < ready->order) ready = &e;
+    } else {
+      earliest_future = std::min(earliest_future, e.next_ready);
+    }
+  }
+  if (ready == nullptr) {
+    if (earliest_future < Time::max()) arm_wake(earliest_future);
+    return;
+  }
+  transmit(*ready);
+}
+
+void VifiSender::arm_wake(Time at) {
+  if (wake_at_ <= at && wake_at_ > sim_.now()) return;  // already armed
+  sim_.cancel(wake_);
+  wake_at_ = at;
+  wake_ = sim_.schedule_at(at, [this] {
+    wake_at_ = Time::max();
+    pump();
+  });
+}
+
+void VifiSender::transmit(Entry& e) {
+  const Time now = sim_.now();
+  ++e.attempts;
+  e.last_tx = now;
+  // Stream sequence numbers follow *transmission* order (a later-queued
+  // packet sent early, §4.7, gets the earlier sequence number).
+  if (e.link_seq == 0) e.link_seq = ++next_link_seq_;
+
+  mac::Frame f;
+  f.type = mac::FrameType::Data;
+  f.packet = e.packet;
+  f.data.packet_id = e.packet->id;
+  f.data.link_seq = e.link_seq;
+  f.data.attempt = e.attempts;
+  f.data.origin = self_;
+  f.data.hop_dst = hop_dst_();
+  f.data.is_relay = false;
+  if (piggyback_) f.data.piggyback_acked = piggyback_();
+
+  if (stats_) {
+    stats_->on_source_tx(e.packet->id, e.attempts, dir_, now,
+                         designated_aux_ ? designated_aux_() : 0);
+    stats_->on_wireless_data_tx(dir_);
+  }
+
+  const bool last_attempt = e.attempts >= 1 + config_.max_retx;
+  if (last_attempt) {
+    // No more attempts: the entry leaves the queue once the frame is out.
+    const net::PacketPtr packet = e.packet;
+    const std::uint64_t order = e.order;
+    entries_.remove_if([order](const Entry& x) { return x.order == order; });
+    ++dropped_;
+    radio_.send(std::move(f));
+    if (on_drop_) on_drop_(packet);
+  } else {
+    e.next_ready = now + retx_interval();
+    radio_.send(std::move(f));
+  }
+}
+
+}  // namespace vifi::core

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file sequencer.h
+/// Optional in-order delivery (§4.7): ViFi's opportunistic early
+/// transmission can reorder packets; the paper notes the effect is small
+/// and that "it is straightforward to order packets using a sequencing
+/// buffer at anchor BSes and vehicles". This is that buffer.
+///
+/// Packets are released in link-sequence order (consecutive per-sender
+/// numbers assigned at first transmission); a packet never waits more than
+/// `hold` for missing predecessors — losses must not stall the stream.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/contracts.h"
+
+namespace vifi::core {
+
+class Sequencer {
+ public:
+  using Deliver = std::function<void(const net::PacketPtr&)>;
+
+  Sequencer(sim::Simulator& sim, Time hold, Deliver deliver)
+      : sim_(sim), hold_(hold), deliver_(std::move(deliver)) {
+    VIFI_EXPECTS(hold > Time::zero());
+    VIFI_EXPECTS(deliver_ != nullptr);
+  }
+
+  /// Accepts a received packet with its link sequence number. Duplicates
+  /// must be filtered by the caller.
+  void push(std::uint64_t link_seq, const net::PacketPtr& packet) {
+    VIFI_EXPECTS(packet != nullptr);
+    if (link_seq <= released_through_) {
+      // A predecessor we already gave up on: deliver immediately rather
+      // than queue behind newer traffic.
+      deliver_(packet);
+      return;
+    }
+    buffer_.emplace(link_seq, Held{packet, sim_.now() + hold_});
+    release_ready();
+    arm();
+  }
+
+  std::size_t buffered() const { return buffer_.size(); }
+  std::uint64_t released_through() const { return released_through_; }
+
+ private:
+  struct Held {
+    net::PacketPtr packet;
+    Time deadline;
+  };
+
+  void release_ready() {
+    // Deliver the in-order prefix, plus anything whose hold expired.
+    while (!buffer_.empty()) {
+      const auto it = buffer_.begin();
+      const bool in_order = it->first == released_through_ + 1;
+      const bool expired = it->second.deadline <= sim_.now();
+      if (!in_order && !expired) break;
+      released_through_ = it->first;
+      deliver_(it->second.packet);
+      buffer_.erase(it);
+    }
+  }
+
+  void arm() {
+    if (buffer_.empty()) return;
+    const Time next = buffer_.begin()->second.deadline;
+    if (armed_ && armed_at_ <= next) return;
+    sim_.cancel(pending_);
+    armed_ = true;
+    armed_at_ = next;
+    pending_ = sim_.schedule_at(next, [this] {
+      armed_ = false;
+      release_ready();
+      arm();
+    });
+  }
+
+  sim::Simulator& sim_;
+  Time hold_;
+  Deliver deliver_;
+  std::map<std::uint64_t, Held> buffer_;
+  std::uint64_t released_through_ = 0;
+  sim::EventId pending_{};
+  bool armed_ = false;
+  Time armed_at_;
+};
+
+}  // namespace vifi::core

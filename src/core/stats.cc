@@ -1,0 +1,180 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace vifi::core {
+
+void VifiStats::on_source_tx(std::uint64_t id, int attempt, Direction dir,
+                             Time now, int designated_aux) {
+  AttemptRecord rec;
+  rec.dir = dir;
+  rec.tx_time = now;
+  rec.designated_aux = designated_aux;
+  attempts_[key(id, attempt)] = std::move(rec);
+}
+
+AttemptRecord* VifiStats::find(std::uint64_t id, int attempt) {
+  const auto it = attempts_.find(key(id, attempt));
+  return it == attempts_.end() ? nullptr : &it->second;
+}
+
+void VifiStats::on_dst_rx_direct(std::uint64_t id, int attempt) {
+  if (AttemptRecord* r = find(id, attempt)) r->dst_heard = true;
+}
+
+void VifiStats::on_aux_overhear(std::uint64_t id, int attempt, NodeId aux) {
+  if (AttemptRecord* r = find(id, attempt)) r->aux_heard.push_back(aux);
+}
+
+void VifiStats::on_aux_contend(std::uint64_t id, int attempt, NodeId aux) {
+  if (AttemptRecord* r = find(id, attempt)) r->aux_contended.push_back(aux);
+}
+
+void VifiStats::on_aux_relay(std::uint64_t id, int attempt, NodeId aux) {
+  if (AttemptRecord* r = find(id, attempt))
+    r->relays.push_back({aux, false});
+}
+
+void VifiStats::on_relay_reached_dst(std::uint64_t id, int attempt,
+                                     NodeId aux) {
+  if (AttemptRecord* r = find(id, attempt)) {
+    for (auto& relay : r->relays)
+      if (relay.aux == aux) relay.reached_dst = true;
+  }
+}
+
+void VifiStats::on_app_delivered(Direction dir) {
+  (dir == Direction::Upstream ? delivered_up_ : delivered_down_) += 1;
+}
+
+void VifiStats::on_wireless_data_tx(Direction dir) {
+  (dir == Direction::Upstream ? tx_up_ : tx_down_) += 1;
+}
+
+std::int64_t VifiStats::app_delivered(Direction dir) const {
+  return dir == Direction::Upstream ? delivered_up_ : delivered_down_;
+}
+
+std::int64_t VifiStats::wireless_data_tx(Direction dir) const {
+  return dir == Direction::Upstream ? tx_up_ : tx_down_;
+}
+
+std::int64_t VifiStats::source_attempts(Direction dir) const {
+  std::int64_t n = 0;
+  for (const auto& [k, r] : attempts_) {
+    (void)k;
+    if (r.dir == dir) ++n;
+  }
+  return n;
+}
+
+CoordinationSummary VifiStats::coordination(Direction dir) const {
+  CoordinationSummary s;
+  std::vector<double> designated;
+  std::int64_t n = 0;
+  std::int64_t heard_sum = 0, contend_sum = 0;
+  std::int64_t reached = 0, failed = 0;
+  std::int64_t fp_relays = 0, fp_events = 0, fp_relay_count_sum = 0;
+  std::int64_t failed_with_cover = 0, failed_no_relay = 0;
+  std::int64_t relays = 0, relays_ok = 0;
+
+  for (const auto& [k, r] : attempts_) {
+    (void)k;
+    if (r.dir != dir) continue;
+    ++n;
+    designated.push_back(static_cast<double>(r.designated_aux));
+    heard_sum += static_cast<std::int64_t>(r.aux_heard.size());
+    contend_sum += static_cast<std::int64_t>(r.aux_contended.size());
+    relays += static_cast<std::int64_t>(r.relays.size());
+    for (const auto& relay : r.relays)
+      if (relay.reached_dst) ++relays_ok;
+    if (r.dst_heard) {
+      ++reached;
+      if (!r.relays.empty()) {
+        ++fp_events;
+        fp_relays += static_cast<std::int64_t>(r.relays.size());
+        fp_relay_count_sum += static_cast<std::int64_t>(r.relays.size());
+      }
+    } else {
+      ++failed;
+      if (!r.aux_heard.empty()) {
+        ++failed_with_cover;
+        if (r.relays.empty()) ++failed_no_relay;
+      }
+    }
+  }
+
+  if (n == 0) return s;
+  s.attempts = n;
+  s.median_designated_aux = median(designated);
+  s.avg_aux_heard = static_cast<double>(heard_sum) / n;
+  s.avg_aux_heard_no_ack = static_cast<double>(contend_sum) / n;
+  s.frac_src_tx_reached_dst = static_cast<double>(reached) / n;
+  s.frac_src_tx_failed = static_cast<double>(failed) / n;
+  s.false_positive_rate =
+      reached > 0 ? static_cast<double>(fp_relays) / reached : 0.0;
+  s.avg_relays_when_fp =
+      fp_events > 0 ? static_cast<double>(fp_relay_count_sum) / fp_events
+                    : 0.0;
+  s.frac_failed_with_aux_cover =
+      failed > 0 ? static_cast<double>(failed_with_cover) / failed : 0.0;
+  s.false_negative_rate =
+      failed_with_cover > 0
+          ? static_cast<double>(failed_no_relay) / failed_with_cover
+          : 0.0;
+  s.frac_relays_reached_dst =
+      relays > 0 ? static_cast<double>(relays_ok) / relays : 0.0;
+  return s;
+}
+
+EfficiencySummary VifiStats::efficiency() const {
+  EfficiencySummary e;
+  if (tx_up_ > 0)
+    e.up = static_cast<double>(delivered_up_) / static_cast<double>(tx_up_);
+  if (tx_down_ > 0)
+    e.down =
+        static_cast<double>(delivered_down_) / static_cast<double>(tx_down_);
+
+  // PerfectRelay estimate from the same logs (§5.4): exactly one BS relays,
+  // and only when the destination missed the source transmission.
+  std::int64_t up_attempts = 0, up_delivered = 0;
+  std::int64_t down_attempts = 0, down_delivered = 0, down_relays = 0;
+  for (const auto& [k, r] : attempts_) {
+    (void)k;
+    if (r.dir == Direction::Upstream) {
+      // Upstream relays ride the backplane, so wireless cost is the source
+      // transmission alone; delivery succeeds if any BS heard it.
+      ++up_attempts;
+      if (r.dst_heard || !r.aux_heard.empty()) ++up_delivered;
+    } else {
+      ++down_attempts;
+      bool delivered = r.dst_heard;
+      if (!r.dst_heard) {
+        if (!r.relays.empty()) {
+          // Outcome identical to ViFi's relaying (§5.4 rule i).
+          for (const auto& relay : r.relays)
+            delivered = delivered || relay.reached_dst;
+          ++down_relays;  // PerfectRelay would have sent exactly one
+        } else if (!r.aux_heard.empty()) {
+          // ViFi did not relay; PerfectRelay would have, successfully
+          // (§5.4 rule ii).
+          delivered = true;
+          ++down_relays;
+        }
+      }
+      if (delivered) ++down_delivered;
+    }
+  }
+  if (up_attempts > 0)
+    e.perfect_up = static_cast<double>(up_delivered) /
+                   static_cast<double>(up_attempts);
+  if (down_attempts + down_relays > 0)
+    e.perfect_down = static_cast<double>(down_delivered) /
+                     static_cast<double>(down_attempts + down_relays);
+  return e;
+}
+
+}  // namespace vifi::core

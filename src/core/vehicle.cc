@@ -1,0 +1,207 @@
+#include "core/vehicle.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace vifi::core {
+
+VifiVehicle::VifiVehicle(sim::Simulator& sim, mac::Radio& radio,
+                         const VifiConfig& config, Rng rng, VifiStats* stats)
+    : sim_(sim),
+      radio_(radio),
+      config_(config),
+      stats_(stats),
+      pab_(radio.self()),
+      beaconing_(sim, radio, rng.fork("beacons"), config.beacon_period),
+      second_tick_(sim, Time::seconds(1.0), [this] { on_second_tick(); }),
+      pump_tick_(sim, Time::millis(50), [this] { sender_.pump(); }),
+      sender_(sim, radio, config, radio.self(), Direction::Upstream) {
+  radio_.set_receiver([this](const mac::Frame& f) { on_frame(f); });
+  radio_.set_idle_callback([this] { sender_.pump(); });
+  beaconing_.set_payload_provider([this] { return beacon_payload(); });
+  sender_.set_hop_dst_provider([this] { return anchor_; });
+  sender_.set_piggyback_provider([this] { return recent_received_ids(); });
+  sender_.set_designated_aux_provider(
+      [this] { return static_cast<int>(auxiliaries().size()); });
+  sender_.set_stats(stats);
+}
+
+void VifiVehicle::start() {
+  beaconing_.start();
+  second_tick_.start();
+  pump_tick_.start();
+}
+
+void VifiVehicle::send_up(net::PacketPtr packet) {
+  VIFI_EXPECTS(packet != nullptr);
+  VIFI_EXPECTS(packet->dir == Direction::Upstream);
+  sender_.enqueue(std::move(packet));
+}
+
+void VifiVehicle::set_delivery_handler(
+    std::function<void(const net::PacketPtr&)> fn) {
+  deliver_ = std::move(fn);
+}
+
+std::vector<NodeId> VifiVehicle::auxiliaries() const {
+  // "We currently pick all BSes that the vehicle hears as auxiliaries"
+  // (§4.3), minus the anchor. With max_auxiliaries set, only the k
+  // best-heard BSes are designated (§3.4.1 / §5.5.2 extension).
+  std::vector<NodeId> aux =
+      pab_.recent_neighbors(sim_.now(), config_.neighbor_staleness);
+  std::erase(aux, anchor_);
+  if (config_.max_auxiliaries >= 0 &&
+      aux.size() > static_cast<std::size_t>(config_.max_auxiliaries)) {
+    const Time now = sim_.now();
+    std::sort(aux.begin(), aux.end(), [&](NodeId a, NodeId b) {
+      return pab_.incoming(a, now) > pab_.incoming(b, now);
+    });
+    aux.resize(static_cast<std::size_t>(config_.max_auxiliaries));
+    std::sort(aux.begin(), aux.end());
+  }
+  return aux;
+}
+
+void VifiVehicle::on_second_tick() {
+  pab_.tick_second(sim_.now());
+  select_anchor();
+  sender_.pump();
+}
+
+void VifiVehicle::select_anchor() {
+  // BRR anchor selection (§4.3) with hysteresis against flapping.
+  const Time now = sim_.now();
+  const auto candidates =
+      pab_.recent_neighbors(now, config_.neighbor_staleness);
+  NodeId best{};
+  double best_score = 0.0;
+  for (NodeId bs : candidates) {
+    const double score = pab_.incoming(bs, now);
+    if (score > best_score) {
+      best_score = score;
+      best = bs;
+    }
+  }
+  if (!best.valid()) {
+    if (anchor_.valid()) {
+      // Current anchor has gone stale with no replacement in sight.
+      const bool anchor_stale =
+          std::find(candidates.begin(), candidates.end(), anchor_) ==
+          candidates.end();
+      if (anchor_stale) {
+        prev_anchor_ = anchor_;
+        anchor_ = NodeId{};
+      }
+    }
+    return;
+  }
+  if (!anchor_.valid()) {
+    prev_anchor_ = anchor_;
+    anchor_ = best;
+    ++anchor_switches_;
+    return;
+  }
+  if (best == anchor_) return;
+  const double current_score = pab_.incoming(anchor_, now);
+  const bool anchor_stale =
+      std::find(candidates.begin(), candidates.end(), anchor_) ==
+      candidates.end();
+  if (anchor_stale ||
+      best_score > current_score * (1.0 + config_.anchor_hysteresis)) {
+    prev_anchor_ = anchor_;
+    anchor_ = best;
+    ++anchor_switches_;
+  }
+}
+
+mac::BeaconPayload VifiVehicle::beacon_payload() {
+  mac::BeaconPayload p;
+  p.from_vehicle = true;
+  p.anchor = anchor_;
+  p.prev_anchor = prev_anchor_;
+  p.auxiliaries = auxiliaries();
+  p.prob_reports = pab_.export_reports(sim_.now());
+  return p;
+}
+
+std::vector<std::uint64_t> VifiVehicle::recent_received_ids() const {
+  return {recent_rx_order_.begin(), recent_rx_order_.end()};
+}
+
+void VifiVehicle::send_ack(std::uint64_t packet_id) {
+  mac::Frame ack;
+  ack.type = mac::FrameType::Ack;
+  ack.ack.packet_id = packet_id;
+  radio_.send(std::move(ack));
+}
+
+void VifiVehicle::on_frame(const mac::Frame& f) {
+  const Time now = sim_.now();
+  switch (f.type) {
+    case mac::FrameType::Beacon:
+      pab_.note_beacon(f.tx, now);
+      pab_.fold_reports(f.beacon.prob_reports, now);
+      break;
+    case mac::FrameType::Ack:
+      sender_.acknowledge(f.ack.packet_id, now, /*explicit_ack=*/true);
+      break;
+    case mac::FrameType::Data:
+      on_data(f);
+      break;
+  }
+}
+
+void VifiVehicle::on_data(const mac::Frame& f) {
+  if (f.data.hop_dst != self()) return;  // overheard someone else's data
+
+  // Piggybacked reverse-path acknowledgments (§4.8).
+  for (std::uint64_t id : f.data.piggyback_acked)
+    sender_.acknowledge(id, sim_.now(), /*explicit_ack=*/false);
+
+  const std::uint64_t id = f.data.packet_id;
+  const bool is_new = received_.insert(id);
+
+  if (!f.data.is_relay) {
+    if (stats_) stats_->on_dst_rx_direct(id, f.data.attempt);
+    // Direct reception: always acknowledge (covers lost-ACK retries).
+    send_ack(id);
+    acked_once_.insert(id);
+  } else {
+    if (stats_) stats_->on_relay_reached_dst(id, f.data.attempt, f.tx);
+    // Relayed reception: acknowledge only if not acked before (§4.3 step 4).
+    if (acked_once_.insert(id)) send_ack(id);
+  }
+
+  if (is_new) {
+    recent_rx_order_.push_back(id);
+    while (recent_rx_order_.size() >
+           static_cast<std::size_t>(config_.piggyback_depth))
+      recent_rx_order_.pop_front();
+    if (stats_) stats_->on_app_delivered(Direction::Downstream);
+    if (f.packet)
+      deliver_up_the_stack(f.data.origin, f.data.link_seq, f.packet);
+  }
+}
+
+void VifiVehicle::deliver_up_the_stack(NodeId origin, std::uint64_t link_seq,
+                                       const net::PacketPtr& packet) {
+  if (!deliver_) return;
+  if (!config_.inorder_delivery || link_seq == 0) {
+    deliver_(packet);
+    return;
+  }
+  auto it = sequencers_.find(origin);
+  if (it == sequencers_.end()) {
+    it = sequencers_
+             .emplace(origin, std::make_unique<Sequencer>(
+                                  sim_, config_.reorder_hold,
+                                  [this](const net::PacketPtr& p) {
+                                    deliver_(p);
+                                  }))
+             .first;
+  }
+  it->second->push(link_seq, packet);
+}
+
+}  // namespace vifi::core

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file vehicle.h
+/// The ViFi client on the vehicle (§4.3): picks the anchor with BRR over
+/// beacons, designates every other recently-heard BS as auxiliary,
+/// broadcasts beacons carrying {anchor, previous anchor, auxiliaries, pab
+/// gossip}, sources upstream packets through the VifiSender, sinks
+/// downstream packets (direct or relayed) with duplicate suppression, and
+/// acknowledges per the §4.3 rules.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/id_set.h"
+#include "core/pab.h"
+#include "core/sender.h"
+#include "core/sequencer.h"
+#include "core/stats.h"
+#include "mac/beaconing.h"
+#include "mac/radio.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace vifi::core {
+
+class VifiVehicle {
+ public:
+  VifiVehicle(sim::Simulator& sim, mac::Radio& radio, const VifiConfig& config,
+              Rng rng, VifiStats* stats);
+
+  VifiVehicle(const VifiVehicle&) = delete;
+  VifiVehicle& operator=(const VifiVehicle&) = delete;
+
+  NodeId self() const { return radio_.self(); }
+  NodeId anchor() const { return anchor_; }
+  NodeId prev_anchor() const { return prev_anchor_; }
+  std::vector<NodeId> auxiliaries() const;
+
+  /// Starts beaconing and periodic housekeeping.
+  void start();
+
+  /// Sends an application packet upstream (to the wired host through the
+  /// anchor). The caller provides a fully-formed packet.
+  void send_up(net::PacketPtr packet);
+
+  /// Called with each unique downstream packet delivered to the client.
+  void set_delivery_handler(std::function<void(const net::PacketPtr&)> fn);
+
+  VifiSender& sender() { return sender_; }
+  const PabTable& pab() const { return pab_; }
+
+  std::uint64_t anchor_switches() const { return anchor_switches_; }
+
+ private:
+  void on_frame(const mac::Frame& f);
+  void on_data(const mac::Frame& f);
+  void on_second_tick();
+  void select_anchor();
+  mac::BeaconPayload beacon_payload();
+  void send_ack(std::uint64_t packet_id);
+  std::vector<std::uint64_t> recent_received_ids() const;
+
+  sim::Simulator& sim_;
+  mac::Radio& radio_;
+  VifiConfig config_;
+  VifiStats* stats_;
+  PabTable pab_;
+  mac::Beaconing beaconing_;
+  sim::PeriodicTimer second_tick_;
+  sim::PeriodicTimer pump_tick_;
+  VifiSender sender_;
+
+  NodeId anchor_{};
+  NodeId prev_anchor_{};
+  std::uint64_t anchor_switches_ = 0;
+
+  RecentIdSet received_;
+  RecentIdSet acked_once_;  ///< Ids acked in response to a *relayed* copy.
+  std::deque<std::uint64_t> recent_rx_order_;  ///< For piggybacking.
+  std::function<void(const net::PacketPtr&)> deliver_;
+  /// In-order delivery buffers, one per stream origin (§4.7 extension).
+  std::map<NodeId, std::unique_ptr<Sequencer>> sequencers_;
+
+  void deliver_up_the_stack(NodeId origin, std::uint64_t link_seq,
+                            const net::PacketPtr& packet);
+};
+
+}  // namespace vifi::core

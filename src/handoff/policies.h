@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file policies.h
+/// The six handoff policies of §3.1.
+///
+/// 1. RSSI    — exponential average (alpha 0.5) of received-beacon RSSI;
+///              what commodity NICs do.
+/// 2. BRR     — exponential average of per-second beacon reception ratio
+///              (ETX-style probe metric).
+/// 3. Sticky  — hold the current BS until silence for 3 s, then strongest
+///              signal (the CarTel strategy).
+/// 4. History — best historical (previous-day) per-location performance
+///              (MobiSteer-style).
+/// 5. BestBS  — oracle: per second, the BS with the best two-way reception
+///              in the *next* second; upper-bounds hard handoff.
+/// 6. AllBSes — oracle macrodiversity: success if any BS succeeds; this one
+///              lives in replay.h since it is not an association policy.
+
+#include <map>
+#include <memory>
+
+#include "handoff/policy.h"
+#include "trace/observations.h"
+
+namespace vifi::handoff {
+
+class RssiPolicy final : public PerSecondPolicy {
+ public:
+  /// \p staleness: a BS is a candidate only if heard within this window.
+  explicit RssiPolicy(double alpha = 0.5, int staleness_s = 5)
+      : alpha_(alpha), staleness_s_(staleness_s) {}
+  std::string name() const override { return "RSSI"; }
+
+ protected:
+  std::vector<NodeId> compute_choices(const MeasurementTrace& trip) override;
+
+ private:
+  double alpha_;
+  int staleness_s_;
+};
+
+class BrrPolicy final : public PerSecondPolicy {
+ public:
+  explicit BrrPolicy(double alpha = 0.5) : alpha_(alpha) {}
+  std::string name() const override { return "BRR"; }
+
+ protected:
+  std::vector<NodeId> compute_choices(const MeasurementTrace& trip) override;
+
+ private:
+  double alpha_;
+};
+
+class StickyPolicy final : public PerSecondPolicy {
+ public:
+  explicit StickyPolicy(Time silence = Time::seconds(3.0))
+      : silence_(silence) {}
+  std::string name() const override { return "Sticky"; }
+
+ protected:
+  std::vector<NodeId> compute_choices(const MeasurementTrace& trip) override;
+
+ private:
+  Time silence_;
+};
+
+/// History needs the whole campaign: day d associates using day d-1 logs.
+/// On day 0 (or in cells never visited before) it falls back to the BS
+/// with the highest recent beacon count.
+class HistoryPolicy final : public PerSecondPolicy {
+ public:
+  explicit HistoryPolicy(const trace::Campaign& campaign,
+                         double cell_size_m = 25.0);
+  std::string name() const override { return "History"; }
+
+ protected:
+  std::vector<NodeId> compute_choices(const MeasurementTrace& trip) override;
+
+ private:
+  struct CellScore {
+    double sum = 0.0;
+    int n = 0;
+  };
+  using DayTable = std::map<std::pair<mobility::GridCell, NodeId>, CellScore>;
+
+  const DayTable& table_for_day(int day);
+
+  const trace::Campaign& campaign_;
+  double cell_size_m_;
+  std::map<int, DayTable> cache_;
+};
+
+/// Oracle upper bound for hard handoff: per one-second period, associates
+/// to the BS with the best (down + up) reception in that period (§3.1.5).
+class BestBsPolicy final : public PerSecondPolicy {
+ public:
+  std::string name() const override { return "BestBS"; }
+
+ protected:
+  std::vector<NodeId> compute_choices(const MeasurementTrace& trip) override;
+};
+
+}  // namespace vifi::handoff

@@ -1,0 +1,24 @@
+#include "handoff/policy.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace vifi::handoff {
+
+void PerSecondPolicy::begin_trip(const MeasurementTrace& trip) {
+  trip_ = &trip;
+  choices_ = compute_choices(trip);
+  VIFI_ENSURES(static_cast<int>(choices_.size()) >= trip.seconds());
+}
+
+NodeId PerSecondPolicy::associate(std::size_t slot_index) {
+  VIFI_EXPECTS(trip_ != nullptr);
+  VIFI_EXPECTS(slot_index < trip_->slots.size());
+  const auto sec = static_cast<std::size_t>(
+      trip_->slots[slot_index].t.to_micros() / 1'000'000);
+  if (choices_.empty()) return NodeId{};
+  return choices_[std::min(sec, choices_.size() - 1)];
+}
+
+}  // namespace vifi::handoff

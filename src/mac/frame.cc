@@ -1,0 +1,25 @@
+#include "mac/frame.h"
+
+#include "util/contracts.h"
+
+namespace vifi::mac {
+
+int Frame::bytes_on_air() const {
+  switch (type) {
+    case FrameType::Beacon:
+      return beacon.wire_bytes();
+    case FrameType::Ack:
+      // id + addressing.
+      return 14;
+    case FrameType::Data: {
+      VIFI_EXPECTS(packet != nullptr);
+      // ViFi header: id (8) + origin/dst/relayer (6) + flags (1) +
+      // bitmap (1 + 8 for the anchor id of the bitmap window).
+      const int vifi_header = 24;
+      return vifi_header + packet->bytes;
+    }
+  }
+  return 0;
+}
+
+}  // namespace vifi::mac

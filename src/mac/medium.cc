@@ -1,0 +1,137 @@
+#include "mac/medium.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace vifi::mac {
+
+Medium::Medium(sim::Simulator& sim, channel::LossModel& loss,
+               MediumParams params)
+    : sim_(sim), loss_(loss), params_(params) {
+  VIFI_EXPECTS(params.bitrate_bps > 0.0);
+  VIFI_EXPECTS(params.phy_overhead_bytes >= 0);
+}
+
+void Medium::attach(NodeId node, FrameSink* sink) {
+  VIFI_EXPECTS(node.valid());
+  VIFI_EXPECTS(sink != nullptr);
+  VIFI_EXPECTS(!sinks_.contains(node));
+  sinks_[node] = sink;
+  nodes_.push_back(node);
+}
+
+Time Medium::airtime(int mac_bytes) const {
+  VIFI_EXPECTS(mac_bytes >= 0);
+  const double bits =
+      static_cast<double>(mac_bytes + params_.phy_overhead_bytes) * 8.0;
+  return Time::seconds(bits / params_.bitrate_bps);
+}
+
+Time Medium::transmit(Frame frame) {
+  VIFI_EXPECTS(frame.tx.valid());
+  VIFI_EXPECTS(sinks_.contains(frame.tx));
+  const Time now = sim_.now();
+  prune(now);
+
+  ActiveTx tx;
+  tx.seq = next_seq_++;
+  tx.tx = frame.tx;
+  tx.start = now;
+  tx.end = now + airtime(frame.bytes_on_air());
+  tx.frame = std::move(frame);
+
+  // Sample decode + audibility per receiver at start-of-frame. Channel
+  // coherence over one frame (< 5 ms) is reasonable at vehicular speeds.
+  for (NodeId rx : nodes_) {
+    if (rx == tx.tx) continue;
+    const double p = loss_.reception_prob(tx.tx, rx, now);
+    if (p >= params_.audibility_threshold) tx.audible_at.push_back(rx);
+    // Decode sampling also advances burst state for sub-threshold links,
+    // keeping the stochastic processes in sync with wall-clock time.
+    if (loss_.sample_delivery(tx.tx, rx, now)) tx.decoders.push_back(rx);
+  }
+
+  ++transmissions_;
+  ++tx_counts_[tx.tx];
+  const std::uint64_t seq = tx.seq;
+  const Time end = tx.end;
+  active_.push_back(std::move(tx));
+  sim_.schedule_at(end, [this, seq] { finish(seq); });
+  return end - now;
+}
+
+void Medium::finish(std::uint64_t seq) {
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [seq](const ActiveTx& t) { return t.seq == seq; });
+  VIFI_EXPECTS(it != active_.end());
+  // Work on a copy: frame sinks may synchronously transmit (e.g. an ACK),
+  // which mutates active_ and would invalidate references into it. The
+  // original record stays in active_ until prune() so transmissions that
+  // started during this one still see it for their own collision checks.
+  const ActiveTx tx = *it;
+
+  // Resolve collisions against the snapshot of overlapping transmissions
+  // before dispatching anything.
+  std::vector<NodeId> deliver_to;
+  for (NodeId rx : tx.decoders) {
+    bool collided = false;
+    if (params_.model_collisions) {
+      for (const ActiveTx& other : active_) {
+        if (other.seq == tx.seq) continue;
+        const bool overlaps =
+            other.start < tx.end && tx.start < other.end;
+        if (!overlaps) continue;
+        if (std::find(other.audible_at.begin(), other.audible_at.end(), rx) !=
+                other.audible_at.end() ||
+            other.tx == rx) {
+          collided = true;
+          break;
+        }
+      }
+    }
+    if (collided) {
+      ++collisions_;
+    } else {
+      deliver_to.push_back(rx);
+    }
+  }
+  for (NodeId rx : deliver_to) {
+    ++deliveries_;
+    sinks_.at(rx)->on_frame(tx.frame);
+  }
+}
+
+void Medium::prune(Time now) {
+  // A finished transmission can only matter to transmissions overlapping
+  // it; anything ended more than a max-frame-time ago is irrelevant.
+  const Time keep_after = now - airtime(2000);
+  std::erase_if(active_,
+                [keep_after](const ActiveTx& t) { return t.end < keep_after; });
+}
+
+bool Medium::busy_for(NodeId listener, Time now) const {
+  return busy_until(listener, now) > now;
+}
+
+Time Medium::busy_until(NodeId listener, Time now) const {
+  Time until = now;
+  for (const ActiveTx& t : active_) {
+    if (t.end <= now) continue;
+    if (t.tx == listener) {
+      until = std::max(until, t.end);
+      continue;
+    }
+    if (std::find(t.audible_at.begin(), t.audible_at.end(), listener) !=
+        t.audible_at.end())
+      until = std::max(until, t.end);
+  }
+  return until;
+}
+
+std::uint64_t Medium::transmissions_from(NodeId node) const {
+  const auto it = tx_counts_.find(node);
+  return it == tx_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace vifi::mac

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file medium.h
+/// The shared wireless medium. Physics only: per-receiver delivery sampling
+/// through the channel's LossModel, airtime occupancy at a fixed bitrate
+/// (1 Mbps, §5.1), and collisions — two overlapping transmissions audible at
+/// the same receiver destroy each other there (no capture). CSMA deferral
+/// lives in Radio; the medium answers "is the channel busy for me?".
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/loss_model.h"
+#include "mac/frame.h"
+#include "sim/ids.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace vifi::mac {
+
+struct MediumParams {
+  double bitrate_bps = 1e6;      ///< Fixed 802.11b broadcast rate (§5.1).
+  int phy_overhead_bytes = 24;   ///< PLCP preamble/header equivalent.
+  /// Links with current reception probability above this are "audible" for
+  /// carrier sense and collision purposes.
+  double audibility_threshold = 0.05;
+  bool model_collisions = true;
+};
+
+/// Single shared channel connecting all attached nodes.
+class Medium {
+ public:
+  Medium(sim::Simulator& sim, channel::LossModel& loss, MediumParams params);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Attaches a node; frames it successfully decodes arrive at \p sink.
+  void attach(NodeId node, FrameSink* sink);
+
+  /// Starts transmitting \p frame from node \p frame.tx immediately. The
+  /// caller (Radio) is responsible for carrier-sense deferral; the medium
+  /// will happily model the resulting collision otherwise. Returns the
+  /// time the channel is held (airtime).
+  Time transmit(Frame frame);
+
+  /// Airtime of a frame with the given MAC-body size.
+  Time airtime(int mac_bytes) const;
+
+  /// True if any in-progress transmission is audible at \p listener.
+  bool busy_for(NodeId listener, Time now) const;
+
+  /// Latest end time among transmissions audible at \p listener
+  /// (now if the channel is idle for them).
+  Time busy_until(NodeId listener, Time now) const;
+
+  std::uint64_t transmissions() const { return transmissions_; }
+  std::uint64_t transmissions_from(NodeId node) const;
+  std::uint64_t collisions() const { return collisions_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+  const MediumParams& params() const { return params_; }
+
+ private:
+  struct ActiveTx {
+    std::uint64_t seq = 0;
+    NodeId tx;
+    Time start;
+    Time end;
+    Frame frame;
+    /// Nodes that sampled a successful decode at start-of-frame.
+    std::vector<NodeId> decoders;
+    /// Nodes at which this transmission is audible as energy (interference).
+    std::vector<NodeId> audible_at;
+  };
+
+  void finish(std::uint64_t seq);
+  void prune(Time now);
+
+  sim::Simulator& sim_;
+  channel::LossModel& loss_;
+  MediumParams params_;
+  std::unordered_map<NodeId, FrameSink*> sinks_;
+  std::vector<NodeId> nodes_;
+  std::vector<ActiveTx> active_;  // includes recently finished, pruned lazily
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::unordered_map<NodeId, std::uint64_t> tx_counts_;
+};
+
+}  // namespace vifi::mac

@@ -1,0 +1,64 @@
+#include "mac/radio.h"
+
+#include "util/contracts.h"
+
+namespace vifi::mac {
+
+Radio::Radio(sim::Simulator& sim, Medium& medium, NodeId self, Rng rng,
+             RadioParams params)
+    : sim_(sim), medium_(medium), self_(self), rng_(rng), params_(params) {
+  VIFI_EXPECTS(self.valid());
+  medium_.attach(self_, this);
+}
+
+void Radio::send(Frame frame) {
+  frame.tx = self_;
+  queue_.push_back(std::move(frame));
+  try_send();
+}
+
+void Radio::try_send() {
+  if (queue_.empty() || transmitting_ || retry_scheduled_) return;
+  const Time now = sim_.now();
+  if (medium_.busy_for(self_, now)) {
+    // Defer until the audible transmission ends plus a random number of
+    // slots; fixed window, no exponential growth (§4.8).
+    const Time wait = medium_.busy_until(self_, now) - now +
+                      params_.slot * static_cast<double>(rng_.uniform_int(
+                                         1, params_.max_defer_slots));
+    retry_scheduled_ = true;
+    sim_.schedule(wait, [this] {
+      retry_scheduled_ = false;
+      try_send();
+    });
+    return;
+  }
+  Frame frame = std::move(queue_.front());
+  queue_.pop_front();
+  transmitting_ = true;
+  ++frames_sent_;
+  const Time hold = medium_.transmit(std::move(frame));
+  sim_.schedule(hold, [this] {
+    transmitting_ = false;
+    if (queue_.empty()) {
+      if (on_idle_) on_idle_();
+    } else {
+      try_send();
+    }
+  });
+}
+
+void Radio::set_receiver(std::function<void(const Frame&)> handler) {
+  receiver_ = std::move(handler);
+}
+
+void Radio::set_idle_callback(std::function<void()> handler) {
+  on_idle_ = std::move(handler);
+}
+
+void Radio::on_frame(const Frame& frame) {
+  ++frames_received_;
+  if (receiver_) receiver_(frame);
+}
+
+}  // namespace vifi::mac

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file layouts.h
+/// Geometric stand-ins for the paper's two testbeds (§2).
+///
+/// VanLAN: eleven BSes on five buildings inside an 828 x 559 m campus box
+/// (Fig. 1), two shuttles at <= 40 km/h looping the campus.
+///
+/// DieselNet: a college-town core with a mix of mesh and shop BSes along the
+/// main streets; transit buses with stops. Channel 1 has 10 BSes, channel 6
+/// has 14 (§2.2).
+///
+/// Exact survey coordinates are not published; these layouts preserve what
+/// matters for the protocol study — BS density along the route, cluster
+/// structure, and route/contact geometry (see DESIGN.md §2).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobility/mobility.h"
+#include "mobility/path.h"
+#include "mobility/vec2.h"
+
+namespace vifi::mobility {
+
+/// A testbed geometry: BS placement plus the vehicle's route description.
+struct Layout {
+  std::string name;
+  std::vector<Vec2> bs_positions;
+  std::vector<Vec2> route_waypoints;  ///< Closed loop.
+  double cruise_mps = 11.0;
+  std::vector<BusMobility::Stop> stops;  ///< Empty => constant-speed shuttle.
+  double area_width_m = 0.0;
+  double area_height_m = 0.0;
+
+  std::size_t bs_count() const { return bs_positions.size(); }
+};
+
+/// The VanLAN campus: 11 BSes, shuttle loop at ~40 km/h.
+Layout vanlan_layout();
+
+/// The DieselNet town core for a WiFi channel (1 or 6): 10 or 14 BSes,
+/// bus loop with dwell stops.
+Layout dieselnet_layout(int channel);
+
+/// Builds the vehicle mobility model a layout describes (shuttle or bus).
+std::unique_ptr<MobilityModel> make_vehicle_mobility(const Layout& layout);
+
+}  // namespace vifi::mobility

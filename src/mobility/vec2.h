@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file vec2.h
+/// Plane geometry for node placement and vehicle motion. Coordinates are in
+/// meters.
+
+#include <cmath>
+
+namespace vifi::mobility {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double k) {
+    return {a.x * k, a.y * k};
+  }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Linear interpolation: a at t=0, b at t=1.
+inline Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// Quantizes a position onto a square grid; used by the History handoff
+/// policy to index "this location" across days (§3.1, policy 4).
+struct GridCell {
+  int ix = 0;
+  int iy = 0;
+  friend constexpr bool operator==(GridCell, GridCell) = default;
+  friend constexpr auto operator<=>(GridCell, GridCell) = default;
+};
+
+inline GridCell grid_cell(Vec2 p, double cell_size) {
+  return {static_cast<int>(std::floor(p.x / cell_size)),
+          static_cast<int>(std::floor(p.y / cell_size))};
+}
+
+}  // namespace vifi::mobility

@@ -1,0 +1,25 @@
+#include "net/packet.h"
+
+#include "util/contracts.h"
+
+namespace vifi::net {
+
+PacketPtr PacketFactory::make(Direction dir, NodeId src, NodeId dst,
+                              int bytes, Time created, int flow,
+                              std::uint64_t app_seq, std::any app_data) {
+  VIFI_EXPECTS(bytes >= 0);
+  VIFI_EXPECTS(src.valid() && dst.valid());
+  auto p = std::make_shared<Packet>();
+  p->id = next_id_++;
+  p->dir = dir;
+  p->src = src;
+  p->dst = dst;
+  p->bytes = bytes;
+  p->created = created;
+  p->flow = flow;
+  p->app_seq = app_seq;
+  p->app_data = std::move(app_data);
+  return p;
+}
+
+}  // namespace vifi::net

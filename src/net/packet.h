@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file packet.h
+/// Application-layer datagrams carried end-to-end between the vehicle and a
+/// wired correspondent host, in both directions. ViFi frames wrap these on
+/// the wireless hop; the backplane carries them on wires.
+
+#include <any>
+#include <cstdint>
+#include <memory>
+
+#include "sim/ids.h"
+#include "util/time.h"
+
+namespace vifi::net {
+
+using sim::NodeId;
+
+/// Direction of travel relative to the vehicle (§4.3: the protocol is
+/// symmetric, but anchors and vehicles play opposite roles per direction).
+enum class Direction { Upstream, Downstream };
+
+inline const char* to_string(Direction d) {
+  return d == Direction::Upstream ? "upstream" : "downstream";
+}
+
+/// One end-to-end datagram. Identified by a globally unique id — ViFi embeds
+/// its own identifiers so retransmissions and late acknowledgments are never
+/// confused across packets (§4.7).
+struct Packet {
+  std::uint64_t id = 0;
+  Direction dir = Direction::Upstream;
+  NodeId src;  ///< End-to-end source (vehicle or wired host).
+  NodeId dst;  ///< End-to-end destination.
+  int bytes = 0;
+  Time created;      ///< When the application emitted it.
+  int flow = 0;      ///< Application flow demultiplexer.
+  std::uint64_t app_seq = 0;  ///< Application sequence number within flow.
+  std::any app_data;          ///< Optional app payload (e.g. a TCP segment).
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Allocates packets with unique ids. One factory per simulation run.
+class PacketFactory {
+ public:
+  PacketPtr make(Direction dir, NodeId src, NodeId dst, int bytes,
+                 Time created, int flow = 0, std::uint64_t app_seq = 0,
+                 std::any app_data = {});
+
+  std::uint64_t packets_created() const { return next_id_ - 1; }
+
+ private:
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace vifi::net

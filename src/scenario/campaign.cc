@@ -1,0 +1,111 @@
+#include "scenario/campaign.h"
+
+#include <algorithm>
+#include <string>
+
+#include "channel/distance_loss.h"
+#include "util/contracts.h"
+
+namespace vifi::scenario {
+
+namespace {
+
+trace::MeasurementTrace generate_trip(const Testbed& bed,
+                                      const CampaignConfig& config, int day,
+                                      int trip, Rng rng) {
+  trace::MeasurementTrace t;
+  t.testbed = bed.layout().name;
+  t.day = day;
+  t.trip = trip;
+  t.duration = config.trip_duration.is_zero() ? bed.trip_duration()
+                                              : config.trip_duration;
+  t.beacons_per_second = config.beacons_per_second;
+  t.bs_ids = bed.bs_ids();
+
+  auto channel = bed.make_channel(rng.fork("channel"));
+  Rng rssi_rng = rng.fork("rssi");
+
+  const NodeId veh = bed.vehicle();
+  const Time slot_len = Time::millis(100);
+  const auto n_slots =
+      static_cast<std::int64_t>(t.duration.to_micros() / slot_len.to_micros());
+  const int beacons_per_slot = std::max(1, config.beacons_per_second / 10);
+
+  for (std::int64_t i = 0; i < n_slots; ++i) {
+    const Time now = slot_len * static_cast<double>(i);
+    const mobility::Vec2 vpos = bed.position(veh, now);
+
+    if (config.log_probes) {
+      trace::ProbeSlot slot;
+      slot.t = now;
+      slot.vehicle_pos = vpos;
+      for (NodeId bs : t.bs_ids) {
+        if (channel->sample_delivery(bs, veh, now)) slot.down_heard.push_back(bs);
+        if (channel->sample_delivery(veh, bs, now)) slot.up_heard_by.push_back(bs);
+      }
+      t.slots.push_back(std::move(slot));
+    }
+
+    // Beacons within this slot (10/s => 1 per 100 ms slot).
+    for (int b = 0; b < beacons_per_slot; ++b) {
+      const Time bt = now + Time::millis(37);  // fixed offset inside slot
+      for (NodeId bs : t.bs_ids) {
+        if (!channel->sample_delivery(bs, veh, bt)) continue;
+        const double d = mobility::distance(bed.position(bs, bt), vpos);
+        t.vehicle_beacons.push_back(
+            {bt, bs, channel::synthesize_rssi_dbm(d, rssi_rng)});
+      }
+      if (config.log_bs_beacons) {
+        for (NodeId tx : t.bs_ids)
+          for (NodeId rx : t.bs_ids) {
+            if (tx == rx) continue;
+            if (channel->sample_delivery(tx, rx, bt))
+              t.bs_beacons.push_back({bt, tx, rx});
+          }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+trace::Campaign generate_campaign(const Testbed& bed,
+                                  const CampaignConfig& config) {
+  VIFI_EXPECTS(config.days > 0 && config.trips_per_day > 0);
+  trace::Campaign campaign;
+  campaign.testbed = bed.layout().name;
+  Rng root(config.seed);
+  for (int day = 0; day < config.days; ++day) {
+    for (int trip = 0; trip < config.trips_per_day; ++trip) {
+      Rng trip_rng = root.fork("day" + std::to_string(day) + "/trip" +
+                               std::to_string(trip));
+      campaign.trips.push_back(
+          generate_trip(bed, config, day, trip, trip_rng));
+    }
+  }
+  return campaign;
+}
+
+trace::MeasurementTrace filter_to_bs_subset(
+    const trace::MeasurementTrace& t, const std::vector<NodeId>& subset) {
+  auto keep = [&subset](NodeId id) {
+    return std::find(subset.begin(), subset.end(), id) != subset.end();
+  };
+  trace::MeasurementTrace out = t;
+  out.bs_ids.clear();
+  for (NodeId id : t.bs_ids)
+    if (keep(id)) out.bs_ids.push_back(id);
+  for (auto& slot : out.slots) {
+    std::erase_if(slot.down_heard, [&](NodeId id) { return !keep(id); });
+    std::erase_if(slot.up_heard_by, [&](NodeId id) { return !keep(id); });
+  }
+  std::erase_if(out.vehicle_beacons,
+                [&](const trace::BeaconObs& b) { return !keep(b.bs); });
+  std::erase_if(out.bs_beacons, [&](const trace::BsBeaconObs& b) {
+    return !keep(b.tx) || !keep(b.rx);
+  });
+  return out;
+}
+
+}  // namespace vifi::scenario

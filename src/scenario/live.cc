@@ -1,0 +1,40 @@
+#include "scenario/live.h"
+
+#include "util/contracts.h"
+
+namespace vifi::scenario {
+
+LiveTrip::LiveTrip(const Testbed& bed, core::SystemConfig config,
+                   std::uint64_t trip_seed) {
+  Rng root(trip_seed);
+  channel_ = bed.make_channel(root.fork("channel"));
+  config.seed = root.fork("system").next_u64();
+  system_ = std::make_unique<core::VifiSystem>(
+      sim_, *channel_, bed.bs_ids(), bed.vehicle(), bed.wired_host(), config);
+  transport_ = std::make_unique<apps::VifiTransport>(*system_);
+}
+
+LiveTrip::LiveTrip(const Testbed& bed, const trace::MeasurementTrace& trip,
+                   core::SystemConfig config, std::uint64_t trip_seed,
+                   bool use_bs_beacon_logs) {
+  Rng root(trip_seed);
+  trace::LossScheduleOptions options;
+  options.vehicle = bed.vehicle();
+  options.use_bs_beacon_logs = use_bs_beacon_logs;
+  channel_ = trace::build_loss_schedule(trip, options, root.fork("schedule"));
+  config.seed = root.fork("system").next_u64();
+  system_ = std::make_unique<core::VifiSystem>(
+      sim_, *channel_, bed.bs_ids(), bed.vehicle(), bed.wired_host(), config);
+  transport_ = std::make_unique<apps::VifiTransport>(*system_);
+}
+
+void LiveTrip::run_until(Time until) {
+  if (!started_) {
+    started_ = true;
+    system_->start();
+  }
+  VIFI_EXPECTS(until >= sim_.now());
+  sim_.run_until(until);
+}
+
+}  // namespace vifi::scenario

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file live.h
+/// Assembles a live protocol run for one trip: testbed geometry + channel
+/// (stochastic VanLAN-style, or a §5.1 trace-driven loss schedule) + the
+/// full ViFi/BRR stack + a fresh simulator. Experiments attach application
+/// workloads through the transport and run the clock.
+
+#include <memory>
+
+#include "apps/transport.h"
+#include "channel/loss_model.h"
+#include "core/system.h"
+#include "scenario/testbed.h"
+#include "sim/simulator.h"
+#include "trace/loss_schedule.h"
+#include "trace/observations.h"
+
+namespace vifi::scenario {
+
+/// One self-contained protocol trip (own simulator, channel and stack).
+class LiveTrip {
+ public:
+  /// Stochastic-channel trip (the deployment methodology).
+  LiveTrip(const Testbed& bed, core::SystemConfig config,
+           std::uint64_t trip_seed);
+
+  /// Trace-driven trip (the DieselNet methodology): the §5.1 loss schedule
+  /// built from a beacon log replaces the stochastic channel.
+  LiveTrip(const Testbed& bed, const trace::MeasurementTrace& trip,
+           core::SystemConfig config, std::uint64_t trip_seed,
+           bool use_bs_beacon_logs = false);
+
+  sim::Simulator& simulator() { return sim_; }
+  core::VifiSystem& system() { return *system_; }
+  apps::VifiTransport& transport() { return *transport_; }
+  channel::LossModel& loss_model() { return *channel_; }
+
+  /// Starts the protocol stack and advances the clock to \p until.
+  void run_until(Time until);
+
+  /// Protocol warm-up the benches use before attaching workloads (beacons
+  /// must populate anchor choice and pab gossip).
+  static Time warmup() { return Time::seconds(3.0); }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<channel::LossModel> channel_;
+  std::unique_ptr<core::VifiSystem> system_;
+  std::unique_ptr<apps::VifiTransport> transport_;
+  bool started_ = false;
+};
+
+}  // namespace vifi::scenario

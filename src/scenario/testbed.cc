@@ -1,0 +1,71 @@
+#include "scenario/testbed.h"
+
+#include "util/contracts.h"
+
+namespace vifi::scenario {
+
+Testbed::Testbed(mobility::Layout layout,
+                 channel::VehicularChannelParams channel_params)
+    : layout_(std::move(layout)), channel_params_(channel_params) {
+  const int n = static_cast<int>(layout_.bs_positions.size());
+  VIFI_EXPECTS(n > 0);
+  bs_ids_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) bs_ids_.push_back(NodeId(i));
+  vehicle_ = NodeId(n);
+  wired_host_ = NodeId(n + 1);
+  vehicle_mobility_ = mobility::make_vehicle_mobility(layout_);
+}
+
+mobility::Vec2 Testbed::bs_position(NodeId bs) const {
+  VIFI_EXPECTS(bs.valid() &&
+               bs.value() < static_cast<int>(layout_.bs_positions.size()));
+  return layout_.bs_positions[static_cast<std::size_t>(bs.value())];
+}
+
+mobility::Vec2 Testbed::position(NodeId node, Time t) const {
+  if (node == vehicle_) return vehicle_mobility_->position_at(t);
+  if (node == wired_host_) {
+    // The wired host has no radio; park it far outside the radio plane.
+    return {-1e9, -1e9};
+  }
+  return bs_position(node);
+}
+
+channel::VehicularChannel::PositionFn Testbed::position_fn() const {
+  return [this](NodeId node, Time t) { return position(node, t); };
+}
+
+std::unique_ptr<channel::VehicularChannel> Testbed::make_channel(
+    Rng rng) const {
+  auto ch = std::make_unique<channel::VehicularChannel>(channel_params_,
+                                                        position_fn(), rng);
+  ch->mark_mobile(vehicle_);
+  return ch;
+}
+
+Time Testbed::trip_duration() const {
+  mobility::WaypointPath path(layout_.route_waypoints, /*closed=*/true);
+  if (layout_.stops.empty())
+    return Time::seconds(path.total_length() / layout_.cruise_mps);
+  Time dwell = Time::zero();
+  for (const auto& s : layout_.stops) dwell += s.dwell;
+  return Time::seconds(path.total_length() / layout_.cruise_mps) + dwell;
+}
+
+Testbed make_vanlan() {
+  channel::VehicularChannelParams params;  // defaults are VanLAN-calibrated
+  return Testbed(mobility::vanlan_layout(), params);
+}
+
+Testbed make_dieselnet(int channel) {
+  channel::VehicularChannelParams params;
+  // Town environment: shorter usable range (buildings, foliage, non-WiFi
+  // interferers) and slightly longer gray periods than the campus.
+  params.distance.midpoint_m = 130.0;
+  params.distance.width_m = 30.0;
+  params.gray_mean_off = Time::seconds(45.0);
+  params.gray_mean_on = Time::seconds(5.0);
+  return Testbed(mobility::dieselnet_layout(channel), params);
+}
+
+}  // namespace vifi::scenario

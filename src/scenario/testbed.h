@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file testbed.h
+/// Binds a geometric layout to node identities, mobility, and channel
+/// parameters — everything needed to instantiate channels, media and
+/// protocol stacks for one of the two testbeds.
+///
+/// Node id convention: BSes are 0..n-1 (matching layout order), the vehicle
+/// is n, and the wired correspondent host is n+1.
+
+#include <memory>
+#include <vector>
+
+#include "channel/vehicular.h"
+#include "mobility/layouts.h"
+#include "mobility/mobility.h"
+#include "sim/ids.h"
+
+namespace vifi::scenario {
+
+using sim::NodeId;
+
+class Testbed {
+ public:
+  explicit Testbed(mobility::Layout layout,
+                   channel::VehicularChannelParams channel_params);
+
+  const mobility::Layout& layout() const { return layout_; }
+  const channel::VehicularChannelParams& channel_params() const {
+    return channel_params_;
+  }
+
+  const std::vector<NodeId>& bs_ids() const { return bs_ids_; }
+  NodeId vehicle() const { return vehicle_; }
+  NodeId wired_host() const { return wired_host_; }
+
+  mobility::Vec2 bs_position(NodeId bs) const;
+  mobility::Vec2 position(NodeId node, Time t) const;
+
+  /// Position callback for channel models. The Testbed must outlive any
+  /// channel constructed with this.
+  channel::VehicularChannel::PositionFn position_fn() const;
+
+  /// A fresh stochastic channel with mobile-node marking applied.
+  /// Deterministic per \p rng.
+  std::unique_ptr<channel::VehicularChannel> make_channel(Rng rng) const;
+
+  /// Duration of one trip (one lap of the route, including dwells).
+  Time trip_duration() const;
+
+ private:
+  mobility::Layout layout_;
+  channel::VehicularChannelParams channel_params_;
+  std::vector<NodeId> bs_ids_;
+  NodeId vehicle_;
+  NodeId wired_host_;
+  std::unique_ptr<mobility::MobilityModel> vehicle_mobility_;
+};
+
+/// VanLAN with its default channel calibration.
+Testbed make_vanlan();
+
+/// DieselNet (channel 1 or 6) — beacon-logging only in the paper; the
+/// harsher town channel reflects obstructions and non-WiFi interference.
+Testbed make_dieselnet(int channel);
+
+}  // namespace vifi::scenario

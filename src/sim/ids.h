@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file ids.h
+/// Identities of simulated entities. A strong type rather than a bare int so
+/// node ids cannot be confused with counts or indices (Core Guidelines I.4).
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace vifi::sim {
+
+/// Identifies a node (vehicle, basestation, or wired host).
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(int value) : value_(value) {}
+
+  constexpr int value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+  std::string to_string() const { return "n" + std::to_string(value_); }
+
+ private:
+  int value_ = -1;
+};
+
+/// The broadcast pseudo-destination.
+inline constexpr NodeId kBroadcast{};
+
+std::ostream& operator<<(std::ostream& os, NodeId id);
+
+/// An ordered (tx, rx) link between two nodes.
+struct LinkKey {
+  NodeId tx;
+  NodeId rx;
+  friend constexpr auto operator<=>(const LinkKey&, const LinkKey&) = default;
+};
+
+}  // namespace vifi::sim
+
+template <>
+struct std::hash<vifi::sim::NodeId> {
+  std::size_t operator()(vifi::sim::NodeId id) const noexcept {
+    return std::hash<int>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<vifi::sim::LinkKey> {
+  std::size_t operator()(const vifi::sim::LinkKey& k) const noexcept {
+    return std::hash<int>{}(k.tx.value()) * 1000003u ^
+           std::hash<int>{}(k.rx.value());
+  }
+};

@@ -1,0 +1,98 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace vifi::sim {
+
+EventId Simulator::schedule(Time delay, std::function<void()> fn) {
+  VIFI_EXPECTS(!delay.is_negative());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  VIFI_EXPECTS(at >= now_);
+  VIFI_EXPECTS(fn != nullptr);
+  const EventId id(next_seq_);
+  queue_.push(Event{at, next_seq_, std::move(fn)});
+  ++next_seq_;
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Lazy deletion: remember the sequence number; skip it on pop. The list
+  // stays small because entries are erased as their events surface.
+  if (std::find(cancelled_.begin(), cancelled_.end(), id.seq_) !=
+      cancelled_.end())
+    return false;
+  if (id.seq_ >= next_seq_) return false;
+  cancelled_.push_back(id.seq_);
+  ++cancelled_pending_;
+  return true;
+}
+
+bool Simulator::dispatch_next(Time limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > limit) return false;
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), top.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_pending_;
+      queue_.pop();
+      continue;
+    }
+    // Move the callback out before popping so the event may schedule more.
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Time end) {
+  VIFI_EXPECTS(end >= now_);
+  stopped_ = false;
+  while (!stopped_ && dispatch_next(end)) {
+  }
+  if (!stopped_ && now_ < end) now_ = end;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && dispatch_next(Time::max())) {
+  }
+}
+
+std::size_t Simulator::pending_events() const {
+  return queue_.size() - cancelled_pending_;
+}
+
+void PeriodicTimer::start() { start_after(period_); }
+
+void PeriodicTimer::start_after(Time initial_delay) {
+  stop();
+  running_ = true;
+  pending_ = sim_.schedule(initial_delay, [this] { fire(); });
+}
+
+void PeriodicTimer::stop() {
+  if (running_) {
+    sim_.cancel(pending_);
+    pending_ = EventId{};
+    running_ = false;
+  }
+}
+
+void PeriodicTimer::fire() {
+  // Re-arm before the callback so the callback can observe running() and
+  // call stop()/start() itself.
+  pending_ = sim_.schedule(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace vifi::sim

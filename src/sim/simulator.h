@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file simulator.h
+/// The discrete-event engine every experiment runs on — the reproduction's
+/// stand-in for the paper's QualNet simulator (§5.1). Single-threaded,
+/// deterministic: events at equal timestamps fire in scheduling order.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/time.h"
+
+namespace vifi::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class Simulator;
+  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// A discrete-event simulator with a microsecond-resolution clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules \p fn to run at now() + delay (delay >= 0).
+  EventId schedule(Time delay, std::function<void()> fn);
+
+  /// Schedules \p fn at the absolute time \p at (at >= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Runs until the queue is empty or \p end is reached. The clock is left
+  /// at min(end, time of last event) — or exactly \p end if given.
+  void run_until(Time end);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Stops the run loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for tests and micro-benches).
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  bool dispatch_next(Time limit);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_pending_ = 0;
+  bool stopped_ = false;
+};
+
+/// A repeating timer bound to a simulator. Start/stop safe; the callback
+/// may stop or restart the timer from within itself.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Time period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {
+    VIFI_EXPECTS(period > Time::zero());
+  }
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Arms the timer; first fire after \p initial_delay (default: period).
+  void start();
+  void start_after(Time initial_delay);
+  void stop();
+  bool running() const { return running_; }
+  Time period() const { return period_; }
+  void set_period(Time period) {
+    VIFI_EXPECTS(period > Time::zero());
+    period_ = period;
+  }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  Time period_;
+  std::function<void()> fn_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace vifi::sim

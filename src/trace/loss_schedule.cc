@@ -1,0 +1,84 @@
+#include "trace/loss_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/contracts.h"
+
+namespace vifi::trace {
+
+bool ever_covisible(const MeasurementTrace& trip, NodeId a, NodeId b) {
+  const auto counts = beacon_counts_per_second(trip);
+  const auto ia = counts.find(a);
+  const auto ib = counts.find(b);
+  if (ia == counts.end() || ib == counts.end()) return false;
+  const std::size_t n = std::min(ia->second.size(), ib->second.size());
+  for (std::size_t s = 0; s < n; ++s)
+    if (ia->second[s] > 0 && ib->second[s] > 0) return true;
+  return false;
+}
+
+std::unique_ptr<channel::TraceLossModel> build_loss_schedule(
+    const MeasurementTrace& trip, const LossScheduleOptions& options,
+    Rng rng) {
+  VIFI_EXPECTS(options.vehicle.valid());
+  VIFI_EXPECTS(trip.beacons_per_second > 0);
+  auto model = std::make_unique<channel::TraceLossModel>(rng.fork("draws"));
+
+  // Vehicle <-> BS: per-second beacon loss ratio, symmetric.
+  const auto counts = beacon_counts_per_second(trip);
+  for (const auto& [bs, per_sec] : counts) {
+    for (std::size_t s = 0; s < per_sec.size(); ++s) {
+      const double ratio =
+          std::clamp(static_cast<double>(per_sec[s]) /
+                         static_cast<double>(trip.beacons_per_second),
+                     0.0, 1.0);
+      model->set_loss_rate(options.vehicle, bs, static_cast<int>(s),
+                           1.0 - ratio);
+    }
+  }
+
+  if (options.use_bs_beacon_logs) {
+    // VanLAN validation: per-second inter-BS beacon loss ratios.
+    std::map<std::pair<int, int>, std::map<int, int>> heard;  // (tx,rx)->sec->n
+    for (const BsBeaconObs& b : trip.bs_beacons) {
+      const int s = static_cast<int>(b.t.to_micros() / 1'000'000);
+      ++heard[{b.tx.value(), b.rx.value()}][s];
+    }
+    const int horizon = trip.seconds();
+    for (NodeId a : trip.bs_ids) {
+      for (NodeId b : trip.bs_ids) {
+        if (!(a < b)) continue;
+        // Symmetrise by averaging the two directions' counts.
+        const auto& ab = heard[{a.value(), b.value()}];
+        const auto& ba = heard[{b.value(), a.value()}];
+        for (int s = 0; s < horizon; ++s) {
+          const auto fa = ab.find(s);
+          const auto fb = ba.find(s);
+          const int n = (fa != ab.end() ? fa->second : 0) +
+                        (fb != ba.end() ? fb->second : 0);
+          const double ratio =
+              std::clamp(static_cast<double>(n) /
+                             (2.0 * trip.beacons_per_second),
+                         0.0, 1.0);
+          model->set_loss_rate(a, b, s, 1.0 - ratio);
+        }
+      }
+    }
+  } else {
+    // DieselNet rule: never-co-visible pairs are unreachable; others get a
+    // Uniform(0,1) constant loss ratio (§5.1).
+    Rng interbs = rng.fork("interbs");
+    for (NodeId a : trip.bs_ids) {
+      for (NodeId b : trip.bs_ids) {
+        if (!(a < b)) continue;
+        if (!ever_covisible(trip, a, b)) continue;  // unset => loss 1.0
+        model->set_constant_loss_rate(a, b, interbs.uniform01());
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace vifi::trace

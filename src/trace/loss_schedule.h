@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file loss_schedule.h
+/// The paper's trace-driven simulation input (§5.1): converts logged beacon
+/// receptions into a per-second symmetric loss schedule.
+///
+///  * vehicle <-> BS: loss = 1 - beacons_heard / beacons_sent per second;
+///  * BS <-> BS (DieselNet, where inter-BS behaviour is unknown): pairs
+///    never simultaneously visible to the vehicle are unreachable; all
+///    other pairs draw a Uniform(0,1) constant loss ratio;
+///  * BS <-> BS (VanLAN validation, where BS-side logs exist): per-second
+///    inter-BS beacon loss ratio.
+
+#include <memory>
+
+#include "channel/trace_driven.h"
+#include "trace/observations.h"
+#include "util/rng.h"
+
+namespace vifi::trace {
+
+struct LossScheduleOptions {
+  /// Vehicle node id to register in the schedule.
+  NodeId vehicle;
+  /// Use logged BS-to-BS beacons (VanLAN validation) instead of the
+  /// DieselNet co-visibility + Uniform(0,1) rule.
+  bool use_bs_beacon_logs = false;
+};
+
+/// Builds the §5.1 loss schedule for one trip.
+std::unique_ptr<channel::TraceLossModel> build_loss_schedule(
+    const MeasurementTrace& trip, const LossScheduleOptions& options,
+    Rng rng);
+
+/// True if the two BSes are ever heard by the vehicle within the same
+/// one-second interval of the trip.
+bool ever_covisible(const MeasurementTrace& trip, NodeId a, NodeId b);
+
+}  // namespace vifi::trace

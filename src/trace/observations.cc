@@ -1,0 +1,68 @@
+#include "trace/observations.h"
+
+#include <algorithm>
+
+namespace vifi::trace {
+
+bool ProbeSlot::down_from(NodeId bs) const {
+  return std::find(down_heard.begin(), down_heard.end(), bs) !=
+         down_heard.end();
+}
+
+bool ProbeSlot::up_to(NodeId bs) const {
+  return std::find(up_heard_by.begin(), up_heard_by.end(), bs) !=
+         up_heard_by.end();
+}
+
+std::map<NodeId, std::vector<int>> beacon_counts_per_second(
+    const MeasurementTrace& t) {
+  std::map<NodeId, std::vector<int>> counts;
+  const auto secs = static_cast<std::size_t>(std::max(1, t.seconds()));
+  for (NodeId bs : t.bs_ids) counts[bs].assign(secs, 0);
+  for (const BeaconObs& b : t.vehicle_beacons) {
+    const auto s = static_cast<std::size_t>(b.t.to_micros() / 1'000'000);
+    if (s >= secs) continue;
+    auto it = counts.find(b.bs);
+    if (it == counts.end()) continue;
+    ++it->second[s];
+  }
+  return counts;
+}
+
+std::map<NodeId, std::vector<std::pair<int, double>>> beacon_rssi_per_second(
+    const MeasurementTrace& t) {
+  struct Acc {
+    int n = 0;
+    double sum = 0.0;
+  };
+  std::map<NodeId, std::map<int, Acc>> acc;
+  for (const BeaconObs& b : t.vehicle_beacons) {
+    const int s = static_cast<int>(b.t.to_micros() / 1'000'000);
+    auto& a = acc[b.bs][s];
+    ++a.n;
+    a.sum += b.rssi_dbm;
+  }
+  std::map<NodeId, std::vector<std::pair<int, double>>> out;
+  for (const auto& [bs, per_sec] : acc) {
+    auto& vec = out[bs];
+    vec.reserve(per_sec.size());
+    for (const auto& [s, a] : per_sec)
+      vec.emplace_back(s, a.sum / static_cast<double>(a.n));
+  }
+  return out;
+}
+
+int Campaign::days() const {
+  int d = 0;
+  for (const auto& t : trips) d = std::max(d, t.day + 1);
+  return d;
+}
+
+std::vector<const MeasurementTrace*> Campaign::trips_on_day(int day) const {
+  std::vector<const MeasurementTrace*> out;
+  for (const auto& t : trips)
+    if (t.day == day) out.push_back(&t);
+  return out;
+}
+
+}  // namespace vifi::trace

@@ -1,0 +1,121 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.h"
+
+namespace vifi::trace {
+
+namespace {
+constexpr const char* kMagic = "# vifi-trace v1";
+
+void fail(const std::string& why) {
+  throw std::runtime_error("trace parse error: " + why);
+}
+}  // namespace
+
+void save_trace(const MeasurementTrace& t, std::ostream& os) {
+  os << kMagic << "\n";
+  os << "trace " << t.testbed << " day " << t.day << " trip " << t.trip
+     << " duration_us " << t.duration.to_micros() << " bps "
+     << t.beacons_per_second << "\n";
+  for (NodeId bs : t.bs_ids) os << "bs " << bs.value() << "\n";
+  for (const ProbeSlot& s : t.slots) {
+    os << "slot " << s.t.to_micros() << " " << s.vehicle_pos.x << " "
+       << s.vehicle_pos.y << " down";
+    for (NodeId id : s.down_heard) os << " " << id.value();
+    os << " up";
+    for (NodeId id : s.up_heard_by) os << " " << id.value();
+    os << "\n";
+  }
+  for (const BeaconObs& b : t.vehicle_beacons)
+    os << "beacon " << b.t.to_micros() << " " << b.bs.value() << " "
+       << b.rssi_dbm << "\n";
+  for (const BsBeaconObs& b : t.bs_beacons)
+    os << "bsbeacon " << b.t.to_micros() << " " << b.tx.value() << " "
+       << b.rx.value() << "\n";
+}
+
+void save_trace_file(const MeasurementTrace& t, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_trace(t, os);
+}
+
+MeasurementTrace load_trace(std::istream& is) {
+  MeasurementTrace t;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) fail("bad magic");
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "trace") {
+      std::string kw;
+      std::int64_t dur_us = 0;
+      ls >> t.testbed >> kw >> t.day >> kw >> t.trip >> kw >> dur_us >> kw >>
+          t.beacons_per_second;
+      if (!ls) fail("bad trace header");
+      t.duration = Time::micros(dur_us);
+      have_header = true;
+    } else if (tag == "bs") {
+      int id = -1;
+      ls >> id;
+      if (!ls || id < 0) fail("bad bs line");
+      t.bs_ids.push_back(NodeId(id));
+    } else if (tag == "slot") {
+      ProbeSlot s;
+      std::int64_t us = 0;
+      std::string kw;
+      ls >> us >> s.vehicle_pos.x >> s.vehicle_pos.y >> kw;
+      if (!ls || kw != "down") fail("bad slot line");
+      s.t = Time::micros(us);
+      std::string tok;
+      bool in_down = true;
+      while (ls >> tok) {
+        if (tok == "up") {
+          in_down = false;
+          continue;
+        }
+        const int id = std::stoi(tok);
+        (in_down ? s.down_heard : s.up_heard_by).push_back(NodeId(id));
+      }
+      t.slots.push_back(std::move(s));
+    } else if (tag == "beacon") {
+      BeaconObs b;
+      std::int64_t us = 0;
+      int id = -1;
+      ls >> us >> id >> b.rssi_dbm;
+      if (!ls || id < 0) fail("bad beacon line");
+      b.t = Time::micros(us);
+      b.bs = NodeId(id);
+      t.vehicle_beacons.push_back(b);
+    } else if (tag == "bsbeacon") {
+      BsBeaconObs b;
+      std::int64_t us = 0;
+      int txid = -1, rxid = -1;
+      ls >> us >> txid >> rxid;
+      if (!ls || txid < 0 || rxid < 0) fail("bad bsbeacon line");
+      b.t = Time::micros(us);
+      b.tx = NodeId(txid);
+      b.rx = NodeId(rxid);
+      t.bs_beacons.push_back(b);
+    } else {
+      fail("unknown tag: " + tag);
+    }
+  }
+  if (!have_header) fail("missing trace header");
+  return t;
+}
+
+MeasurementTrace load_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_trace(is);
+}
+
+}  // namespace vifi::trace

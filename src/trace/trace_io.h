@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file trace_io.h
+/// Text serialisation of measurement traces, in the spirit of the public
+/// DieselNet traces the paper releases ("Our traces are available at
+/// traces.cs.umass.edu"). Line-oriented, versioned, diff-friendly.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/observations.h"
+
+namespace vifi::trace {
+
+/// Writes one trip in `vifi-trace v1` format.
+void save_trace(const MeasurementTrace& t, std::ostream& os);
+void save_trace_file(const MeasurementTrace& t, const std::string& path);
+
+/// Parses one trip. Throws std::runtime_error on malformed input.
+MeasurementTrace load_trace(std::istream& is);
+MeasurementTrace load_trace_file(const std::string& path);
+
+}  // namespace vifi::trace

@@ -1,0 +1,66 @@
+#include "util/cdf.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace vifi {
+
+void Cdf::add(double value, double weight) {
+  VIFI_EXPECTS(weight >= 0.0);
+  if (weight == 0.0) return;
+  samples_.emplace_back(value, weight);
+  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void Cdf::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  double acc = 0.0;
+  for (const auto& [v, w] : samples_) {
+    if (v > x) break;
+    acc += w;
+  }
+  return acc / total_weight_;
+}
+
+double Cdf::quantile(double q) const {
+  VIFI_EXPECTS(!samples_.empty());
+  VIFI_EXPECTS(q >= 0.0 && q <= 1.0);
+  sort_if_needed();
+  const double target = q * total_weight_;
+  double acc = 0.0;
+  for (const auto& [v, w] : samples_) {
+    acc += w;
+    if (acc >= target) return v;
+  }
+  return samples_.back().first;
+}
+
+std::vector<double> Cdf::evaluate(const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(fraction_at_or_below(x));
+  return out;
+}
+
+std::vector<double> Cdf::sorted_values() const {
+  sort_if_needed();
+  std::vector<double> vs;
+  vs.reserve(samples_.size());
+  for (const auto& [v, w] : samples_) {
+    (void)w;
+    if (vs.empty() || vs.back() != v) vs.push_back(v);
+  }
+  return vs;
+}
+
+}  // namespace vifi

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file cdf.h
+/// Empirical CDFs, both sample-weighted (Fig. 5) and value-weighted
+/// (Fig. 3d weights each session by its length: "% of time spent in a
+/// session of a given length").
+
+#include <cstddef>
+#include <vector>
+
+namespace vifi {
+
+/// An empirical cumulative distribution built from weighted samples.
+class Cdf {
+ public:
+  /// Adds a sample with the given non-negative weight.
+  void add(double value, double weight = 1.0);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t sample_count() const { return samples_.size(); }
+  double total_weight() const { return total_weight_; }
+
+  /// Fraction of total weight at values <= x, in [0, 1].
+  double fraction_at_or_below(double x) const;
+
+  /// Smallest sample value v such that fraction_at_or_below(v) >= q.
+  double quantile(double q) const;
+
+  /// Evaluates the CDF at each of the given x positions (for plotting a
+  /// figure as a fixed grid of rows).
+  std::vector<double> evaluate(const std::vector<double>& xs) const;
+
+  /// The distinct sorted sample values (useful for choosing plot grids).
+  std::vector<double> sorted_values() const;
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<std::pair<double, double>> samples_;  // (value, weight)
+  mutable bool sorted_ = true;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace vifi

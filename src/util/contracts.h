@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file contracts.h
+/// Precondition / postcondition checks in the style of the C++ Core
+/// Guidelines' Expects()/Ensures() (I.5, I.7). Violations indicate a bug in
+/// the caller (Expects) or the implementation (Ensures) and abort via an
+/// exception so tests can assert on them.
+
+#include <stdexcept>
+#include <string>
+
+namespace vifi {
+
+/// Thrown when a contract (pre- or postcondition) is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace vifi
+
+#define VIFI_EXPECTS(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::vifi::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                    __LINE__);                            \
+  } while (0)
+
+#define VIFI_ENSURES(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::vifi::detail::contract_fail("postcondition", #cond, __FILE__,     \
+                                    __LINE__);                            \
+  } while (0)

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file ewma.h
+/// Exponentially weighted moving average, the smoother both the handoff
+/// policies (§3.1) and ViFi's beacon-based reception-probability estimator
+/// (§4.6, alpha = 0.5) use.
+
+#include "util/contracts.h"
+
+namespace vifi {
+
+/// value' = alpha * sample + (1 - alpha) * value.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.5) : alpha_(alpha) {
+    VIFI_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void update(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+
+  /// Current average; \p fallback if no sample has been seen yet.
+  double value_or(double fallback) const {
+    return initialized_ ? value_ : fallback;
+  }
+
+  double value() const {
+    VIFI_EXPECTS(initialized_);
+    return value_;
+  }
+
+  void reset() {
+    initialized_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace vifi

@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace vifi {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace vifi

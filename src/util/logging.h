@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file logging.h
+/// Minimal leveled logging to stderr. Disabled (Warn) by default so tests
+/// and benches stay quiet; examples turn on Info to narrate what they do.
+
+#include <sstream>
+#include <string>
+
+namespace vifi {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold. Not thread-safe by design: the simulator is
+/// single-threaded and benches set this once at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace vifi
+
+#define VIFI_LOG(level, expr)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::vifi::log_level())) {                    \
+      std::ostringstream vifi_log_os_;                              \
+      vifi_log_os_ << expr;                                         \
+      ::vifi::detail::log_line(level, vifi_log_os_.str());          \
+    }                                                               \
+  } while (0)
+
+#define VIFI_DEBUG(expr) VIFI_LOG(::vifi::LogLevel::Debug, expr)
+#define VIFI_INFO(expr) VIFI_LOG(::vifi::LogLevel::Info, expr)
+#define VIFI_WARN(expr) VIFI_LOG(::vifi::LogLevel::Warn, expr)
+#define VIFI_ERROR(expr) VIFI_LOG(::vifi::LogLevel::Error, expr)

@@ -1,0 +1,126 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace vifi {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// FNV-1a over a string, used to derive child-stream seeds from names.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+}
+
+Rng Rng::fork(std::string_view name) const {
+  // The child seed mixes the parent's *initial* identity (its state words
+  // are a pure function of the seed at construction; we use the current
+  // words, which still yields determinism because forks are performed at
+  // deterministic points) with the stream name.
+  std::uint64_t mix = fnv1a(name);
+  std::array<std::uint64_t, 4> child{};
+  std::uint64_t x = s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^ s_[3] ^ mix;
+  for (auto& w : child) w = splitmix64(x);
+  return Rng(child);
+}
+
+std::uint64_t Rng::next_u64() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  VIFI_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  VIFI_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  VIFI_EXPECTS(mean > 0.0);
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  VIFI_EXPECTS(stddev >= 0.0);
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = uniform01();
+  double u2 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::vector<int> Rng::sample(int n, int k) {
+  VIFI_EXPECTS(n >= 0 && k >= 0 && k <= n);
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  // Partial Fisher–Yates: the first k slots end up a uniform sample.
+  for (int i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(uniform_int(i, n - 1));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+}  // namespace vifi

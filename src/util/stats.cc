@@ -1,0 +1,88 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace vifi {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  VIFI_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  VIFI_EXPECTS(n_ > 0);
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  VIFI_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  VIFI_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double percentile(std::vector<double> values, double p) {
+  VIFI_EXPECTS(!values.empty());
+  VIFI_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+Interval mean_ci95(const std::vector<double>& values) {
+  VIFI_EXPECTS(!values.empty());
+  RunningStats s;
+  for (double v : values) s.add(v);
+  const double half =
+      1.96 * s.stddev() / std::sqrt(static_cast<double>(values.size()));
+  return {s.mean() - half, s.mean() + half};
+}
+
+Interval bootstrap_median_ci95(const std::vector<double>& values, Rng& rng,
+                               int resamples) {
+  VIFI_EXPECTS(!values.empty());
+  VIFI_EXPECTS(resamples > 1);
+  const auto n = static_cast<std::int64_t>(values.size());
+  std::vector<double> medians;
+  medians.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> draw(values.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& d : draw)
+      d = values[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    medians.push_back(median(draw));
+  }
+  return {percentile(medians, 2.5), percentile(medians, 97.5)};
+}
+
+}  // namespace vifi

@@ -1,0 +1,102 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace vifi {
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::num_ci(double v, double half, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, v, precision, half);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction01, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction01 * 100.0);
+  return buf;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto account = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) account(header_);
+  for (const auto& r : rows_) account(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << row[i];
+      os << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 1;
+    for (std::size_t w : widths) total += w + 3;
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void SeriesChart::add_series(std::string name, std::vector<double> values) {
+  series_.emplace_back(std::move(name), std::move(values));
+}
+
+void SeriesChart::print(std::ostream& os) const {
+  TextTable t(title_);
+  std::vector<std::string> header{x_label_};
+  for (const auto& [name, vals] : series_) {
+    VIFI_EXPECTS(vals.size() == xs_.size());
+    header.push_back(name);
+  }
+  t.set_header(std::move(header));
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    std::vector<std::string> row{TextTable::num(xs_[i], precision_)};
+    for (const auto& [name, vals] : series_) {
+      (void)name;
+      row.push_back(TextTable::num(vals[i], precision_));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(os);
+}
+
+std::string SeriesChart::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace vifi

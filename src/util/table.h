@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file table.h
+/// Aligned ASCII tables and figure series. Every bench binary renders the
+/// paper's rows/series through these so the output format is uniform and
+/// easy to diff against EXPERIMENTS.md.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vifi {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats "v ± half" the way the paper annotates 95% CIs.
+  static std::string num_ci(double v, double half, int precision = 2);
+  /// Formats a percentage, e.g. "25%".
+  static std::string pct(double fraction01, int precision = 0);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A figure rendered as rows of x plus one column per series.
+class SeriesChart {
+ public:
+  SeriesChart(std::string title, std::string x_label)
+      : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+  /// Adds a named series; values must align with the x grid.
+  void add_series(std::string name, std::vector<double> values);
+  void set_x(std::vector<double> xs) { xs_ = std::move(xs); }
+  void set_precision(int p) { precision_ = p; }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<double> xs_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+  int precision_ = 2;
+};
+
+}  // namespace vifi

@@ -1,0 +1,18 @@
+#include "util/time.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace vifi {
+
+std::string Time::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.to_string();
+}
+
+}  // namespace vifi

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file time.h
+/// Simulated time. A single value type is used both for points on the
+/// simulation clock and for durations (as in ns-3); the underlying unit is
+/// integer microseconds so event ordering is exact and bit-reproducible.
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace vifi {
+
+/// A simulated time point or duration with microsecond resolution.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors. Fractional inputs are rounded to the nearest
+  /// microsecond.
+  static constexpr Time micros(std::int64_t us) { return Time(us); }
+  static constexpr Time millis(double ms) {
+    return Time(round_i64(ms * 1e3));
+  }
+  static constexpr Time seconds(double s) { return Time(round_i64(s * 1e6)); }
+  static constexpr Time minutes(double m) { return seconds(m * 60.0); }
+  static constexpr Time hours(double h) { return seconds(h * 3600.0); }
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() { return Time(INT64_MAX); }
+
+  constexpr std::int64_t to_micros() const { return us_; }
+  constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double to_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.us_ + b.us_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.us_ - b.us_); }
+  friend constexpr Time operator*(Time a, double k) {
+    return Time(round_i64(static_cast<double>(a.us_) * k));
+  }
+  friend constexpr Time operator*(double k, Time a) { return a * k; }
+  friend constexpr Time operator/(Time a, double k) {
+    return Time(round_i64(static_cast<double>(a.us_) / k));
+  }
+  /// Ratio of two durations.
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+  Time& operator+=(Time o) {
+    us_ += o.us_;
+    return *this;
+  }
+  Time& operator-=(Time o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  /// "12.345s"-style rendering for logs and tables.
+  std::string to_string() const;
+
+ private:
+  static constexpr std::int64_t round_i64(double v) {
+    return static_cast<std::int64_t>(v >= 0 ? v + 0.5 : v - 0.5);
+  }
+  constexpr explicit Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace vifi

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file fakes.h
+/// Shared test doubles: a fully scriptable loss model and small helpers for
+/// protocol-level tests.
+
+#include <map>
+
+#include "channel/loss_model.h"
+#include "sim/ids.h"
+
+namespace vifi::testing {
+
+/// Deterministic, scriptable channel: delivery iff probability >= 0.5,
+/// optionally dropping every n-th frame on a directed link (gives
+/// deterministic fractional beacon ratios). The probability doubles as the
+/// "reception_prob" estimate carrier sense and relay computations see.
+/// Links default to 0 (disconnected).
+class ScriptedLoss final : public channel::LossModel {
+ public:
+  void set(sim::NodeId a, sim::NodeId b, double p) {
+    probs_[{a, b}] = p;
+    probs_[{b, a}] = p;
+  }
+  void set_directed(sim::NodeId tx, sim::NodeId rx, double p) {
+    probs_[{tx, rx}] = p;
+  }
+  /// Every n-th delivery on tx->rx fails (0 disables).
+  void set_period_drop(sim::NodeId tx, sim::NodeId rx, int n) {
+    drop_every_[{tx, rx}] = n;
+  }
+
+  bool sample_delivery(sim::NodeId tx, sim::NodeId rx, Time) override {
+    if (prob(tx, rx) < 0.5) return false;
+    const auto it = drop_every_.find({tx, rx});
+    if (it == drop_every_.end() || it->second <= 0) return true;
+    return ++counters_[{tx, rx}] % it->second != 0;
+  }
+  double reception_prob(sim::NodeId tx, sim::NodeId rx, Time) const override {
+    return prob(tx, rx);
+  }
+
+ private:
+  double prob(sim::NodeId a, sim::NodeId b) const {
+    const auto it = probs_.find({a, b});
+    return it == probs_.end() ? 0.0 : it->second;
+  }
+  std::map<sim::LinkKey, double> probs_;
+  std::map<sim::LinkKey, int> drop_every_;
+  std::map<sim::LinkKey, int> counters_;
+};
+
+}  // namespace vifi::testing

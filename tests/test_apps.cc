@@ -1,0 +1,328 @@
+// Unit tests for the applications: MoS scoring, VoIP sessions, mini-TCP
+// over a controllable transport, the transfer driver, and CBR accounting.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "apps/cellular.h"
+#include "apps/mos.h"
+#include "apps/tcp.h"
+#include "apps/transfer_driver.h"
+#include "apps/voip.h"
+#include "sim/simulator.h"
+#include "util/contracts.h"
+
+namespace vifi::apps {
+namespace {
+
+// ------------------------------------------------------------------- MoS --
+
+TEST(Mos, PerfectConditionsScoreHigh) {
+  // ~150 ms mouth-to-ear, no loss: "fair"-to-"good" territory for G.729.
+  const double mos = mos_g729(150.0, 0.0);
+  EXPECT_GT(mos, 3.8);
+  EXPECT_LE(mos, 4.5);
+}
+
+TEST(Mos, TotalLossIsBelowInterruptionThreshold) {
+  // With the G.729 reduction, 100% loss lands just below MoS 2 — which is
+  // exactly the paper's interruption threshold (§5.3.2).
+  const double mos = mos_g729(150.0, 1.0);
+  EXPECT_LT(mos, 2.0);
+  EXPECT_GT(mos, 1.0);
+}
+
+TEST(Mos, MonotoneInLoss) {
+  double prev = 5.0;
+  for (double e : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const double m = mos_g729(177.0, e);
+    EXPECT_LT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Mos, DelayPenaltyKicksInPast177ms) {
+  const double before = r_factor_g729(170.0, 0.0);
+  const double after = r_factor_g729(250.0, 0.0);
+  // Beyond the knee the slope includes the extra 0.11/ms term.
+  EXPECT_GT(before - r_factor_g729(177.0, 0.0), 0.0);
+  EXPECT_GT((r_factor_g729(177.0, 0.0) - after) / (250.0 - 177.0), 0.1);
+}
+
+TEST(Mos, MappingEdges) {
+  EXPECT_DOUBLE_EQ(mos_from_r(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(mos_from_r(101.0), 4.5);
+  EXPECT_NEAR(mos_from_r(50.0), 1.0 + 0.035 * 50 + 7e-6 * 50 * -10 * 50,
+              1e-9);
+}
+
+TEST(Mos, BudgetDeadlineIs52ms) {
+  VoipDelayBudget budget;
+  EXPECT_DOUBLE_EQ(budget.wireless_deadline_ms(), 52.0);
+}
+
+TEST(Mos, ContractsRejectBadInputs) {
+  EXPECT_THROW(r_factor_g729(-1.0, 0.0), vifi::ContractViolation);
+  EXPECT_THROW(r_factor_g729(100.0, 1.5), vifi::ContractViolation);
+}
+
+TEST(MosSessions, SplitsOnBadWindows) {
+  const std::vector<double> mos{3.5, 3.5, 1.5, 3.0, 3.0, 3.0};
+  const auto lengths = mos_session_lengths(mos, 2.0, 3.0);
+  EXPECT_EQ(lengths, (std::vector<double>{6.0, 9.0}));
+}
+
+// -------------------------------------------------- a perfect loopback ----
+
+/// In-memory transport with configurable one-way delay and loss schedule,
+/// for exercising TCP/VoIP logic deterministically.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(sim::Simulator& sim, Time delay = Time::millis(5))
+      : sim_(sim), delay_(delay) {}
+
+  void set_drop_next(int n) { drop_next_ = n; }
+  void set_delay(Time d) { delay_ = d; }
+
+  void send(Direction dir, int bytes, int flow, std::uint64_t app_seq,
+            std::any data) override {
+    ++sent_;
+    if (drop_next_ > 0) {
+      --drop_next_;
+      return;
+    }
+    auto p = factory_.make(dir, sim::NodeId(0), sim::NodeId(1), bytes,
+                           sim_.now(), flow, app_seq, std::move(data));
+    sim_.schedule(delay_, [this, p] {
+      const auto it = handlers_.find(p->flow);
+      if (it != handlers_.end()) it->second(p);
+    });
+  }
+
+  void subscribe(int flow, Handler handler) override {
+    handlers_[flow] = std::move(handler);
+  }
+  void unsubscribe(int flow) override { handlers_.erase(flow); }
+  Time now() const override { return sim_.now(); }
+  int sent() const { return sent_; }
+
+ private:
+  sim::Simulator& sim_;
+  Time delay_;
+  int drop_next_ = 0;
+  int sent_ = 0;
+  net::PacketFactory factory_;
+  std::map<int, Handler> handlers_;
+};
+
+// ------------------------------------------------------------------- TCP --
+
+TEST(Tcp, CompletesOnCleanLink) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  TcpTransfer xfer(sim, link, 1, Direction::Downstream, 10 * 1024);
+  bool completed = false;
+  xfer.set_completion_handler([&] { completed = true; });
+  xfer.start();
+  sim.run_until(Time::seconds(5.0));
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(xfer.complete());
+  EXPECT_EQ(xfer.bytes_acked(), 10 * 1024);
+  EXPECT_EQ(xfer.retransmissions(), 0);
+}
+
+TEST(Tcp, TransferTimeScalesWithRtt) {
+  auto run = [](Time delay) {
+    sim::Simulator sim;
+    LoopbackTransport link(sim, delay);
+    TcpTransfer xfer(sim, link, 1, Direction::Downstream, 10 * 1024);
+    xfer.start();
+    sim.run_until(Time::seconds(30.0));
+    return (xfer.completion_time() - xfer.start_time()).to_seconds();
+  };
+  EXPECT_LT(run(Time::millis(5)), run(Time::millis(80)));
+}
+
+TEST(Tcp, RecoversFromSynLoss) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  link.set_drop_next(1);  // kill the SYN
+  TcpTransfer xfer(sim, link, 1, Direction::Downstream, 4 * 1024);
+  xfer.start();
+  sim.run_until(Time::seconds(10.0));
+  EXPECT_TRUE(xfer.complete());
+  EXPECT_GE(xfer.retransmissions(), 1);
+}
+
+TEST(Tcp, RecoversFromDataLossViaRetransmit) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  TcpTransfer xfer(sim, link, 1, Direction::Downstream, 20 * 1024);
+  xfer.start();
+  // Let the handshake finish, then drop a burst of data segments.
+  sim.run_until(Time::millis(30.0));
+  link.set_drop_next(2);
+  xfer.start_time();
+  sim.run_until(Time::seconds(30.0));
+  EXPECT_TRUE(xfer.complete());
+  EXPECT_EQ(xfer.bytes_acked(), 20 * 1024);
+  EXPECT_GE(xfer.retransmissions(), 1);
+}
+
+TEST(Tcp, UpstreamDirectionWorks) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  TcpTransfer xfer(sim, link, 1, Direction::Upstream, 10 * 1024);
+  xfer.start();
+  sim.run_until(Time::seconds(5.0));
+  EXPECT_TRUE(xfer.complete());
+}
+
+TEST(Tcp, AbortStopsActivity) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  TcpTransfer xfer(sim, link, 1, Direction::Downstream, 10 * 1024);
+  xfer.start();
+  sim.run_until(Time::millis(10.0));
+  xfer.abort();
+  const int sent_at_abort = link.sent();
+  sim.run_until(Time::seconds(10.0));
+  EXPECT_FALSE(xfer.complete());
+  // A handful of in-flight receiver acks may still fire, but no new data.
+  EXPECT_LE(link.sent(), sent_at_abort + 2);
+}
+
+TEST(Tcp, LastProgressAdvancesWithAcks) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  TcpTransfer xfer(sim, link, 1, Direction::Downstream, 10 * 1024);
+  xfer.start();
+  sim.run_until(Time::millis(50.0));
+  const Time p1 = xfer.last_progress();
+  EXPECT_GT(p1, Time::zero());
+}
+
+TEST(Tcp, InvalidSizesThrow) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  EXPECT_THROW(TcpTransfer(sim, link, 1, Direction::Downstream, 0),
+               vifi::ContractViolation);
+}
+
+// -------------------------------------------------------- TransferDriver --
+
+TEST(TransferDriver, RunsBackToBackTransfers) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  TransferDriver driver(sim, link, Direction::Downstream);
+  driver.start(Time::seconds(20.0));
+  sim.run_until(Time::seconds(21.0));
+  const auto result = driver.result();
+  EXPECT_GT(result.completed, 10);
+  EXPECT_EQ(result.aborted, 0);
+  // One uninterrupted session containing every transfer.
+  ASSERT_EQ(result.transfers_per_session.size(), 1u);
+  EXPECT_EQ(result.transfers_per_session[0], result.completed);
+  EXPECT_GT(result.transfers_per_second(), 0.5);
+}
+
+TEST(TransferDriver, AbortsStalledTransfersAndSplitsSessions) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim);
+  TransferDriver driver(sim, link, Direction::Downstream);
+  driver.start(Time::seconds(60.0));
+  // After 5 s, blackhole everything for a while: the current transfer
+  // stalls and gets terminated at the 10 s no-progress limit.
+  sim.schedule(Time::seconds(5.0), [&] { link.set_drop_next(1000000); });
+  sim.schedule(Time::seconds(30.0), [&] { link.set_drop_next(0); });
+  sim.run_until(Time::seconds(61.0));
+  const auto result = driver.result();
+  EXPECT_GE(result.aborted, 1);
+  EXPECT_GE(result.transfers_per_session.size(), 2u);
+}
+
+TEST(TransferDriverResult, Medians) {
+  TransferDriverResult r;
+  r.transfer_times_s = {1.0, 2.0, 10.0};
+  r.transfers_per_session = {4, 6};
+  r.completed = 10;
+  r.duration_s = 20.0;
+  EXPECT_DOUBLE_EQ(r.median_transfer_time_s(), 2.0);
+  EXPECT_DOUBLE_EQ(r.mean_transfers_per_session(), 5.0);
+  EXPECT_DOUBLE_EQ(r.transfers_per_second(), 0.5);
+}
+
+// ------------------------------------------------------------------ VoIP --
+
+TEST(Voip, CleanLinkYieldsLongSessions) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim, Time::millis(10));
+  VoipCall call(sim, link);
+  call.start(Time::seconds(30.0));
+  sim.run_until(Time::seconds(31.0));
+  const VoipResult r = call.result();
+  EXPECT_GT(r.packets_sent, 2900);
+  EXPECT_LT(r.effective_loss(), 0.01);
+  EXPECT_GT(r.mean_mos, 3.5);
+  ASSERT_FALSE(r.session_lengths_s.empty());
+  EXPECT_NEAR(r.median_session_s, 30.0, 3.1);
+}
+
+TEST(Voip, LatePacketsCountAsLost) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim, Time::millis(80));  // beyond the 52 ms budget
+  VoipCall call(sim, link);
+  call.start(Time::seconds(12.0));
+  sim.run_until(Time::seconds(13.0));
+  const VoipResult r = call.result();
+  EXPECT_GT(r.effective_loss(), 0.99);
+  EXPECT_LT(r.mean_mos, 2.0);  // every window is an interruption
+  EXPECT_TRUE(r.session_lengths_s.empty());
+}
+
+TEST(Voip, OutageCreatesInterruption) {
+  sim::Simulator sim;
+  LoopbackTransport link(sim, Time::millis(10));
+  VoipCall call(sim, link);
+  call.start(Time::seconds(30.0));
+  // 6-second blackout in the middle: two sessions.
+  sim.schedule(Time::seconds(12.0), [&] { link.set_drop_next(1000000); });
+  sim.schedule(Time::seconds(18.0), [&] { link.set_drop_next(0); });
+  sim.run_until(Time::seconds(31.0));
+  const VoipResult r = call.result();
+  EXPECT_GE(r.session_lengths_s.size(), 2u);
+}
+
+// -------------------------------------------------------------- Cellular --
+
+TEST(Cellular, TenKbFetchMatchesEvdoScale) {
+  sim::Simulator sim;
+  CellularTransport cell(sim, {}, Rng(1));
+  TcpTransfer down(sim, cell, 1, Direction::Downstream, 10 * 1024);
+  down.start();
+  sim.run_until(Time::seconds(20.0));
+  ASSERT_TRUE(down.complete());
+  const double t_down =
+      (down.completion_time() - down.start_time()).to_seconds();
+  // Paper: downlink median 0.75 s — same order of magnitude here.
+  EXPECT_GT(t_down, 0.3);
+  EXPECT_LT(t_down, 1.5);
+}
+
+TEST(Cellular, UplinkSlowerThanDownlink) {
+  sim::Simulator sim;
+  CellularTransport cell(sim, {}, Rng(2));
+  TcpTransfer down(sim, cell, 1, Direction::Downstream, 10 * 1024);
+  TcpTransfer up(sim, cell, 2, Direction::Upstream, 10 * 1024);
+  down.start();
+  up.start();
+  sim.run_until(Time::seconds(30.0));
+  ASSERT_TRUE(down.complete());
+  ASSERT_TRUE(up.complete());
+  EXPECT_GT((up.completion_time() - up.start_time()).to_seconds(),
+            (down.completion_time() - down.start_time()).to_seconds());
+}
+
+}  // namespace
+}  // namespace vifi::apps

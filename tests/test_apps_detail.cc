@@ -1,0 +1,186 @@
+// Deeper application-layer coverage: VoIP scoring mechanics, transfer
+// driver session accounting, CBR slot attribution, and transport routing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/cbr.h"
+#include "apps/transfer_driver.h"
+#include "apps/voip.h"
+#include "sim/simulator.h"
+#include "util/contracts.h"
+
+namespace vifi::apps {
+namespace {
+
+/// Loopback with per-direction delay control.
+class DirectionalLoopback final : public Transport {
+ public:
+  explicit DirectionalLoopback(sim::Simulator& sim) : sim_(sim) {}
+
+  void set_delay(Direction dir, Time d) { delay_[dir == Direction::Upstream] = d; }
+  void set_drop(Direction dir, bool drop) {
+    drop_[dir == Direction::Upstream] = drop;
+  }
+
+  void send(Direction dir, int bytes, int flow, std::uint64_t app_seq,
+            std::any data) override {
+    ++sent_[dir == Direction::Upstream];
+    if (drop_[dir == Direction::Upstream]) return;
+    auto p = factory_.make(dir, sim::NodeId(0), sim::NodeId(1), bytes,
+                           sim_.now(), flow, app_seq, std::move(data));
+    sim_.schedule(delay_[dir == Direction::Upstream], [this, p] {
+      const auto it = handlers_.find(p->flow);
+      if (it != handlers_.end()) it->second(p);
+    });
+  }
+  void subscribe(int flow, Handler handler) override {
+    handlers_[flow] = std::move(handler);
+  }
+  void unsubscribe(int flow) override { handlers_.erase(flow); }
+  Time now() const override { return sim_.now(); }
+  int sent(Direction dir) const { return sent_[dir == Direction::Upstream]; }
+
+ private:
+  sim::Simulator& sim_;
+  Time delay_[2] = {Time::millis(5), Time::millis(5)};
+  bool drop_[2] = {false, false};
+  int sent_[2] = {0, 0};
+  net::PacketFactory factory_;
+  std::map<int, Handler> handlers_;
+};
+
+TEST(VoipDetail, SendsBothDirectionsEveryInterval) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  VoipCall call(sim, link);
+  call.start(Time::seconds(2.0));
+  sim.run_until(Time::seconds(2.5));
+  // ~100 intervals, one packet each way.
+  EXPECT_NEAR(link.sent(Direction::Upstream), 100, 2);
+  EXPECT_NEAR(link.sent(Direction::Downstream), 100, 2);
+}
+
+TEST(VoipDetail, OneDeadDirectionHalvesOnTimeRate) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  link.set_drop(Direction::Upstream, true);
+  VoipCall call(sim, link);
+  call.start(Time::seconds(12.0));
+  sim.run_until(Time::seconds(13.0));
+  const VoipResult r = call.result();
+  EXPECT_NEAR(r.effective_loss(), 0.5, 0.02);
+  // Half the packets gone: every window sits right at the knee; MoS must
+  // be far below the clean-call value but above total loss.
+  EXPECT_LT(r.mean_mos, 2.6);
+  EXPECT_GT(r.mean_mos, 1.5);
+}
+
+TEST(VoipDetail, DeadlineBoundaryIsExact) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  // 52 ms is the budget: exactly at the deadline counts as on time.
+  link.set_delay(Direction::Upstream, Time::millis(52));
+  link.set_delay(Direction::Downstream, Time::millis(53));
+  VoipCall call(sim, link);
+  call.start(Time::seconds(6.0));
+  sim.run_until(Time::seconds(7.0));
+  const VoipResult r = call.result();
+  EXPECT_NEAR(r.effective_loss(), 0.5, 0.02);  // only downstream late
+}
+
+TEST(VoipDetail, WindowsWithoutTrafficAreInterruptions) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  VoipCall call(sim, link);
+  // Call scheduled for 12 s but packets stop at 6 s (tick stops itself at
+  // `until`; we emulate early hangup by dropping).
+  call.start(Time::seconds(6.0));
+  sim.run_until(Time::seconds(13.0));
+  const VoipResult r = call.result();
+  // Sessions only cover the first 6 seconds.
+  double total = 0.0;
+  for (double s : r.session_lengths_s) total += s;
+  EXPECT_LE(total, 6.0 + 1e-9);
+}
+
+TEST(MosSessions, EmptyAndAllBadInputs) {
+  EXPECT_TRUE(mos_session_lengths({}, 2.0, 3.0).empty());
+  EXPECT_TRUE(mos_session_lengths({1.0, 1.5, 1.9}, 2.0, 3.0).empty());
+  const auto all_good = mos_session_lengths({3.0, 3.0}, 2.0, 3.0);
+  EXPECT_EQ(all_good, (std::vector<double>{6.0}));
+}
+
+TEST(TransferDriverDetail, SessionsSplitOnlyOnAborts) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  TransferDriver driver(sim, link, Direction::Downstream);
+  driver.start(Time::seconds(30.0));
+  // Interrupt the service twice.
+  sim.schedule(Time::seconds(8.0),
+               [&] { link.set_drop(Direction::Downstream, true); });
+  sim.schedule(Time::seconds(19.5),
+               [&] { link.set_drop(Direction::Downstream, false); });
+  sim.run_until(Time::seconds(31.0));
+  const auto r = driver.result();
+  EXPECT_GE(r.aborted, 1);
+  // Sessions: before the outage and after it.
+  EXPECT_GE(r.transfers_per_session.size(), 2u);
+  int total = 0;
+  for (int n : r.transfers_per_session) total += n;
+  EXPECT_EQ(total, r.completed);
+}
+
+TEST(TransferDriverDetail, ZeroCompletionsMeansNoSessions) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  link.set_drop(Direction::Downstream, true);
+  link.set_drop(Direction::Upstream, true);
+  TransferDriver driver(sim, link, Direction::Downstream);
+  driver.start(Time::seconds(25.0));
+  sim.run_until(Time::seconds(26.0));
+  const auto r = driver.result();
+  EXPECT_EQ(r.completed, 0);
+  EXPECT_TRUE(r.transfers_per_session.empty());
+  EXPECT_GE(r.aborted, 1);
+  EXPECT_DOUBLE_EQ(r.transfers_per_second(), 0.0);
+}
+
+TEST(CbrDetail, SlotAccountingIsPerDirection) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  link.set_drop(Direction::Upstream, true);  // only downstream arrives
+  CbrWorkload cbr(sim, link);
+  cbr.start(Time::seconds(5.0));
+  sim.run_until(Time::seconds(6.0));
+  const auto stream = cbr.slot_stream();
+  for (int d : stream.delivered) EXPECT_LE(d, 1);
+  EXPECT_NEAR(static_cast<double>(cbr.delivered()),
+              static_cast<double>(cbr.sent()) / 2.0, 3.0);
+}
+
+TEST(CbrDetail, LateDeliveriesDoNotCount) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  link.set_delay(Direction::Upstream, Time::millis(200));  // > deadline
+  link.set_delay(Direction::Downstream, Time::millis(10));
+  CbrWorkload cbr(sim, link);
+  cbr.start(Time::seconds(5.0));
+  sim.run_until(Time::seconds(6.0));
+  const auto stream = cbr.slot_stream();
+  for (int d : stream.delivered) EXPECT_LE(d, 1);  // upstream always late
+}
+
+TEST(CbrDetail, StreamDurationMatchesRun) {
+  sim::Simulator sim;
+  DirectionalLoopback link(sim);
+  CbrWorkload cbr(sim, link);
+  cbr.start(Time::seconds(10.0));
+  sim.run_until(Time::seconds(11.0));
+  const auto stream = cbr.slot_stream();
+  EXPECT_NEAR(stream.duration().to_seconds(), 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace vifi::apps

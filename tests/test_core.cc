@@ -1,0 +1,396 @@
+// Unit tests for ViFi core components: pab estimation/gossip, the relay
+// probability computation (Eq. 1-3 and the ¬G variants), the sender's
+// adaptive retransmission, stats accounting, and the id set.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/id_set.h"
+#include "core/pab.h"
+#include "core/relay_policy.h"
+#include "core/stats.h"
+#include "util/contracts.h"
+
+namespace vifi::core {
+namespace {
+
+using sim::NodeId;
+
+// ------------------------------------------------------------------ Pab --
+
+TEST(PabTable, IncomingEstimateFromBeaconCounts) {
+  PabTable pab(NodeId(9), 10, 0.5);
+  // 8 of 10 beacons in the first second.
+  for (int i = 0; i < 8; ++i)
+    pab.note_beacon(NodeId(1), Time::millis(i * 10.0));
+  pab.tick_second(Time::seconds(1.0));
+  EXPECT_DOUBLE_EQ(pab.incoming(NodeId(1), Time::seconds(1.0)), 0.8);
+}
+
+TEST(PabTable, ExponentialAveraging) {
+  PabTable pab(NodeId(9), 10, 0.5);
+  for (int i = 0; i < 10; ++i)
+    pab.note_beacon(NodeId(1), Time::millis(i * 10.0));
+  pab.tick_second(Time::seconds(1.0));
+  // Second 2: silence while still fresh -> 0 sample folds in.
+  pab.tick_second(Time::seconds(2.0));
+  EXPECT_DOUBLE_EQ(pab.incoming(NodeId(1), Time::seconds(2.0)), 0.5);
+}
+
+TEST(PabTable, StaleEstimatesFallBack) {
+  PabTable pab(NodeId(9), 10, 0.5);
+  pab.note_beacon(NodeId(1), Time::zero());
+  pab.tick_second(Time::seconds(1.0));
+  EXPECT_GT(pab.incoming(NodeId(1), Time::seconds(1.0), -1.0), 0.0);
+  // Ten silent seconds later the estimate is stale.
+  for (int s = 2; s <= 12; ++s) pab.tick_second(Time::seconds(s));
+  EXPECT_DOUBLE_EQ(pab.incoming(NodeId(1), Time::seconds(30.0), -1.0), -1.0);
+}
+
+TEST(PabTable, GossipRoundTrip) {
+  PabTable pab(NodeId(9), 10, 0.5);
+  pab.fold_reports({{NodeId(2), NodeId(3), 0.6}}, Time::zero());
+  EXPECT_DOUBLE_EQ(pab.get(NodeId(2), NodeId(3), Time::zero()), 0.6);
+  // Unknown pair -> fallback.
+  EXPECT_DOUBLE_EQ(pab.get(NodeId(4), NodeId(5), Time::zero(), 0.25), 0.25);
+}
+
+TEST(PabTable, GossipAboutSelfIsIgnored) {
+  // We know our own incoming estimates better than remote gossip.
+  PabTable pab(NodeId(9), 10, 0.5);
+  pab.fold_reports({{NodeId(2), NodeId(9), 0.99}}, Time::zero());
+  EXPECT_DOUBLE_EQ(pab.get(NodeId(2), NodeId(9), Time::zero(), -1.0), -1.0);
+}
+
+TEST(PabTable, ExportContainsIncomingAndReverse) {
+  PabTable pab(NodeId(9), 10, 0.5);
+  for (int i = 0; i < 10; ++i)
+    pab.note_beacon(NodeId(1), Time::millis(i * 10.0));
+  pab.tick_second(Time::seconds(1.0));
+  // Gossip learned from BS1's beacon: our outgoing probability to it.
+  pab.fold_reports({{NodeId(9), NodeId(1), 0.7}}, Time::seconds(1.0));
+  const auto reports = pab.export_reports(Time::seconds(1.0));
+  bool has_incoming = false, has_reverse = false;
+  for (const auto& r : reports) {
+    if (r.from == NodeId(1) && r.to == NodeId(9)) has_incoming = true;
+    if (r.from == NodeId(9) && r.to == NodeId(1)) has_reverse = true;
+  }
+  EXPECT_TRUE(has_incoming);
+  EXPECT_TRUE(has_reverse);
+}
+
+TEST(PabTable, RecentNeighbors) {
+  PabTable pab(NodeId(9));
+  pab.note_beacon(NodeId(1), Time::seconds(1.0));
+  pab.note_beacon(NodeId(2), Time::seconds(5.0));
+  const auto recent =
+      pab.recent_neighbors(Time::seconds(6.0), Time::seconds(3.0));
+  EXPECT_EQ(recent, (std::vector<NodeId>{NodeId(2)}));
+}
+
+// --------------------------------------------------------- Relay policy --
+
+/// Builds a pab table holding the full probability matrix the computation
+/// needs, from the perspective of auxiliary `self`. Estimates about links
+/// *into self* cannot come from gossip (fold_reports rightly ignores
+/// them); they are established the way the protocol does it — by counting
+/// received beacons (p must be a multiple of 0.1).
+PabTable full_table(NodeId self, NodeId src, NodeId dst,
+                    const std::vector<std::pair<NodeId, double>>& ps_bi,
+                    double ps_d,
+                    const std::vector<std::pair<NodeId, double>>& pd_bi,
+                    const std::vector<std::pair<NodeId, double>>& pbi_d) {
+  PabTable pab(self, 10, 0.5);
+  std::vector<mac::ProbReport> reports;
+  auto own_or_gossip = [&](NodeId from, NodeId bi, double p) {
+    if (bi == self) {
+      const int beacons = static_cast<int>(p * 10.0 + 0.5);
+      for (int k = 0; k < beacons; ++k)
+        pab.note_beacon(from, Time::millis(k * 10.0));
+    } else {
+      reports.push_back({from, bi, p});
+    }
+  };
+  for (const auto& [bi, p] : ps_bi) own_or_gossip(src, bi, p);
+  reports.push_back({src, dst, ps_d});
+  for (const auto& [bi, p] : pd_bi) own_or_gossip(dst, bi, p);
+  for (const auto& [bi, p] : pbi_d) reports.push_back({bi, dst, p});
+  pab.tick_second(Time::seconds(1.0));
+  pab.fold_reports(reports, Time::seconds(1.0));
+  return pab;
+}
+
+RelayContext symmetric_context(const PabTable& pab, NodeId self, int n_aux) {
+  RelayContext ctx;
+  ctx.self = self;
+  ctx.src = NodeId(100);
+  ctx.dst = NodeId(101);
+  for (int i = 0; i < n_aux; ++i) ctx.auxiliaries.push_back(NodeId(i));
+  ctx.pab = &pab;
+  ctx.now = Time::seconds(1.0);
+  return ctx;
+}
+
+TEST(RelayPolicy, ContentionProbabilityMatchesEq3) {
+  const NodeId src(100), dst(101), self(0);
+  const PabTable pab = full_table(self, src, dst, {{self, 0.8}}, 0.6,
+                                  {{self, 0.5}}, {{self, 0.9}});
+  RelayContext ctx = symmetric_context(pab, self, 1);
+  // c = p(s->B) * (1 - p(s->d) p(d->B)) = 0.8 * (1 - 0.3) = 0.56.
+  EXPECT_NEAR(contention_probability(ctx, self), 0.56, 1e-9);
+}
+
+TEST(RelayPolicy, ExpectedRelaysEqualsOneSymmetricCase) {
+  // K identical auxiliaries: sum_i c_i * r_i should be 1, so each relays
+  // with probability 1 / (K * c).
+  const NodeId src(100), dst(101);
+  const int k = 4;
+  std::vector<std::pair<NodeId, double>> ps, pd, pb;
+  for (int i = 0; i < k; ++i) {
+    ps.push_back({NodeId(i), 0.8});
+    pd.push_back({NodeId(i), 0.5});
+    pb.push_back({NodeId(i), 0.6});
+  }
+  const PabTable pab = full_table(NodeId(0), src, dst, ps, 0.5, pd, pb);
+  RelayContext ctx = symmetric_context(pab, NodeId(0), k);
+  const double c = 0.8 * (1.0 - 0.5 * 0.5);
+  const double expected_r = 1.0 / (k * c);
+  EXPECT_NEAR(relay_probability(ctx, RelayVariant::ViFi), expected_r, 1e-9);
+
+  // Property: the expected number of relays across the set equals 1.
+  double total = 0.0;
+  for (int i = 0; i < k; ++i) {
+    ctx.self = NodeId(i);
+    total += c * relay_probability(ctx, RelayVariant::ViFi);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RelayPolicy, PrefersBetterConnectedAuxiliaries) {
+  // Eq. 2: r_i / r_j = p(Bi->d) / p(Bj->d). Three auxiliaries so no
+  // probability clamps at 1 and the ratio is exact.
+  const NodeId src(100), dst(101);
+  std::vector<std::pair<NodeId, double>> ps, pd;
+  for (int i = 0; i < 3; ++i) {
+    ps.push_back({NodeId(i), 0.8});
+    pd.push_back({NodeId(i), 0.4});
+  }
+  std::vector<std::pair<NodeId, double>> pb = {
+      {NodeId(0), 0.5}, {NodeId(1), 0.25}, {NodeId(2), 0.5}};
+  const PabTable pab = full_table(NodeId(0), src, dst, ps, 0.5, pd, pb);
+  RelayContext ctx = symmetric_context(pab, NodeId(0), 3);
+  const double r0 = relay_probability(ctx, RelayVariant::ViFi);
+  ctx.self = NodeId(1);
+  const double r1 = relay_probability(ctx, RelayVariant::ViFi);
+  EXPECT_LT(r0, 1.0);  // not clamped
+  EXPECT_NEAR(r0 / r1, 0.5 / 0.25, 1e-9);
+}
+
+TEST(RelayPolicy, ClampsToOne) {
+  // A single weakly-connected auxiliary must still clamp at 1.
+  const NodeId src(100), dst(101), self(0);
+  const PabTable pab = full_table(self, src, dst, {{self, 0.2}}, 0.1,
+                                  {{self, 0.1}}, {{self, 0.2}});
+  RelayContext ctx = symmetric_context(pab, self, 1);
+  EXPECT_DOUBLE_EQ(relay_probability(ctx, RelayVariant::ViFi), 1.0);
+}
+
+TEST(RelayPolicy, NoG1IgnoresOthers) {
+  const NodeId src(100), dst(101);
+  std::vector<std::pair<NodeId, double>> ps, pd, pb;
+  for (int i = 0; i < 5; ++i) {
+    ps.push_back({NodeId(i), 0.9});
+    pd.push_back({NodeId(i), 0.5});
+    pb.push_back({NodeId(i), 0.7});
+  }
+  const PabTable pab = full_table(NodeId(0), src, dst, ps, 0.5, pd, pb);
+  RelayContext ctx = symmetric_context(pab, NodeId(0), 5);
+  // ¬G1 relays with its delivery ratio regardless of the other four.
+  EXPECT_NEAR(relay_probability(ctx, RelayVariant::NoG1), 0.7, 1e-9);
+  // ViFi shares the expectation across all five.
+  EXPECT_LT(relay_probability(ctx, RelayVariant::ViFi), 0.7);
+}
+
+TEST(RelayPolicy, NoG2IgnoresConnectivity) {
+  const NodeId src(100), dst(101);
+  std::vector<std::pair<NodeId, double>> ps = {{NodeId(0), 0.8},
+                                               {NodeId(1), 0.8}};
+  std::vector<std::pair<NodeId, double>> pd = {{NodeId(0), 0.0},
+                                               {NodeId(1), 0.0}};
+  std::vector<std::pair<NodeId, double>> pb = {{NodeId(0), 0.9},
+                                               {NodeId(1), 0.1}};
+  const PabTable pab = full_table(NodeId(0), src, dst, ps, 0.0, pd, pb);
+  RelayContext ctx = symmetric_context(pab, NodeId(0), 2);
+  const double r0 = relay_probability(ctx, RelayVariant::NoG2);
+  ctx.self = NodeId(1);
+  const double r1 = relay_probability(ctx, RelayVariant::NoG2);
+  EXPECT_NEAR(r0, r1, 1e-9);  // same probability despite pb mismatch
+}
+
+TEST(RelayPolicy, NoG3Waterfills) {
+  // Expected deliveries = 1: the best auxiliary relays with 1 first.
+  const NodeId src(100), dst(101);
+  std::vector<std::pair<NodeId, double>> ps = {{NodeId(0), 1.0},
+                                               {NodeId(1), 1.0}};
+  std::vector<std::pair<NodeId, double>> pd = {{NodeId(0), 0.0},
+                                               {NodeId(1), 0.0}};
+  std::vector<std::pair<NodeId, double>> pb = {{NodeId(0), 0.9},
+                                               {NodeId(1), 0.8}};
+  const PabTable pab = full_table(NodeId(0), src, dst, ps, 0.0, pd, pb);
+  RelayContext ctx = symmetric_context(pab, NodeId(0), 2);
+  // Best BS: cap = 0.9 * 1.0 = 0.9 < 1 -> relays with probability 1.
+  EXPECT_NEAR(relay_probability(ctx, RelayVariant::NoG3), 1.0, 1e-9);
+  // Second BS fills the remaining 0.1: r = 0.1 / 0.8.
+  ctx.self = NodeId(1);
+  EXPECT_NEAR(relay_probability(ctx, RelayVariant::NoG3), 0.1 / 0.8, 1e-9);
+}
+
+TEST(RelayPolicy, NoG3RelaysMoreThanViFiInExpectation) {
+  // The paper's point: expected *deliveries* = 1 forces more relays when
+  // links are weak.
+  const NodeId src(100), dst(101);
+  const int k = 4;
+  std::vector<std::pair<NodeId, double>> ps, pd, pb;
+  for (int i = 0; i < k; ++i) {
+    ps.push_back({NodeId(i), 0.9});
+    pd.push_back({NodeId(i), 0.2});
+    pb.push_back({NodeId(i), 0.3});
+  }
+  const PabTable pab = full_table(NodeId(0), src, dst, ps, 0.4, pd, pb);
+  double vifi_expected = 0.0, nog3_expected = 0.0;
+  for (int i = 0; i < k; ++i) {
+    RelayContext ctx = symmetric_context(pab, NodeId(i), k);
+    const double c = contention_probability(ctx, NodeId(i));
+    vifi_expected += c * relay_probability(ctx, RelayVariant::ViFi);
+    nog3_expected += c * relay_probability(ctx, RelayVariant::NoG3);
+  }
+  EXPECT_NEAR(vifi_expected, 1.0, 1e-6);
+  EXPECT_GT(nog3_expected, 1.5);
+}
+
+TEST(RelayPolicy, SymmetryFallbackUsesReverseDirection) {
+  PabTable pab(NodeId(0));
+  pab.fold_reports({{NodeId(3), NodeId(2), 0.45}}, Time::zero());
+  EXPECT_DOUBLE_EQ(
+      pab_or_symmetric(pab, NodeId(2), NodeId(3), Time::zero(), 0.0), 0.45);
+}
+
+TEST(RelayPolicy, UndesignatedAuxiliaryFallsBackConservatively) {
+  const NodeId src(100), dst(101), self(7);
+  const PabTable pab = full_table(self, src, dst, {}, 0.5, {},
+                                  {{self, 0.6}});
+  RelayContext ctx;
+  ctx.self = self;
+  ctx.src = src;
+  ctx.dst = dst;
+  ctx.auxiliaries = {NodeId(0)};  // self not designated
+  ctx.pab = &pab;
+  ctx.now = Time::zero();
+  EXPECT_NEAR(relay_probability(ctx, RelayVariant::ViFi), 0.6, 1e-9);
+}
+
+// ------------------------------------------------------------- VifiStats --
+
+TEST(VifiStats, Table1StyleAccounting) {
+  VifiStats stats;
+  using D = Direction;
+  // Attempt 1: reaches destination, one aux heard, relayed anyway (FP).
+  stats.on_source_tx(1, 1, D::Upstream, Time::zero(), 5);
+  stats.on_dst_rx_direct(1, 1);
+  stats.on_aux_overhear(1, 1, NodeId(2));
+  stats.on_aux_contend(1, 1, NodeId(2));
+  stats.on_aux_relay(1, 1, NodeId(2));
+  stats.on_relay_reached_dst(1, 1, NodeId(2));
+  // Attempt 2: fails, two aux heard, one relays successfully.
+  stats.on_source_tx(2, 1, D::Upstream, Time::zero(), 5);
+  stats.on_aux_overhear(2, 1, NodeId(2));
+  stats.on_aux_overhear(2, 1, NodeId(3));
+  stats.on_aux_contend(2, 1, NodeId(3));
+  stats.on_aux_relay(2, 1, NodeId(3));
+  stats.on_relay_reached_dst(2, 1, NodeId(3));
+  // Attempt 3: fails, covered but nobody relays (FN).
+  stats.on_source_tx(3, 1, D::Upstream, Time::zero(), 5);
+  stats.on_aux_overhear(3, 1, NodeId(2));
+
+  const CoordinationSummary s = stats.coordination(D::Upstream);
+  EXPECT_EQ(s.attempts, 3);
+  EXPECT_DOUBLE_EQ(s.median_designated_aux, 5.0);
+  EXPECT_NEAR(s.avg_aux_heard, 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.frac_src_tx_reached_dst, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.frac_src_tx_failed, 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.false_positive_rate, 1.0);   // 1 FP relay / 1 success
+  EXPECT_DOUBLE_EQ(s.avg_relays_when_fp, 1.0);
+  EXPECT_DOUBLE_EQ(s.frac_failed_with_aux_cover, 1.0);
+  EXPECT_DOUBLE_EQ(s.false_negative_rate, 0.5);   // 1 of 2 failures
+  EXPECT_DOUBLE_EQ(s.frac_relays_reached_dst, 1.0);
+}
+
+TEST(VifiStats, DirectionsAreSeparate) {
+  VifiStats stats;
+  stats.on_source_tx(1, 1, Direction::Upstream, Time::zero(), 1);
+  stats.on_source_tx(2, 1, Direction::Downstream, Time::zero(), 1);
+  EXPECT_EQ(stats.coordination(Direction::Upstream).attempts, 1);
+  EXPECT_EQ(stats.coordination(Direction::Downstream).attempts, 1);
+}
+
+TEST(VifiStats, EfficiencyCountsDeliveredPerTx) {
+  VifiStats stats;
+  stats.on_wireless_data_tx(Direction::Upstream);
+  stats.on_wireless_data_tx(Direction::Upstream);
+  stats.on_app_delivered(Direction::Upstream);
+  const EfficiencySummary e = stats.efficiency();
+  EXPECT_DOUBLE_EQ(e.up, 0.5);
+}
+
+TEST(VifiStats, PerfectRelayUpstreamUsesAuxCoverage) {
+  VifiStats stats;
+  // Two attempts: one heard only by an aux, one heard by nobody.
+  stats.on_source_tx(1, 1, Direction::Upstream, Time::zero(), 3);
+  stats.on_aux_overhear(1, 1, NodeId(0));
+  stats.on_source_tx(2, 1, Direction::Upstream, Time::zero(), 3);
+  const EfficiencySummary e = stats.efficiency();
+  EXPECT_DOUBLE_EQ(e.perfect_up, 0.5);
+}
+
+TEST(VifiStats, PerfectRelayDownstreamRules) {
+  VifiStats stats;
+  // Attempt 1: dst heard directly (no relay cost).
+  stats.on_source_tx(1, 1, Direction::Downstream, Time::zero(), 3);
+  stats.on_dst_rx_direct(1, 1);
+  // Attempt 2: missed, ViFi relayed and the relay reached dst.
+  stats.on_source_tx(2, 1, Direction::Downstream, Time::zero(), 3);
+  stats.on_aux_overhear(2, 1, NodeId(0));
+  stats.on_aux_relay(2, 1, NodeId(0));
+  stats.on_relay_reached_dst(2, 1, NodeId(0));
+  // Attempt 3: missed, aux heard it, ViFi did not relay (rule ii: Perfect
+  // would have relayed successfully).
+  stats.on_source_tx(3, 1, Direction::Downstream, Time::zero(), 3);
+  stats.on_aux_overhear(3, 1, NodeId(0));
+  const EfficiencySummary e = stats.efficiency();
+  // Delivered: 3 of 3; transmissions: 3 source + 2 relays.
+  EXPECT_NEAR(e.perfect_down, 3.0 / 5.0, 1e-9);
+}
+
+// ------------------------------------------------------------ RecentIdSet --
+
+TEST(RecentIdSet, InsertAndContains) {
+  RecentIdSet set(4);
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_FALSE(set.insert(1));
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_FALSE(set.contains(2));
+}
+
+TEST(RecentIdSet, EvictsOldestBeyondCapacity) {
+  RecentIdSet set(3);
+  for (std::uint64_t id = 1; id <= 5; ++id) set.insert(id);
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+}  // namespace
+}  // namespace vifi::core

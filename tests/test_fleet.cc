@@ -1,0 +1,147 @@
+// Multi-vehicle (fleet) tests: two ViFi clients sharing the same BSes,
+// medium, and backplane must be anchored and served independently.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "fakes.h"
+#include "sim/simulator.h"
+
+namespace vifi {
+namespace {
+
+using core::SystemConfig;
+using core::VifiSystem;
+using sim::NodeId;
+using testing::ScriptedLoss;
+
+/// Two BSes, two vehicles, a gateway. Vehicle A lives near BS0, vehicle B
+/// near BS1.
+class FleetTest : public ::testing::Test {
+ protected:
+  static constexpr int kBs0 = 0, kBs1 = 1, kVehA = 2, kVehB = 3, kGw = 4;
+
+  void build(SystemConfig config = {}) {
+    config.seed = 5;
+    system_ = std::make_unique<VifiSystem>(
+        sim_, loss_, std::vector<NodeId>{NodeId(kBs0), NodeId(kBs1)},
+        std::vector<NodeId>{NodeId(kVehA), NodeId(kVehB)}, NodeId(kGw),
+        config);
+    system_->vehicle(NodeId(kVehA)).set_delivery_handler(
+        [this](const net::PacketPtr& p) { got_a_.push_back(p->id); });
+    system_->vehicle(NodeId(kVehB)).set_delivery_handler(
+        [this](const net::PacketPtr& p) { got_b_.push_back(p->id); });
+    system_->host().set_delivery_handler(
+        [this](const net::PacketPtr& p) { got_host_.push_back(p->src); });
+    system_->start();
+  }
+
+  void connect_disjoint() {
+    loss_.set(NodeId(kBs0), NodeId(kVehA), 0.95);
+    loss_.set(NodeId(kBs1), NodeId(kVehB), 0.95);
+    loss_.set(NodeId(kBs0), NodeId(kBs1), 0.0);
+    // Vehicles out of each other's range.
+    loss_.set(NodeId(kVehA), NodeId(kVehB), 0.0);
+  }
+
+  void run_for(Time d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulator sim_;
+  ScriptedLoss loss_;
+  std::unique_ptr<VifiSystem> system_;
+  std::vector<std::uint64_t> got_a_, got_b_;
+  std::vector<NodeId> got_host_;
+};
+
+TEST_F(FleetTest, VehiclesAnchorIndependently) {
+  connect_disjoint();
+  build();
+  run_for(Time::seconds(3.0));
+  EXPECT_EQ(system_->vehicle(NodeId(kVehA)).anchor(), NodeId(kBs0));
+  EXPECT_EQ(system_->vehicle(NodeId(kVehB)).anchor(), NodeId(kBs1));
+}
+
+TEST_F(FleetTest, GatewayRoutesDownstreamPerVehicle) {
+  connect_disjoint();
+  build();
+  run_for(Time::seconds(3.0));
+  EXPECT_EQ(system_->host().registered_anchor(NodeId(kVehA)), NodeId(kBs0));
+  EXPECT_EQ(system_->host().registered_anchor(NodeId(kVehB)), NodeId(kBs1));
+  const auto pa = system_->send_down(100, 0, 0, {}, NodeId(kVehA));
+  const auto pb = system_->send_down(100, 0, 0, {}, NodeId(kVehB));
+  run_for(Time::seconds(1.0));
+  ASSERT_EQ(got_a_.size(), 1u);
+  ASSERT_EQ(got_b_.size(), 1u);
+  EXPECT_EQ(got_a_[0], pa->id);
+  EXPECT_EQ(got_b_[0], pb->id);
+}
+
+TEST_F(FleetTest, UpstreamCarriesSourceIdentity) {
+  connect_disjoint();
+  build();
+  run_for(Time::seconds(3.0));
+  system_->send_up(100, 0, 0, {}, NodeId(kVehA));
+  system_->send_up(100, 0, 0, {}, NodeId(kVehB));
+  run_for(Time::seconds(1.0));
+  ASSERT_EQ(got_host_.size(), 2u);
+  EXPECT_NE(std::find(got_host_.begin(), got_host_.end(), NodeId(kVehA)),
+            got_host_.end());
+  EXPECT_NE(std::find(got_host_.begin(), got_host_.end(), NodeId(kVehB)),
+            got_host_.end());
+}
+
+TEST_F(FleetTest, OneBsCanAnchorTwoVehicles) {
+  // Both vehicles camp on BS0.
+  loss_.set(NodeId(kBs0), NodeId(kVehA), 0.95);
+  loss_.set(NodeId(kBs0), NodeId(kVehB), 0.95);
+  loss_.set(NodeId(kVehA), NodeId(kVehB), 0.0);
+  build();
+  run_for(Time::seconds(3.0));
+  EXPECT_EQ(system_->vehicle(NodeId(kVehA)).anchor(), NodeId(kBs0));
+  EXPECT_EQ(system_->vehicle(NodeId(kVehB)).anchor(), NodeId(kBs0));
+  for (int i = 0; i < 10; ++i) {
+    system_->send_down(100, 0, static_cast<std::uint64_t>(i), {},
+                       NodeId(kVehA));
+    system_->send_down(100, 0, static_cast<std::uint64_t>(i), {},
+                       NodeId(kVehB));
+    run_for(Time::millis(100.0));
+  }
+  run_for(Time::seconds(1.0));
+  EXPECT_EQ(got_a_.size(), 10u);
+  EXPECT_EQ(got_b_.size(), 10u);
+}
+
+TEST_F(FleetTest, SalvageIsScopedToTheRightVehicle) {
+  // Both vehicles anchored at BS0; vehicle A moves to BS1, vehicle B
+  // stays. Only A's stranded packets may be salvaged.
+  loss_.set(NodeId(kBs0), NodeId(kVehA), 0.95);
+  loss_.set(NodeId(kBs0), NodeId(kVehB), 0.95);
+  build();
+  run_for(Time::seconds(3.0));
+  ASSERT_EQ(system_->vehicle(NodeId(kVehA)).anchor(), NodeId(kBs0));
+
+  loss_.set_directed(NodeId(kBs0), NodeId(kVehA), 0.0);
+  loss_.set(NodeId(kBs1), NodeId(kVehA), 0.95);
+  for (int i = 0; i < 100; ++i) {
+    system_->send_down(100, 0, static_cast<std::uint64_t>(i), {},
+                       NodeId(kVehA));
+    system_->send_down(100, 0, static_cast<std::uint64_t>(i), {},
+                       NodeId(kVehB));
+    run_for(Time::millis(50.0));
+  }
+  EXPECT_EQ(system_->vehicle(NodeId(kVehA)).anchor(), NodeId(kBs1));
+  EXPECT_EQ(system_->vehicle(NodeId(kVehB)).anchor(), NodeId(kBs0));
+  // B's stream was never disrupted.
+  EXPECT_EQ(got_b_.size(), 100u);
+  // A recovered at least some packets after re-anchoring.
+  EXPECT_GT(got_a_.size(), 20u);
+}
+
+TEST_F(FleetTest, UnknownVehicleIdThrows) {
+  connect_disjoint();
+  build();
+  EXPECT_THROW(system_->vehicle(NodeId(99)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace vifi

@@ -1,0 +1,224 @@
+// Unit tests for the six §3.1 handoff policies and the trace replayer.
+
+#include <gtest/gtest.h>
+
+#include "handoff/policies.h"
+#include "handoff/replay.h"
+#include "trace/observations.h"
+
+namespace vifi::handoff {
+namespace {
+
+using sim::NodeId;
+using trace::BeaconObs;
+using trace::MeasurementTrace;
+using trace::ProbeSlot;
+
+/// Builds a trace where BS0 is strong for the first half of the trip and
+/// BS1 for the second half; beacons and probes agree.
+MeasurementTrace two_phase_trace(int seconds = 10) {
+  MeasurementTrace t;
+  t.testbed = "synthetic";
+  t.duration = Time::seconds(seconds);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0), NodeId(1)};
+  for (int s = 0; s < seconds; ++s) {
+    const NodeId good = s < seconds / 2 ? NodeId(0) : NodeId(1);
+    for (int i = 0; i < 10; ++i) {
+      ProbeSlot slot;
+      slot.t = Time::millis(s * 1000.0 + i * 100.0);
+      // One 25 m grid cell per second of driving.
+      slot.vehicle_pos = {s * 30.0, 0.0};
+      slot.down_heard = {good};
+      slot.up_heard_by = {good};
+      t.slots.push_back(slot);
+      t.vehicle_beacons.push_back(
+          {slot.t + Time::millis(3.0), good,
+           good == NodeId(0) ? -55.0 : -60.0});
+    }
+  }
+  return t;
+}
+
+TEST(BrrPolicy, TracksTheStrongBs) {
+  MeasurementTrace t = two_phase_trace(10);
+  BrrPolicy policy;
+  policy.begin_trip(t);
+  // Early in the trip: associated with BS0 (after a warm-up second).
+  EXPECT_EQ(policy.associate(25), NodeId(0));
+  // Late in the trip: must have switched to BS1.
+  EXPECT_EQ(policy.associate(95), NodeId(1));
+}
+
+TEST(BrrPolicy, ReplayDeliversNearlyEverything) {
+  // With one clearly best BS at all times, BRR should deliver almost all
+  // packets except around the switch.
+  MeasurementTrace t = two_phase_trace(10);
+  BrrPolicy policy;
+  const auto outcomes = replay_hard_handoff(t, policy);
+  const auto delivered = packets_delivered(outcomes);
+  // Loses only the warm-up second and the second around the switch.
+  EXPECT_GE(delivered, 2 * 75);
+  EXPECT_LE(delivered, 2 * 100);
+}
+
+TEST(RssiPolicy, PrefersStrongerSignal) {
+  // 20 s trace: the first-half BS (stronger RSSI while alive) must be
+  // dropped once its beacons go stale, despite its higher average.
+  MeasurementTrace t = two_phase_trace(20);
+  RssiPolicy policy;
+  policy.begin_trip(t);
+  EXPECT_EQ(policy.associate(60), NodeId(0));
+  EXPECT_EQ(policy.associate(195), NodeId(1));
+}
+
+TEST(RssiPolicy, StaleBsesAreNotCandidates) {
+  // BS0 beacons only in the first second, then silence; a fresh BS1
+  // appears later. RSSI must not cling to the stale BS0 estimate.
+  MeasurementTrace t;
+  t.duration = Time::seconds(10.0);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0), NodeId(1)};
+  for (int i = 0; i < 10; ++i) {
+    t.vehicle_beacons.push_back({Time::millis(i * 10.0), NodeId(0), -40.0});
+    ProbeSlot s;
+    s.t = Time::millis(i * 100.0);
+    t.slots.push_back(s);
+  }
+  for (int s = 1; s < 10; ++s)
+    for (int i = 0; i < 10; ++i) {
+      ProbeSlot slot;
+      slot.t = Time::millis(s * 1000.0 + i * 100.0);
+      t.slots.push_back(slot);
+      if (s >= 7)
+        t.vehicle_beacons.push_back(
+            {slot.t + Time::millis(1.0), NodeId(1), -80.0});
+    }
+  RssiPolicy policy;
+  policy.begin_trip(t);
+  EXPECT_EQ(policy.associate(99), NodeId(1));  // weak but fresh beats stale
+}
+
+TEST(StickyPolicy, HoldsThroughShortSilence) {
+  // BS0 goes silent for 2 s (shorter than the 3 s threshold): Sticky must
+  // not switch.
+  MeasurementTrace t;
+  t.duration = Time::seconds(8.0);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0), NodeId(1)};
+  for (int s = 0; s < 8; ++s)
+    for (int i = 0; i < 10; ++i) {
+      ProbeSlot slot;
+      slot.t = Time::millis(s * 1000.0 + i * 100.0);
+      t.slots.push_back(slot);
+      const bool bs0_silent = s >= 3 && s < 5;
+      if (!bs0_silent)
+        t.vehicle_beacons.push_back({slot.t, NodeId(0), -50.0});
+      t.vehicle_beacons.push_back({slot.t, NodeId(1), -65.0});
+    }
+  StickyPolicy policy;
+  policy.begin_trip(t);
+  EXPECT_EQ(policy.associate(20), NodeId(0));
+  EXPECT_EQ(policy.associate(45), NodeId(0));  // silent but within 3 s
+  EXPECT_EQ(policy.associate(70), NodeId(0));  // came back
+}
+
+TEST(StickyPolicy, SwitchesAfterLongSilence) {
+  MeasurementTrace t;
+  t.duration = Time::seconds(10.0);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0), NodeId(1)};
+  for (int s = 0; s < 10; ++s)
+    for (int i = 0; i < 10; ++i) {
+      ProbeSlot slot;
+      slot.t = Time::millis(s * 1000.0 + i * 100.0);
+      t.slots.push_back(slot);
+      if (s < 2) t.vehicle_beacons.push_back({slot.t, NodeId(0), -50.0});
+      t.vehicle_beacons.push_back({slot.t, NodeId(1), -65.0});
+    }
+  StickyPolicy policy;
+  policy.begin_trip(t);
+  EXPECT_EQ(policy.associate(15), NodeId(0));
+  EXPECT_EQ(policy.associate(90), NodeId(1));  // switched after 3 s silence
+}
+
+TEST(BestBsPolicy, PicksTheOracleBest) {
+  MeasurementTrace t = two_phase_trace(10);
+  BestBsPolicy policy;
+  policy.begin_trip(t);
+  // No warm-up needed: it reads the future.
+  EXPECT_EQ(policy.associate(0), NodeId(0));
+  EXPECT_EQ(policy.associate(99), NodeId(1));
+}
+
+TEST(BestBsPolicy, UpperBoundsPracticalPolicies) {
+  const MeasurementTrace t = two_phase_trace(20);
+  BestBsPolicy best;
+  BrrPolicy brr;
+  StickyPolicy sticky;
+  const auto d_best = packets_delivered(replay_hard_handoff(t, best));
+  const auto d_brr = packets_delivered(replay_hard_handoff(t, brr));
+  const auto d_sticky = packets_delivered(replay_hard_handoff(t, sticky));
+  EXPECT_GE(d_best, d_brr);
+  EXPECT_GE(d_best, d_sticky);
+}
+
+TEST(HistoryPolicy, UsesPreviousDayAtSameLocation) {
+  // Day 0 and day 1 have identical geometry; History on day 1 should pick
+  // the per-location winner instantly (no warm-up lag).
+  trace::Campaign campaign;
+  campaign.trips.push_back(two_phase_trace(10));
+  campaign.trips[0].day = 0;
+  MeasurementTrace day1 = two_phase_trace(10);
+  day1.day = 1;
+  campaign.trips.push_back(day1);
+
+  HistoryPolicy policy(campaign);
+  policy.begin_trip(campaign.trips[1]);
+  EXPECT_EQ(policy.associate(5), NodeId(0));  // immediately correct
+  EXPECT_EQ(policy.associate(95), NodeId(1));
+}
+
+TEST(AllBses, UnionDeliversEverythingAnyBsGot) {
+  MeasurementTrace t = two_phase_trace(6);
+  // Damage BS-specific reception: remove BS0 from one slot's down list.
+  t.slots[5].down_heard.clear();
+  const auto outcomes = replay_allbses(t);
+  EXPECT_FALSE(outcomes[5].down);
+  EXPECT_TRUE(outcomes[6].down);
+  const auto delivered = packets_delivered(outcomes);
+  EXPECT_EQ(delivered, 2 * 60 - 1);
+}
+
+TEST(AllBses, DominatesEveryHardHandoffPolicy) {
+  const MeasurementTrace t = two_phase_trace(20);
+  const auto d_all = packets_delivered(replay_allbses(t));
+  BestBsPolicy best;
+  EXPECT_GE(d_all, packets_delivered(replay_hard_handoff(t, best)));
+}
+
+TEST(AllBses, RestrictedToKBses) {
+  // With the per-second best-k restriction, k = 1 equals BestBS-like
+  // behaviour and k = all equals the full union.
+  const MeasurementTrace t = two_phase_trace(10);
+  const auto d1 = packets_delivered(replay_allbses(t, 1));
+  const auto d2 = packets_delivered(replay_allbses(t, 2));
+  const auto dall = packets_delivered(replay_allbses(t));
+  EXPECT_LE(d1, d2);
+  EXPECT_EQ(d2, dall);  // only two BSes exist
+}
+
+TEST(Replay, UnassociatedSlotsDeliverNothing) {
+  MeasurementTrace t = two_phase_trace(4);
+  // A policy that never associates.
+  class NullPolicy final : public HandoffPolicy {
+   public:
+    std::string name() const override { return "null"; }
+    void begin_trip(const MeasurementTrace&) override {}
+    NodeId associate(std::size_t) override { return NodeId{}; }
+  } null_policy;
+  EXPECT_EQ(packets_delivered(replay_hard_handoff(t, null_policy)), 0);
+}
+
+}  // namespace
+}  // namespace vifi::handoff

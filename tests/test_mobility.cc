@@ -1,0 +1,154 @@
+// Unit tests for geometry, waypoint paths, mobility models, and layouts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobility/layouts.h"
+#include "mobility/mobility.h"
+#include "mobility/path.h"
+#include "mobility/vec2.h"
+#include "util/contracts.h"
+
+namespace vifi::mobility {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, 4.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 6.0}));
+  EXPECT_EQ((b - a), (Vec2{2.0, 2.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), std::sqrt(8.0));
+}
+
+TEST(Vec2, Lerp) {
+  const Vec2 a{0.0, 0.0}, b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec2{5.0, 10.0}));
+}
+
+TEST(GridCell, QuantizesPositions) {
+  EXPECT_EQ(grid_cell({12.0, 37.0}, 25.0), (GridCell{0, 1}));
+  EXPECT_EQ(grid_cell({-1.0, 0.0}, 25.0), (GridCell{-1, 0}));
+  EXPECT_EQ(grid_cell({25.0, 50.0}, 25.0), (GridCell{1, 2}));
+}
+
+TEST(WaypointPath, OpenPathLengthAndPositions) {
+  WaypointPath p({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}}, false);
+  EXPECT_DOUBLE_EQ(p.total_length(), 20.0);
+  EXPECT_EQ(p.position_at_distance(0.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(p.position_at_distance(5.0), (Vec2{5.0, 0.0}));
+  EXPECT_EQ(p.position_at_distance(15.0), (Vec2{10.0, 5.0}));
+  // Clamps at the ends.
+  EXPECT_EQ(p.position_at_distance(25.0), (Vec2{10.0, 10.0}));
+  EXPECT_EQ(p.position_at_distance(-5.0), (Vec2{0.0, 0.0}));
+}
+
+TEST(WaypointPath, ClosedPathWraps) {
+  WaypointPath p({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}}, true);
+  EXPECT_DOUBLE_EQ(p.total_length(), 40.0);
+  EXPECT_EQ(p.position_at_distance(40.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(p.position_at_distance(45.0), (Vec2{5.0, 0.0}));
+  EXPECT_EQ(p.position_at_distance(-5.0), (Vec2{0.0, 5.0}));
+}
+
+TEST(WaypointPath, TooFewWaypointsThrows) {
+  EXPECT_THROW(WaypointPath({{0.0, 0.0}}, false), vifi::ContractViolation);
+}
+
+TEST(FixedPosition, NeverMoves) {
+  FixedPosition f({3.0, 4.0});
+  EXPECT_EQ(f.position_at(Time::zero()), (Vec2{3.0, 4.0}));
+  EXPECT_EQ(f.position_at(Time::hours(5.0)), (Vec2{3.0, 4.0}));
+}
+
+TEST(PathMobility, ConstantSpeedTraversal) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}}, false);
+  PathMobility m(p, 10.0);
+  EXPECT_EQ(m.position_at(Time::zero()), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(m.position_at(Time::seconds(5.0)), (Vec2{50.0, 0.0}));
+}
+
+TEST(PathMobility, LoopsOnClosedPath) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}, {100.0, 100.0}, {0.0, 100.0}},
+                 true);
+  PathMobility m(p, 10.0);
+  EXPECT_EQ(m.lap_time(), Time::seconds(40.0));
+  EXPECT_EQ(m.position_at(Time::seconds(40.0)), m.position_at(Time::zero()));
+  EXPECT_EQ(m.position_at(Time::seconds(45.0)),
+            m.position_at(Time::seconds(5.0)));
+}
+
+TEST(PathMobility, StartOffsetShiftsPhase) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}}, false);
+  PathMobility m(p, 10.0, 30.0);
+  EXPECT_EQ(m.position_at(Time::zero()), (Vec2{30.0, 0.0}));
+}
+
+TEST(PathMobility, NonPositiveSpeedThrows) {
+  WaypointPath p({{0.0, 0.0}, {1.0, 0.0}}, false);
+  EXPECT_THROW(PathMobility(p, 0.0), vifi::ContractViolation);
+}
+
+TEST(BusMobility, DwellsAtStops) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}, {100.0, 10.0}, {0.0, 10.0}},
+                 true);
+  BusMobility bus(p, 10.0, {{50.0, Time::seconds(5.0)}});
+  // Reaches the stop at t = 5 s, stays until t = 10 s.
+  EXPECT_EQ(bus.position_at(Time::seconds(5.0)), (Vec2{50.0, 0.0}));
+  EXPECT_EQ(bus.position_at(Time::seconds(7.0)), (Vec2{50.0, 0.0}));
+  EXPECT_EQ(bus.position_at(Time::seconds(10.0)), (Vec2{50.0, 0.0}));
+  EXPECT_EQ(bus.position_at(Time::seconds(11.0)), (Vec2{60.0, 0.0}));
+}
+
+TEST(BusMobility, LapTimeIncludesDwells) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}, {100.0, 10.0}, {0.0, 10.0}},
+                 true);
+  BusMobility bus(p, 10.0,
+                  {{50.0, Time::seconds(5.0)}, {150.0, Time::seconds(3.0)}});
+  EXPECT_EQ(bus.lap_time(), Time::seconds(22.0 + 8.0));
+  // Periodicity across laps.
+  EXPECT_EQ(bus.position_at(Time::seconds(31.0)),
+            bus.position_at(Time::seconds(1.0)));
+}
+
+TEST(Layouts, VanLanShape) {
+  const Layout l = vanlan_layout();
+  EXPECT_EQ(l.bs_count(), 11u);
+  EXPECT_TRUE(l.stops.empty());
+  for (const Vec2& p : l.bs_positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, l.area_width_m);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, l.area_height_m);
+  }
+  // ~40 km/h speed limit.
+  EXPECT_NEAR(l.cruise_mps, 11.1, 0.5);
+}
+
+TEST(Layouts, DieselNetChannelSizes) {
+  EXPECT_EQ(dieselnet_layout(1).bs_count(), 10u);
+  EXPECT_EQ(dieselnet_layout(6).bs_count(), 14u);
+  EXPECT_FALSE(dieselnet_layout(1).stops.empty());
+  EXPECT_THROW(dieselnet_layout(3), vifi::ContractViolation);
+}
+
+TEST(Layouts, VehicleMobilityFactory) {
+  const Layout van = vanlan_layout();
+  auto shuttle = make_vehicle_mobility(van);
+  ASSERT_NE(shuttle, nullptr);
+  // Shuttle moves.
+  EXPECT_NE(shuttle->position_at(Time::zero()),
+            shuttle->position_at(Time::seconds(10.0)));
+
+  const Layout bus_layout = dieselnet_layout(1);
+  auto bus = make_vehicle_mobility(bus_layout);
+  ASSERT_NE(bus, nullptr);
+  EXPECT_NE(bus->position_at(Time::zero()),
+            bus->position_at(Time::seconds(30.0)));
+}
+
+}  // namespace
+}  // namespace vifi::mobility

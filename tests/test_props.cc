@@ -1,0 +1,370 @@
+// Parameterized property suites (TEST_P sweeps) over the library's core
+// invariants: session accounting, relay-probability guarantees, channel
+// processes, CDFs, TCP delivery exactness, and time arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "analysis/sessions.h"
+#include "apps/tcp.h"
+#include "apps/transport.h"
+#include "channel/markov.h"
+#include "channel/trace_driven.h"
+#include "core/pab.h"
+#include "core/relay_policy.h"
+#include "util/cdf.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace vifi {
+namespace {
+
+// ----------------------------------------------------- session invariants --
+
+struct SessionCase {
+  double interval_s;
+  double min_ratio;
+};
+
+class SessionProperties : public ::testing::TestWithParam<SessionCase> {};
+
+analysis::SlotStream random_stream(std::uint64_t seed, int slots = 1200) {
+  analysis::SlotStream s;
+  Rng rng(seed);
+  // Bursty synthetic stream: alternating good/bad phases.
+  bool good = true;
+  int left = 0;
+  for (int i = 0; i < slots; ++i) {
+    if (left == 0) {
+      good = !good;
+      left = static_cast<int>(rng.uniform_int(5, 80));
+    }
+    --left;
+    const double p = good ? 0.9 : 0.15;
+    s.delivered.push_back((rng.bernoulli(p) ? 1 : 0) +
+                          (rng.bernoulli(p) ? 1 : 0));
+  }
+  return s;
+}
+
+TEST_P(SessionProperties, TotalSessionTimeNeverExceedsStreamDuration) {
+  const auto [interval_s, min_ratio] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto stream = random_stream(seed);
+    analysis::SessionDef def{Time::seconds(interval_s), min_ratio};
+    const auto lengths = analysis::session_lengths_s(stream, def);
+    const double total =
+        std::accumulate(lengths.begin(), lengths.end(), 0.0);
+    EXPECT_LE(total, stream.duration().to_seconds() + 1e-9);
+    for (double len : lengths) {
+      EXPECT_GT(len, 0.0);
+      // Lengths are whole multiples of the interval.
+      const double k = len / interval_s;
+      EXPECT_NEAR(k, std::round(k), 1e-9);
+    }
+  }
+}
+
+TEST_P(SessionProperties, SessionsMatchTimelineAccounting) {
+  const auto [interval_s, min_ratio] = GetParam();
+  const auto stream = random_stream(42);
+  analysis::SessionDef def{Time::seconds(interval_s), min_ratio};
+  const auto lengths = analysis::session_lengths_s(stream, def);
+  const auto tl = analysis::connectivity_timeline(stream, def);
+  const double total = std::accumulate(lengths.begin(), lengths.end(), 0.0);
+  EXPECT_NEAR(total, tl.adequate_s, 1e-9);
+  // '#' characters match total adequate intervals.
+  const auto hashes = std::count(tl.strip.begin(), tl.strip.end(), '#');
+  EXPECT_NEAR(static_cast<double>(hashes) * interval_s, total, 1e-9);
+}
+
+TEST_P(SessionProperties, MedianIsAnActualSessionLength) {
+  const auto [interval_s, min_ratio] = GetParam();
+  const auto stream = random_stream(7);
+  analysis::SessionDef def{Time::seconds(interval_s), min_ratio};
+  const auto lengths = analysis::session_lengths_s(stream, def);
+  if (lengths.empty()) return;
+  const double med = analysis::median_session_length(lengths);
+  EXPECT_NE(std::find(lengths.begin(), lengths.end(), med), lengths.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DefinitionSweep, SessionProperties,
+    ::testing::Values(SessionCase{0.5, 0.5}, SessionCase{1.0, 0.1},
+                      SessionCase{1.0, 0.5}, SessionCase{1.0, 0.9},
+                      SessionCase{2.0, 0.3}, SessionCase{4.0, 0.5},
+                      SessionCase{8.0, 0.7}, SessionCase{16.0, 0.5}));
+
+// ------------------------------------------------ relay-policy invariants --
+
+struct RelayCase {
+  int n_aux;
+  double ps;    // p(src -> aux)
+  double psd;   // p(src -> dst)
+  double pd;    // p(dst -> aux)
+  double pbd;   // p(aux -> dst)
+};
+
+class RelayProperties : public ::testing::TestWithParam<RelayCase> {
+ protected:
+  core::PabTable build_table(const RelayCase& c) {
+    core::PabTable pab(sim::NodeId(0), 10, 0.5);
+    std::vector<mac::ProbReport> reports;
+    const sim::NodeId src(100), dst(101);
+    const int own_beacons = static_cast<int>(c.ps * 10.0 + 0.5);
+    for (int k = 0; k < own_beacons; ++k)
+      pab.note_beacon(src, Time::millis(k * 10.0));
+    const int dst_beacons = static_cast<int>(c.pd * 10.0 + 0.5);
+    for (int k = 0; k < dst_beacons; ++k)
+      pab.note_beacon(dst, Time::millis(k * 10.0 + 1.0));
+    pab.tick_second(Time::seconds(1.0));
+    for (int i = 1; i < c.n_aux; ++i) {
+      reports.push_back({src, sim::NodeId(i), c.ps});
+      reports.push_back({dst, sim::NodeId(i), c.pd});
+      reports.push_back({sim::NodeId(i), dst, c.pbd});
+    }
+    reports.push_back({sim::NodeId(0), dst, c.pbd});
+    reports.push_back({src, dst, c.psd});
+    pab.fold_reports(reports, Time::seconds(1.0));
+    return pab;
+  }
+
+  core::RelayContext context(const core::PabTable& pab, int n_aux,
+                             sim::NodeId self) {
+    core::RelayContext ctx;
+    ctx.self = self;
+    ctx.src = sim::NodeId(100);
+    ctx.dst = sim::NodeId(101);
+    for (int i = 0; i < n_aux; ++i) ctx.auxiliaries.push_back(sim::NodeId(i));
+    ctx.pab = &pab;
+    ctx.now = Time::seconds(1.0);
+    return ctx;
+  }
+};
+
+TEST_P(RelayProperties, AllVariantsYieldValidProbabilities) {
+  const RelayCase c = GetParam();
+  const core::PabTable pab = build_table(c);
+  for (const auto variant :
+       {core::RelayVariant::ViFi, core::RelayVariant::NoG1,
+        core::RelayVariant::NoG2, core::RelayVariant::NoG3}) {
+    const core::RelayContext ctx = context(pab, c.n_aux, sim::NodeId(0));
+    const double r = core::relay_probability(ctx, variant);
+    EXPECT_GE(r, 0.0) << core::to_string(variant);
+    EXPECT_LE(r, 1.0) << core::to_string(variant);
+  }
+}
+
+TEST_P(RelayProperties, ViFiExpectedRelaysIsOneUnlessClamped) {
+  const RelayCase c = GetParam();
+  const core::PabTable pab = build_table(c);
+  double expectation = 0.0;
+  bool clamped = false;
+  for (int i = 0; i < c.n_aux; ++i) {
+    core::RelayContext ctx = context(pab, c.n_aux, sim::NodeId(i));
+    const double ci = core::contention_probability(ctx, sim::NodeId(i));
+    const double ri = core::relay_probability(ctx, core::RelayVariant::ViFi);
+    if (ri >= 1.0) clamped = true;
+    expectation += ci * ri;
+  }
+  if (!clamped) {
+    // Gossip-vs-own-estimate asymmetry at B0 makes the sum approximate.
+    EXPECT_NEAR(expectation, 1.0, 0.15);
+  } else {
+    EXPECT_LE(expectation, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(RelayProperties, ContentionDecreasesWithAckAudibility) {
+  const RelayCase c = GetParam();
+  const core::PabTable pab = build_table(c);
+  core::RelayContext ctx = context(pab, c.n_aux, sim::NodeId(0));
+  const double base = core::contention_probability(ctx, sim::NodeId(0));
+  // c_i = ps * (1 - psd * pd): must always lie in [ps*(1-psd), ps].
+  const double ps = std::max(c.ps, 0.05);
+  EXPECT_LE(base, ps + 1e-9);
+  EXPECT_GE(base, ps * (1.0 - c.psd) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, RelayProperties,
+    ::testing::Values(RelayCase{1, 0.8, 0.5, 0.5, 0.6},
+                      RelayCase{2, 0.8, 0.5, 0.5, 0.6},
+                      RelayCase{3, 0.6, 0.3, 0.2, 0.4},
+                      RelayCase{5, 0.9, 0.7, 0.6, 0.8},
+                      RelayCase{8, 0.5, 0.2, 0.3, 0.3},
+                      RelayCase{12, 0.7, 0.5, 0.4, 0.5},
+                      RelayCase{4, 0.3, 0.1, 0.1, 0.2},
+                      RelayCase{6, 1.0, 0.9, 0.9, 0.9}));
+
+// -------------------------------------------------- two-state CTMC sweep --
+
+struct MarkovCase {
+  double mean_on_s;
+  double mean_off_s;
+};
+
+class MarkovProperties : public ::testing::TestWithParam<MarkovCase> {};
+
+TEST_P(MarkovProperties, LongRunFractionMatchesStationary) {
+  const auto [on_s, off_s] = GetParam();
+  channel::TwoStateProcess p = channel::TwoStateProcess::stationary(
+      Time::seconds(on_s), Time::seconds(off_s), Rng(99));
+  int on = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (p.on_at(Time::millis(20.0 * i))) ++on;
+  const double expected = on_s / (on_s + off_s);
+  EXPECT_NEAR(static_cast<double>(on) / n, expected, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(SojournSweep, MarkovProperties,
+                         ::testing::Values(MarkovCase{1.0, 1.0},
+                                           MarkovCase{0.5, 4.0},
+                                           MarkovCase{4.0, 0.5},
+                                           MarkovCase{2.0, 8.0},
+                                           MarkovCase{10.0, 50.0}));
+
+// ------------------------------------------------------------- CDF sweep --
+
+class CdfProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfProperties, QuantileAndFractionAreConsistent) {
+  Rng rng(GetParam());
+  Cdf cdf;
+  for (int i = 0; i < 300; ++i)
+    cdf.add(rng.uniform(0.0, 100.0), rng.uniform(0.5, 2.0));
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double v = cdf.quantile(q);
+    // At the q-quantile, at least q of the weight lies at or below v.
+    EXPECT_GE(cdf.fraction_at_or_below(v), q - 1e-9);
+  }
+  EXPECT_NEAR(cdf.fraction_at_or_below(1000.0), 1.0, 1e-12);
+}
+
+TEST_P(CdfProperties, MonotoneInX) {
+  Rng rng(GetParam() + 1000);
+  Cdf cdf;
+  for (int i = 0; i < 200; ++i) cdf.add(rng.normal(50.0, 20.0));
+  double prev = -1.0;
+  for (double x = -20.0; x <= 120.0; x += 2.5) {
+    const double y = cdf.fraction_at_or_below(x);
+    EXPECT_GE(y, prev - 1e-12);
+    prev = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfProperties,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ----------------------------------------------------- TCP delivery sweep --
+
+struct TcpCase {
+  std::int64_t bytes;
+  int drop_every;  ///< Drop every n-th transport send (0 = none).
+};
+
+/// Loopback transport that drops deterministically.
+class DroppyTransport final : public apps::Transport {
+ public:
+  explicit DroppyTransport(sim::Simulator& sim, int drop_every)
+      : sim_(sim), drop_every_(drop_every) {}
+
+  void send(net::Direction dir, int bytes, int flow, std::uint64_t app_seq,
+            std::any data) override {
+    ++count_;
+    if (drop_every_ > 0 && count_ % drop_every_ == 0) return;
+    auto p = factory_.make(dir, sim::NodeId(0), sim::NodeId(1), bytes,
+                           sim_.now(), flow, app_seq, std::move(data));
+    sim_.schedule(Time::millis(5), [this, p] {
+      const auto it = handlers_.find(p->flow);
+      if (it != handlers_.end()) it->second(p);
+    });
+  }
+  void subscribe(int flow, Handler handler) override {
+    handlers_[flow] = std::move(handler);
+  }
+  void unsubscribe(int flow) override { handlers_.erase(flow); }
+  Time now() const override { return sim_.now(); }
+
+ private:
+  sim::Simulator& sim_;
+  int drop_every_;
+  int count_ = 0;
+  net::PacketFactory factory_;
+  std::map<int, Handler> handlers_;
+};
+
+class TcpProperties : public ::testing::TestWithParam<TcpCase> {};
+
+TEST_P(TcpProperties, TransfersCompleteExactly) {
+  const auto [bytes, drop_every] = GetParam();
+  sim::Simulator sim;
+  DroppyTransport link(sim, drop_every);
+  apps::TcpTransfer xfer(sim, link, 1, net::Direction::Downstream, bytes);
+  xfer.start();
+  sim.run_until(Time::seconds(120.0));
+  ASSERT_TRUE(xfer.complete())
+      << "bytes=" << bytes << " drop_every=" << drop_every;
+  EXPECT_EQ(xfer.bytes_acked(), bytes);
+  if (drop_every == 0) {
+    EXPECT_EQ(xfer.retransmissions(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeAndLossSweep, TcpProperties,
+    ::testing::Values(TcpCase{100, 0}, TcpCase{1200, 0}, TcpCase{1201, 0},
+                      TcpCase{10 * 1024, 0}, TcpCase{100 * 1024, 0},
+                      TcpCase{10 * 1024, 7}, TcpCase{10 * 1024, 4},
+                      TcpCase{100 * 1024, 9}, TcpCase{3 * 1024, 3}));
+
+// --------------------------------------------------------- TraceLossModel --
+
+class ScheduleProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleProperties, EmpiricalRateTracksSchedule) {
+  Rng rng(GetParam());
+  channel::TraceLossModel model(Rng(GetParam() + 1));
+  std::vector<double> rates;
+  for (int sec = 0; sec < 5; ++sec) {
+    const double loss = rng.uniform(0.0, 1.0);
+    rates.push_back(loss);
+    model.set_loss_rate(sim::NodeId(0), sim::NodeId(1), sec, loss);
+  }
+  for (int sec = 0; sec < 5; ++sec) {
+    int got = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      const Time t = Time::seconds(sec) + Time::micros(200 * i);
+      if (model.sample_delivery(sim::NodeId(0), sim::NodeId(1), t)) ++got;
+    }
+    EXPECT_NEAR(static_cast<double>(got) / n, 1.0 - rates[static_cast<std::size_t>(sec)],
+                0.04);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperties,
+                         ::testing::Values(11, 22, 33));
+
+// ------------------------------------------------------------ time sweep --
+
+class TimeProperties : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TimeProperties, ArithmeticRoundTrips) {
+  const std::int64_t us = GetParam();
+  const Time t = Time::micros(us);
+  EXPECT_EQ(Time::seconds(t.to_seconds()).to_micros(), us);
+  EXPECT_EQ((t + Time::zero()), t);
+  EXPECT_EQ((t - t), Time::zero());
+  EXPECT_EQ((t * 2.0) / 2.0, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, TimeProperties,
+                         ::testing::Values(0, 1, -1, 999, 1'000'000,
+                                           -5'000'000, 123'456'789));
+
+}  // namespace
+}  // namespace vifi

@@ -1,0 +1,234 @@
+// Tests for testbed assembly, measurement-campaign generation, BS-subset
+// filtering, burst probing, and live-trip plumbing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/burst_probe.h"
+#include "scenario/campaign.h"
+#include "scenario/live.h"
+#include "scenario/testbed.h"
+#include "util/contracts.h"
+
+namespace vifi::scenario {
+namespace {
+
+TEST(Testbed, VanLanIdentityConventions) {
+  const Testbed bed = make_vanlan();
+  EXPECT_EQ(bed.bs_ids().size(), 11u);
+  EXPECT_EQ(bed.vehicle().value(), 11);
+  EXPECT_EQ(bed.wired_host().value(), 12);
+  for (std::size_t i = 0; i < bed.bs_ids().size(); ++i)
+    EXPECT_EQ(bed.bs_ids()[i].value(), static_cast<int>(i));
+}
+
+TEST(Testbed, BsPositionsAreFixedAndVehicleMoves) {
+  const Testbed bed = make_vanlan();
+  const auto bs = bed.bs_ids()[0];
+  EXPECT_EQ(bed.position(bs, Time::zero()),
+            bed.position(bs, Time::minutes(5.0)));
+  EXPECT_NE(bed.position(bed.vehicle(), Time::zero()),
+            bed.position(bed.vehicle(), Time::seconds(30.0)));
+}
+
+TEST(Testbed, TripDurationMatchesRouteAndSpeed) {
+  const Testbed van = make_vanlan();
+  // ~2.3 km loop at 11.1 m/s: a few minutes.
+  EXPECT_GT(van.trip_duration(), Time::seconds(120.0));
+  EXPECT_LT(van.trip_duration(), Time::seconds(400.0));
+  // Bus route includes dwell time.
+  const Testbed bus = make_dieselnet(1);
+  EXPECT_GT(bus.trip_duration(), Time::seconds(400.0));
+}
+
+TEST(Testbed, ChannelFactoryIsDeterministic) {
+  const Testbed bed = make_vanlan();
+  auto a = bed.make_channel(Rng(5));
+  auto b = bed.make_channel(Rng(5));
+  const auto veh = bed.vehicle();
+  for (int i = 0; i < 2000; ++i) {
+    const Time t = Time::millis(10.0 * i);
+    EXPECT_EQ(a->sample_delivery(bed.bs_ids()[0], veh, t),
+              b->sample_delivery(bed.bs_ids()[0], veh, t));
+  }
+}
+
+TEST(Campaign, ShapeMatchesConfig) {
+  const Testbed bed = make_vanlan();
+  CampaignConfig cfg;
+  cfg.days = 2;
+  cfg.trips_per_day = 3;
+  cfg.trip_duration = Time::seconds(30.0);
+  const auto campaign = generate_campaign(bed, cfg);
+  EXPECT_EQ(campaign.trips.size(), 6u);
+  EXPECT_EQ(campaign.days(), 2);
+  for (const auto& trip : campaign.trips) {
+    EXPECT_EQ(trip.duration, Time::seconds(30.0));
+    EXPECT_EQ(trip.bs_ids.size(), 11u);
+    EXPECT_EQ(trip.slots.size(), 300u);  // 10 per second
+    EXPECT_FALSE(trip.vehicle_beacons.empty());
+    EXPECT_TRUE(trip.bs_beacons.empty());  // not requested
+  }
+}
+
+TEST(Campaign, BeaconOnlyModeSkipsProbes) {
+  const Testbed bed = make_dieselnet(1);
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(20.0);
+  cfg.log_probes = false;
+  const auto campaign = generate_campaign(bed, cfg);
+  EXPECT_TRUE(campaign.trips[0].slots.empty());
+  EXPECT_FALSE(campaign.trips[0].vehicle_beacons.empty());
+}
+
+TEST(Campaign, BsBeaconLoggingWorks) {
+  const Testbed bed = make_vanlan();
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(20.0);
+  cfg.log_bs_beacons = true;
+  const auto campaign = generate_campaign(bed, cfg);
+  // Co-located building BSes certainly hear each other.
+  EXPECT_FALSE(campaign.trips[0].bs_beacons.empty());
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  const Testbed bed = make_vanlan();
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(15.0);
+  cfg.seed = 31337;
+  const auto a = generate_campaign(bed, cfg);
+  const auto b = generate_campaign(bed, cfg);
+  ASSERT_EQ(a.trips[0].slots.size(), b.trips[0].slots.size());
+  for (std::size_t i = 0; i < a.trips[0].slots.size(); ++i) {
+    EXPECT_EQ(a.trips[0].slots[i].down_heard, b.trips[0].slots[i].down_heard);
+    EXPECT_EQ(a.trips[0].slots[i].up_heard_by,
+              b.trips[0].slots[i].up_heard_by);
+  }
+  EXPECT_EQ(a.trips[0].vehicle_beacons.size(),
+            b.trips[0].vehicle_beacons.size());
+}
+
+TEST(Campaign, TripsAreIndependentRealisations) {
+  const Testbed bed = make_vanlan();
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 2;
+  cfg.trip_duration = Time::seconds(20.0);
+  const auto campaign = generate_campaign(bed, cfg);
+  int diff = 0;
+  for (std::size_t i = 0; i < campaign.trips[0].slots.size(); ++i)
+    if (campaign.trips[0].slots[i].down_heard !=
+        campaign.trips[1].slots[i].down_heard)
+      ++diff;
+  EXPECT_GT(diff, 0);
+}
+
+TEST(FilterSubset, DropsExcludedBsEverywhere) {
+  const Testbed bed = make_vanlan();
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(30.0);
+  const auto campaign = generate_campaign(bed, cfg);
+  const std::vector<sim::NodeId> keep{bed.bs_ids()[0], bed.bs_ids()[5]};
+  const auto filtered = filter_to_bs_subset(campaign.trips[0], keep);
+  EXPECT_EQ(filtered.bs_ids, keep);
+  const std::set<sim::NodeId> allowed(keep.begin(), keep.end());
+  for (const auto& slot : filtered.slots) {
+    for (auto id : slot.down_heard) EXPECT_TRUE(allowed.contains(id));
+    for (auto id : slot.up_heard_by) EXPECT_TRUE(allowed.contains(id));
+  }
+  for (const auto& b : filtered.vehicle_beacons)
+    EXPECT_TRUE(allowed.contains(b.bs));
+}
+
+TEST(FilterSubset, FullSubsetIsIdentity) {
+  const Testbed bed = make_vanlan();
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(10.0);
+  const auto campaign = generate_campaign(bed, cfg);
+  const auto filtered =
+      filter_to_bs_subset(campaign.trips[0], campaign.trips[0].bs_ids);
+  EXPECT_EQ(filtered.vehicle_beacons.size(),
+            campaign.trips[0].vehicle_beacons.size());
+  EXPECT_EQ(filtered.slots.size(), campaign.trips[0].slots.size());
+}
+
+TEST(BurstProbe, ProducesExpectedCounts) {
+  const Testbed bed = make_vanlan();
+  const auto run = burst_probe_single(bed, bed.bs_ids()[0],
+                                      Time::seconds(10.0), Time::millis(10),
+                                      Rng(1));
+  EXPECT_EQ(run.received.size(), 1000u);
+  EXPECT_EQ(run.in_range.size(), 1000u);
+}
+
+TEST(BurstProbe, InRangeMaskTracksGeometry) {
+  const Testbed bed = make_vanlan();
+  // Probe for a whole trip: the vehicle passes in and out of range of any
+  // single BS, so the mask must contain both values.
+  const auto run =
+      burst_probe_single(bed, bed.bs_ids()[0], bed.trip_duration(),
+                         Time::millis(10), Rng(2));
+  const auto in = std::count(run.in_range.begin(), run.in_range.end(), true);
+  EXPECT_GT(in, 0);
+  EXPECT_LT(static_cast<std::size_t>(in), run.in_range.size());
+}
+
+TEST(BurstProbe, PairRunsAreAligned) {
+  const Testbed bed = make_vanlan();
+  const auto run =
+      burst_probe_pair(bed, bed.bs_ids()[0], bed.bs_ids()[1],
+                       Time::seconds(20.0), Time::millis(20), Rng(3));
+  EXPECT_EQ(run.a_received.size(), run.b_received.size());
+  EXPECT_EQ(run.a_received.size(), run.both_in_range.size());
+  EXPECT_EQ(run.a_received.size(), 1000u);
+}
+
+TEST(LiveTrip, WarmupEstablishesProtocolState) {
+  const Testbed bed = make_vanlan();
+  LiveTrip trip(bed, core::SystemConfig{}, 42);
+  trip.run_until(LiveTrip::warmup());
+  EXPECT_TRUE(trip.system().vehicle().anchor().valid());
+  EXPECT_GE(trip.simulator().now(), LiveTrip::warmup());
+}
+
+TEST(LiveTrip, SameSeedSameAnchorSequence) {
+  const Testbed bed = make_vanlan();
+  LiveTrip a(bed, core::SystemConfig{}, 43);
+  LiveTrip b(bed, core::SystemConfig{}, 43);
+  a.run_until(Time::seconds(20.0));
+  b.run_until(Time::seconds(20.0));
+  EXPECT_EQ(a.system().vehicle().anchor(), b.system().vehicle().anchor());
+  EXPECT_EQ(a.system().vehicle().anchor_switches(),
+            b.system().vehicle().anchor_switches());
+}
+
+TEST(LiveTrip, TraceDrivenConstructorUsesSchedule) {
+  const Testbed bed = make_dieselnet(1);
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(30.0);
+  cfg.log_probes = false;
+  const auto campaign = generate_campaign(bed, cfg);
+  LiveTrip trip(bed, campaign.trips[0], core::SystemConfig{}, 44);
+  trip.run_until(Time::seconds(10.0));
+  // The loss model must be the schedule, not the stochastic channel:
+  // beyond the trace horizon everything is unreachable.
+  EXPECT_EQ(trip.loss_model().reception_prob(bed.bs_ids()[0], bed.vehicle(),
+                                             Time::seconds(10'000.0)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace vifi::scenario

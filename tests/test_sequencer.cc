@@ -1,0 +1,110 @@
+// Unit tests for the §4.7 in-order delivery buffer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sequencer.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/contracts.h"
+
+namespace vifi::core {
+namespace {
+
+class SequencerTest : public ::testing::Test {
+ protected:
+  SequencerTest()
+      : seq_(sim_, Time::millis(50), [this](const net::PacketPtr& p) {
+          delivered_.push_back(p->id);
+        }) {}
+
+  net::PacketPtr packet(std::uint64_t id) {
+    auto p = std::make_shared<net::Packet>();
+    p->id = id;
+    return p;
+  }
+
+  sim::Simulator sim_;
+  std::vector<std::uint64_t> delivered_;
+  Sequencer seq_;
+};
+
+TEST_F(SequencerTest, InOrderStreamsPassThrough) {
+  for (std::uint64_t s = 1; s <= 5; ++s) seq_.push(s, packet(100 + s));
+  EXPECT_EQ(delivered_,
+            (std::vector<std::uint64_t>{101, 102, 103, 104, 105}));
+  EXPECT_EQ(seq_.buffered(), 0u);
+}
+
+TEST_F(SequencerTest, ReordersASwappedPair) {
+  seq_.push(1, packet(11));
+  seq_.push(3, packet(13));  // 2 missing: held
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{11}));
+  EXPECT_EQ(seq_.buffered(), 1u);
+  seq_.push(2, packet(12));
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{11, 12, 13}));
+}
+
+TEST_F(SequencerTest, GapTimesOutAndStreamContinues) {
+  seq_.push(1, packet(11));
+  seq_.push(3, packet(13));
+  sim_.run_until(Time::millis(100));  // hold (50 ms) expires
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{11, 13}));
+  // The stream keeps flowing in order afterwards.
+  seq_.push(4, packet(14));
+  EXPECT_EQ(delivered_.back(), 14u);
+}
+
+TEST_F(SequencerTest, LatePredecessorDeliversImmediately) {
+  seq_.push(2, packet(12));
+  sim_.run_until(Time::millis(100));  // give up on seq 1
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{12}));
+  seq_.push(1, packet(11));  // finally shows up (e.g. very late relay)
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{12, 11}));
+  EXPECT_EQ(seq_.buffered(), 0u);
+}
+
+TEST_F(SequencerTest, MultipleGapsReleaseInOrderOnTimeout) {
+  seq_.push(2, packet(12));
+  seq_.push(5, packet(15));
+  seq_.push(4, packet(14));
+  EXPECT_TRUE(delivered_.empty());
+  sim_.run_until(Time::millis(200));
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{12, 14, 15}));
+}
+
+TEST_F(SequencerTest, PrefixReleaseAfterPartialTimeout) {
+  seq_.push(1, packet(11));
+  EXPECT_EQ(delivered_.size(), 1u);
+  sim_.run_until(Time::millis(30));
+  seq_.push(3, packet(13));  // waits for 2
+  sim_.run_until(Time::millis(60));
+  EXPECT_EQ(delivered_.size(), 1u);  // 13 still inside its hold window
+  sim_.run_until(Time::millis(100));
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{11, 13}));
+}
+
+TEST_F(SequencerTest, HoldBoundsDelay) {
+  // A held packet is never delayed more than `hold`.
+  seq_.push(2, packet(12));
+  const Time pushed = sim_.now();
+  sim_.run();
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{12}));
+  EXPECT_LE(sim_.now() - pushed, Time::millis(51));
+}
+
+TEST_F(SequencerTest, RejectsNullPacket) {
+  EXPECT_THROW(seq_.push(1, nullptr), vifi::ContractViolation);
+}
+
+TEST(SequencerConfig, RejectsBadConstruction) {
+  sim::Simulator sim;
+  EXPECT_THROW(Sequencer(sim, Time::zero(), [](const net::PacketPtr&) {}),
+               vifi::ContractViolation);
+  EXPECT_THROW(Sequencer(sim, Time::millis(1), nullptr),
+               vifi::ContractViolation);
+}
+
+}  // namespace
+}  // namespace vifi::core

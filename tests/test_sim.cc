@@ -1,0 +1,199 @@
+// Unit tests for the discrete-event engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/ids.h"
+#include "sim/simulator.h"
+#include "util/contracts.h"
+
+namespace vifi::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), Time::zero());
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(Time::millis(3.0), [&] { order.push_back(3); });
+  s.schedule(Time::millis(1.0), [&] { order.push_back(1); });
+  s.schedule(Time::millis(2.0), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    s.schedule(Time::millis(1.0), [&order, i] { order.push_back(i); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator s;
+  Time seen;
+  s.schedule(Time::seconds(2.5), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Time::seconds(2.5));
+  EXPECT_EQ(s.now(), Time::seconds(2.5));
+}
+
+TEST(Simulator, RunUntilStopsEarlyAndSetsClock) {
+  Simulator s;
+  bool fired = false;
+  s.schedule(Time::seconds(10.0), [&] { fired = true; });
+  s.run_until(Time::seconds(5.0));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.now(), Time::seconds(5.0));
+  s.run_until(Time::seconds(20.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) s.schedule(Time::millis(1.0), chain);
+  };
+  s.schedule(Time::millis(1.0), chain);
+  s.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.now(), Time::millis(10.0));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule(Time::millis(1.0), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceIsNoop) {
+  Simulator s;
+  const EventId id = s.schedule(Time::millis(1.0), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  s.run();
+}
+
+TEST(Simulator, CancelInvalidIdIsNoop) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(EventId{}));
+}
+
+TEST(Simulator, PendingEventsAccountsForCancellations) {
+  Simulator s;
+  const EventId a = s.schedule(Time::millis(1.0), [] {});
+  s.schedule(Time::millis(2.0), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s;
+  int count = 0;
+  s.schedule(Time::millis(1.0), [&] {
+    ++count;
+    s.stop();
+  });
+  s.schedule(Time::millis(2.0), [&] { ++count; });
+  s.run();
+  EXPECT_EQ(count, 1);
+  s.run();  // resumes with remaining events
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator s;
+  s.schedule(Time::millis(5.0), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(Time::millis(1.0), [] {}),
+               vifi::ContractViolation);
+  EXPECT_THROW(s.schedule(Time::millis(-1.0), [] {}),
+               vifi::ContractViolation);
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(Time::millis(i + 1.0), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulator s;
+  int fires = 0;
+  PeriodicTimer t(s, Time::millis(10.0), [&] { ++fires; });
+  t.start();
+  s.run_until(Time::millis(35.0));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimer, StartAfterCustomDelay) {
+  Simulator s;
+  std::vector<Time> at;
+  PeriodicTimer t(s, Time::millis(10.0), [&] { at.push_back(s.now()); });
+  t.start_after(Time::millis(1.0));
+  s.run_until(Time::millis(25.0));
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], Time::millis(1.0));
+  EXPECT_EQ(at[1], Time::millis(11.0));
+}
+
+TEST(PeriodicTimer, StopPreventsFurtherFires) {
+  Simulator s;
+  int fires = 0;
+  PeriodicTimer t(s, Time::millis(5.0), [&] { ++fires; });
+  t.start();
+  s.schedule(Time::millis(12.0), [&] { t.stop(); });
+  s.run_until(Time::millis(50.0));
+  EXPECT_EQ(fires, 2);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, CallbackCanStopItself) {
+  Simulator s;
+  int fires = 0;
+  PeriodicTimer t(s, Time::millis(5.0), [&] {
+    if (++fires == 2) t.stop();
+  });
+  t.start();
+  s.run_until(Time::seconds(1.0));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimer, ZeroPeriodThrows) {
+  Simulator s;
+  EXPECT_THROW(PeriodicTimer(s, Time::zero(), [] {}),
+               vifi::ContractViolation);
+}
+
+TEST(NodeId, Basics) {
+  EXPECT_FALSE(NodeId{}.valid());
+  EXPECT_TRUE(NodeId(0).valid());
+  EXPECT_LT(NodeId(1), NodeId(2));
+  EXPECT_EQ(NodeId(3).to_string(), "n3");
+  EXPECT_FALSE(kBroadcast.valid());
+}
+
+TEST(LinkKey, OrderingAndHash) {
+  const LinkKey a{NodeId(1), NodeId(2)};
+  const LinkKey b{NodeId(2), NodeId(1)};
+  EXPECT_NE(a, b);
+  EXPECT_EQ((std::hash<LinkKey>{}(a)), (std::hash<LinkKey>{}(a)));
+}
+
+}  // namespace
+}  // namespace vifi::sim

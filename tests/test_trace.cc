@@ -1,0 +1,210 @@
+// Unit tests for trace records, serialisation round-trips, and the §5.1
+// beacon-log -> loss-schedule conversion.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/loss_schedule.h"
+#include "trace/observations.h"
+#include "trace/trace_io.h"
+
+namespace vifi::trace {
+namespace {
+
+using sim::NodeId;
+
+MeasurementTrace tiny_trace() {
+  MeasurementTrace t;
+  t.testbed = "TestBed";
+  t.day = 1;
+  t.trip = 2;
+  t.duration = Time::seconds(3.0);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0), NodeId(1)};
+  ProbeSlot s;
+  s.t = Time::millis(100.0);
+  s.vehicle_pos = {12.5, 7.25};
+  s.down_heard = {NodeId(0)};
+  s.up_heard_by = {NodeId(0), NodeId(1)};
+  t.slots.push_back(s);
+  t.vehicle_beacons.push_back({Time::millis(137.0), NodeId(0), -61.5});
+  t.vehicle_beacons.push_back({Time::millis(1137.0), NodeId(1), -70.25});
+  t.bs_beacons.push_back({Time::millis(200.0), NodeId(0), NodeId(1)});
+  return t;
+}
+
+TEST(ProbeSlot, MembershipQueries) {
+  const MeasurementTrace t = tiny_trace();
+  EXPECT_TRUE(t.slots[0].down_from(NodeId(0)));
+  EXPECT_FALSE(t.slots[0].down_from(NodeId(1)));
+  EXPECT_TRUE(t.slots[0].up_to(NodeId(1)));
+}
+
+TEST(BeaconCounts, PerSecondBuckets) {
+  MeasurementTrace t = tiny_trace();
+  t.vehicle_beacons.push_back({Time::millis(980.0), NodeId(0), -60.0});
+  const auto counts = beacon_counts_per_second(t);
+  ASSERT_EQ(counts.at(NodeId(0)).size(), 3u);
+  EXPECT_EQ(counts.at(NodeId(0))[0], 2);
+  EXPECT_EQ(counts.at(NodeId(0))[1], 0);
+  EXPECT_EQ(counts.at(NodeId(1))[1], 1);
+}
+
+TEST(BeaconRssi, PerSecondAverages) {
+  MeasurementTrace t = tiny_trace();
+  t.vehicle_beacons.push_back({Time::millis(150.0), NodeId(0), -63.5});
+  const auto rssi = beacon_rssi_per_second(t);
+  const auto& bs0 = rssi.at(NodeId(0));
+  ASSERT_EQ(bs0.size(), 1u);
+  EXPECT_EQ(bs0[0].first, 0);
+  EXPECT_DOUBLE_EQ(bs0[0].second, (-61.5 + -63.5) / 2.0);
+}
+
+TEST(Campaign, DayAndTripOrganisation) {
+  Campaign c;
+  for (int day = 0; day < 2; ++day)
+    for (int trip = 0; trip < 3; ++trip) {
+      MeasurementTrace t;
+      t.day = day;
+      t.trip = trip;
+      c.trips.push_back(t);
+    }
+  EXPECT_EQ(c.days(), 2);
+  EXPECT_EQ(c.trips_on_day(0).size(), 3u);
+  EXPECT_EQ(c.trips_on_day(5).size(), 0u);
+}
+
+TEST(TraceIo, RoundTripsAllFields) {
+  const MeasurementTrace t = tiny_trace();
+  std::stringstream ss;
+  save_trace(t, ss);
+  const MeasurementTrace u = load_trace(ss);
+
+  EXPECT_EQ(u.testbed, t.testbed);
+  EXPECT_EQ(u.day, t.day);
+  EXPECT_EQ(u.trip, t.trip);
+  EXPECT_EQ(u.duration, t.duration);
+  EXPECT_EQ(u.beacons_per_second, t.beacons_per_second);
+  EXPECT_EQ(u.bs_ids, t.bs_ids);
+  ASSERT_EQ(u.slots.size(), 1u);
+  EXPECT_EQ(u.slots[0].t, t.slots[0].t);
+  EXPECT_EQ(u.slots[0].vehicle_pos, t.slots[0].vehicle_pos);
+  EXPECT_EQ(u.slots[0].down_heard, t.slots[0].down_heard);
+  EXPECT_EQ(u.slots[0].up_heard_by, t.slots[0].up_heard_by);
+  ASSERT_EQ(u.vehicle_beacons.size(), 2u);
+  EXPECT_EQ(u.vehicle_beacons[0].bs, NodeId(0));
+  EXPECT_DOUBLE_EQ(u.vehicle_beacons[0].rssi_dbm, -61.5);
+  ASSERT_EQ(u.bs_beacons.size(), 1u);
+  EXPECT_EQ(u.bs_beacons[0].tx, NodeId(0));
+  EXPECT_EQ(u.bs_beacons[0].rx, NodeId(1));
+}
+
+TEST(TraceIo, EmptySlotListsRoundTrip) {
+  MeasurementTrace t = tiny_trace();
+  t.slots[0].down_heard.clear();
+  std::stringstream ss;
+  save_trace(t, ss);
+  const MeasurementTrace u = load_trace(ss);
+  EXPECT_TRUE(u.slots[0].down_heard.empty());
+  EXPECT_EQ(u.slots[0].up_heard_by.size(), 2u);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_THROW(load_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownTag) {
+  std::stringstream ss;
+  ss << "# vifi-trace v1\n"
+     << "trace X day 0 trip 0 duration_us 1000000 bps 10\n"
+     << "bogus 1 2 3\n";
+  EXPECT_THROW(load_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream ss;
+  ss << "# vifi-trace v1\n"
+     << "bs 0\n";
+  EXPECT_THROW(load_trace(ss), std::runtime_error);
+}
+
+TEST(LossSchedule, VehicleLinkFollowsBeaconRatio) {
+  MeasurementTrace t;
+  t.duration = Time::seconds(2.0);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0)};
+  const NodeId veh(5);
+  // 7 of 10 beacons in second 0; none in second 1.
+  for (int i = 0; i < 7; ++i)
+    t.vehicle_beacons.push_back({Time::millis(i * 10.0), NodeId(0), -60.0});
+
+  LossScheduleOptions opts;
+  opts.vehicle = veh;
+  const auto model = build_loss_schedule(t, opts, Rng(1));
+  EXPECT_NEAR(model->loss_rate(veh, NodeId(0), Time::millis(500.0)), 0.3,
+              1e-9);
+  EXPECT_NEAR(model->loss_rate(NodeId(0), veh, Time::millis(500.0)), 0.3,
+              1e-9);  // symmetric
+  EXPECT_NEAR(model->loss_rate(veh, NodeId(0), Time::millis(1500.0)), 1.0,
+              1e-9);
+}
+
+TEST(LossSchedule, CovisibilityRule) {
+  MeasurementTrace t;
+  t.duration = Time::seconds(3.0);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0), NodeId(1), NodeId(2)};
+  // BS0 and BS1 heard within the same second; BS2 only much later.
+  t.vehicle_beacons.push_back({Time::millis(100.0), NodeId(0), -60.0});
+  t.vehicle_beacons.push_back({Time::millis(200.0), NodeId(1), -60.0});
+  t.vehicle_beacons.push_back({Time::millis(2500.0), NodeId(2), -60.0});
+
+  EXPECT_TRUE(ever_covisible(t, NodeId(0), NodeId(1)));
+  EXPECT_FALSE(ever_covisible(t, NodeId(0), NodeId(2)));
+
+  LossScheduleOptions opts;
+  opts.vehicle = NodeId(7);
+  const auto model = build_loss_schedule(t, opts, Rng(2));
+  // Co-visible pair: Uniform(0,1) constant loss -> strictly < 1.
+  EXPECT_LT(model->loss_rate(NodeId(0), NodeId(1), Time::zero()), 1.0);
+  // Never co-visible: unreachable.
+  EXPECT_DOUBLE_EQ(model->loss_rate(NodeId(0), NodeId(2), Time::zero()), 1.0);
+}
+
+TEST(LossSchedule, BsBeaconLogsGiveInterBsSchedule) {
+  MeasurementTrace t;
+  t.duration = Time::seconds(1.0);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0), NodeId(1)};
+  // 10 of 10 in each direction in second 0 => loss 0.
+  for (int i = 0; i < 10; ++i) {
+    t.bs_beacons.push_back({Time::millis(i * 10.0), NodeId(0), NodeId(1)});
+    t.bs_beacons.push_back({Time::millis(i * 10.0), NodeId(1), NodeId(0)});
+  }
+  LossScheduleOptions opts;
+  opts.vehicle = NodeId(9);
+  opts.use_bs_beacon_logs = true;
+  const auto model = build_loss_schedule(t, opts, Rng(3));
+  EXPECT_NEAR(model->loss_rate(NodeId(0), NodeId(1), Time::millis(500.0)),
+              0.0, 1e-9);
+}
+
+TEST(LossSchedule, DeterministicInterBsDraws) {
+  MeasurementTrace t;
+  t.duration = Time::seconds(1.0);
+  t.beacons_per_second = 10;
+  t.bs_ids = {NodeId(0), NodeId(1)};
+  t.vehicle_beacons.push_back({Time::millis(100.0), NodeId(0), -60.0});
+  t.vehicle_beacons.push_back({Time::millis(200.0), NodeId(1), -60.0});
+  LossScheduleOptions opts;
+  opts.vehicle = NodeId(7);
+  const auto a = build_loss_schedule(t, opts, Rng(42));
+  const auto b = build_loss_schedule(t, opts, Rng(42));
+  EXPECT_DOUBLE_EQ(a->loss_rate(NodeId(0), NodeId(1), Time::zero()),
+                   b->loss_rate(NodeId(0), NodeId(1), Time::zero()));
+}
+
+}  // namespace
+}  // namespace vifi::trace
