@@ -15,6 +15,7 @@
 #include "apps/cbr.h"
 #include "handoff/policies.h"
 #include "handoff/replay.h"
+#include "runtime/executor.h"
 #include "scenario/campaign.h"
 #include "scenario/live.h"
 #include "scenario/testbed.h"
@@ -61,34 +62,19 @@ inline trace::Campaign beacon_campaign(const scenario::Testbed& bed,
 /// Converts replay outcomes into the analysis slot stream.
 inline analysis::SlotStream to_stream(
     const std::vector<handoff::SlotOutcome>& outcomes) {
-  analysis::SlotStream s;
-  s.slot = Time::millis(100);
-  s.per_slot_max = 2;
-  s.delivered.reserve(outcomes.size());
-  for (const auto& o : outcomes) s.delivered.push_back(o.delivered());
-  return s;
+  return runtime::outcomes_to_stream(outcomes);
 }
 
 /// Names used across figures, in the paper's ordering.
 inline const std::vector<std::string>& policy_names() {
-  static const std::vector<std::string> names{
-      "AllBSes", "BestBS", "History", "RSSI", "BRR", "Sticky"};
-  return names;
+  return runtime::replay_policy_names();
 }
 
 /// Replays one trip under a named §3.1 policy (AllBSes handled specially).
 inline std::vector<handoff::SlotOutcome> replay_policy(
     const trace::MeasurementTrace& trip, const std::string& name,
     const trace::Campaign& campaign) {
-  using namespace handoff;
-  if (name == "AllBSes") return replay_allbses(trip);
-  std::unique_ptr<HandoffPolicy> policy;
-  if (name == "BestBS") policy = std::make_unique<BestBsPolicy>();
-  if (name == "History") policy = std::make_unique<HistoryPolicy>(campaign);
-  if (name == "RSSI") policy = std::make_unique<RssiPolicy>();
-  if (name == "BRR") policy = std::make_unique<BrrPolicy>();
-  if (name == "Sticky") policy = std::make_unique<StickyPolicy>();
-  return replay_hard_handoff(trip, *policy);
+  return runtime::replay_trip(trip, name, campaign);
 }
 
 /// Session lengths under a named policy across a whole campaign.

@@ -5,26 +5,106 @@
 //
 // Paper shape: ViFi beats the ideal single-BS protocol (BestBS) and
 // closely approximates the ideal diversity protocol (AllBSes).
+//
+// The live trips — the expensive part — are sharded over the
+// runtime::Runner pool: each point is one (system, trip) pair whose seed
+// depends only on the trip index, so the recorded slot streams (and hence
+// every chart) are identical for any thread count.
 
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_util.h"
+#include "runtime/runner.h"
 
 using namespace vifi;
 using namespace vifi::bench;
+
+namespace {
+
+/// Runs one live CBR trip and flattens its slot stream into a PointResult.
+runtime::PointResult live_trip_point(const scenario::Testbed& bed,
+                                     const core::SystemConfig& config,
+                                     const std::string& label, int trip,
+                                     std::size_t index,
+                                     std::uint64_t seed_base) {
+  core::SystemConfig cfg = config;
+  cfg.vifi.max_retx = 0;  // §5.2: link-layer retransmissions disabled
+  scenario::LiveTrip live(bed, cfg,
+                          seed_base + static_cast<std::uint64_t>(trip));
+  live.run_until(scenario::LiveTrip::warmup());
+  apps::CbrWorkload cbr(live.simulator(), live.transport());
+  const Time end = live.simulator().now() + bed.trip_duration();
+  cbr.start(end);
+  live.run_until(end + Time::seconds(1.0));
+  const auto stream = cbr.slot_stream();
+
+  runtime::PointResult r;
+  r.index = index;
+  r.testbed = bed.layout().name;
+  r.policy = label;
+  r.seed = seed_base + static_cast<std::uint64_t>(trip);
+  // Round-trip the stream's own parameters so reconstruction cannot drift
+  // from CbrParams defaults.
+  r.metrics["slot_s"] = stream.slot.to_seconds();
+  r.metrics["per_slot_max"] = stream.per_slot_max;
+  std::vector<double> delivered(stream.delivered.begin(),
+                                stream.delivered.end());
+  r.series["delivered"] = std::move(delivered);
+  return r;
+}
+
+analysis::SlotStream to_slot_stream(const runtime::PointResult& r) {
+  analysis::SlotStream s;
+  s.slot = Time::seconds(r.metrics.at("slot_s"));
+  s.per_slot_max = static_cast<int>(r.metrics.at("per_slot_max"));
+  const auto& delivered = r.series.at("delivered");
+  s.delivered.assign(delivered.begin(), delivered.end());
+  return s;
+}
+
+/// A failed point means the figure cannot be trusted; surface the recorded
+/// error instead of crashing on its empty result.
+void abort_on_errors(const runtime::ResultSink& sink) {
+  if (!sink.any_errors()) return;
+  for (const auto& r : sink.ordered())
+    if (!r.error.empty())
+      std::cerr << "point " << r.index << " (" << r.policy
+                << ") failed: " << r.error << "\n";
+  std::exit(1);
+}
+
+}  // namespace
 
 int main() {
   const scenario::Testbed bed = scenario::make_vanlan();
   const trace::Campaign campaign = vanlan_campaign(bed);
   const int live_trips = 6 * scale();
 
-  // Live CBR streams for ViFi and BRR, one stream per trip; session
-  // definitions are applied to the recorded streams afterwards.
+  // Live CBR streams for ViFi and BRR, one stream per trip, sharded over
+  // the pool; session definitions are applied to the recorded streams
+  // afterwards. Seeds match the pre-runtime version of this bench.
+  struct System {
+    const char* label;
+    core::SystemConfig config;
+  };
+  const std::vector<System> systems{{"ViFi", vifi_system()},
+                                    {"BRR", brr_system()}};
+  const runtime::Runner runner({.threads = 0});
+  const runtime::ResultSink sink = runner.run_indexed(
+      systems.size() * static_cast<std::size_t>(live_trips),
+      [&](std::size_t i) {
+        const System& sys = systems[i / static_cast<std::size_t>(live_trips)];
+        const int trip = static_cast<int>(
+            i % static_cast<std::size_t>(live_trips));
+        return live_trip_point(bed, sys.config, sys.label, trip, i, 7000);
+      });
+
+  abort_on_errors(sink);
   std::vector<analysis::SlotStream> vifi_streams, brr_streams;
-  live_link_session_lengths(bed, vifi_system(), analysis::SessionDef{},
-                            live_trips, 7000, &vifi_streams);
-  live_link_session_lengths(bed, brr_system(), analysis::SessionDef{},
-                            live_trips, 7000, &brr_streams);
+  for (const auto& r : sink.ordered())
+    (r.policy == "ViFi" ? vifi_streams : brr_streams)
+        .push_back(to_slot_stream(r));
 
   auto live_median = [](const std::vector<analysis::SlotStream>& streams,
                         const analysis::SessionDef& def) {

@@ -1,0 +1,188 @@
+#include "runtime/executor.h"
+
+#include <memory>
+
+#include "analysis/sessions.h"
+#include "apps/cbr.h"
+#include "apps/mos.h"
+#include "handoff/policies.h"
+#include "scenario/campaign.h"
+#include "scenario/live.h"
+#include "util/cdf.h"
+#include "util/contracts.h"
+
+namespace vifi::runtime {
+
+namespace {
+
+constexpr int kProbePayloadBytes = 500;  // §3.1 / §5.2 workload packets.
+
+/// Accumulates the metric set shared by replay and live workloads from one
+/// trip's slot stream.
+struct MetricAccumulator {
+  std::int64_t slots = 0;
+  std::int64_t delivered = 0;
+  std::vector<double> session_lengths;
+  Cdf throughput_kbps;
+
+  void add_trip(const analysis::SlotStream& stream,
+                const analysis::SessionDef& def) {
+    slots += static_cast<std::int64_t>(stream.delivered.size());
+    for (const int d : stream.delivered) delivered += d;
+    const auto lengths = analysis::session_lengths_s(stream, def);
+    session_lengths.insert(session_lengths.end(), lengths.begin(),
+                           lengths.end());
+    // Per-second goodput of the mirrored workload: reception ratio times
+    // the slot capacity (2 x 500 bytes per 100 ms slot).
+    const Time interval = Time::seconds(1.0);
+    const double slots_per_interval = interval / stream.slot;
+    const double interval_capacity_kbits =
+        slots_per_interval * stream.per_slot_max * kProbePayloadBytes * 8.0 /
+        1000.0;
+    for (const double ratio : analysis::interval_ratios(stream, interval))
+      throughput_kbps.add(ratio * interval_capacity_kbits);
+  }
+
+  void finish(int days, PointResult& r) const {
+    r.metrics["slots"] = static_cast<double>(slots);
+    r.metrics["packets_sent"] = static_cast<double>(2 * slots);
+    r.metrics["packets_delivered"] = static_cast<double>(delivered);
+    r.metrics["delivery_rate"] =
+        slots > 0 ? static_cast<double>(delivered) /
+                        static_cast<double>(2 * slots)
+                  : 0.0;
+    r.metrics["packets_per_day"] =
+        static_cast<double>(delivered) / static_cast<double>(days);
+    r.metrics["session_count"] =
+        static_cast<double>(session_lengths.size());
+    r.metrics["median_session_s"] =
+        analysis::median_session_length(session_lengths);
+
+    const Cdf sessions = analysis::session_time_cdf(session_lengths);
+    std::vector<double> session_q, throughput_q;
+    for (const double q : cdf_quantiles()) {
+      session_q.push_back(sessions.empty() ? 0.0 : sessions.quantile(q));
+      throughput_q.push_back(
+          throughput_kbps.empty() ? 0.0 : throughput_kbps.quantile(q));
+    }
+    r.series["session_len_s_q"] = std::move(session_q);
+    r.series["throughput_kbps_q"] = std::move(throughput_q);
+  }
+};
+
+void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
+                PointResult& r) {
+  scenario::CampaignConfig cfg;
+  cfg.days = point.days;
+  cfg.trips_per_day = point.trips_per_day;
+  cfg.trip_duration = point.trip_duration;
+  cfg.seed = point.campaign_seed;
+  cfg.log_probes = true;
+  cfg.log_bs_beacons = false;
+  const trace::Campaign campaign = scenario::generate_campaign(bed, cfg);
+
+  MetricAccumulator acc;
+  for (const auto& trip : campaign.trips)
+    acc.add_trip(
+        outcomes_to_stream(replay_trip(trip, point.policy, campaign)),
+        point.session);
+  acc.finish(point.days, r);
+}
+
+void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
+             PointResult& r) {
+  core::SystemConfig sys;
+  if (point.policy == "ViFi") {
+    // Defaults: diversity + salvage on.
+  } else if (point.policy == "BRR") {
+    sys.vifi.diversity = false;
+    sys.vifi.salvage = false;
+  } else if (point.policy == "Diversity") {
+    sys.vifi.salvage = false;
+  } else {
+    VIFI_EXPECTS(!"unknown live policy (expected ViFi/BRR/Diversity)");
+  }
+  sys.vifi.max_retx = 0;  // §5.2: link-layer retransmissions disabled.
+
+  const int trips = point.days * point.trips_per_day;
+  MetricAccumulator acc;
+  for (int trip = 0; trip < trips; ++trip) {
+    scenario::LiveTrip live(
+        bed, sys, mix_seed(point.point_seed, static_cast<std::uint64_t>(trip)));
+    live.run_until(scenario::LiveTrip::warmup());
+    apps::CbrWorkload cbr(live.simulator(), live.transport());
+    const Time duration = point.trip_duration.is_zero()
+                              ? bed.trip_duration()
+                              : point.trip_duration;
+    const Time end = live.simulator().now() + duration;
+    cbr.start(end);
+    live.run_until(end + Time::seconds(1.0));
+    acc.add_trip(cbr.slot_stream(), point.session);
+  }
+  acc.finish(point.days, r);
+
+  // §5.3.2 call quality under the fixed delay budget, charging half the
+  // wireless deadline to the wireless segment.
+  const apps::VoipDelayBudget budget;
+  const double delay_ms = budget.coding_ms + budget.jitter_buffer_ms +
+                          budget.wired_ms + budget.wireless_deadline_ms() / 2;
+  r.metrics["mos"] =
+      apps::mos_g729(delay_ms, 1.0 - r.metrics["delivery_rate"]);
+}
+
+}  // namespace
+
+const std::vector<std::string>& replay_policy_names() {
+  static const std::vector<std::string> names{
+      "AllBSes", "BestBS", "History", "RSSI", "BRR", "Sticky"};
+  return names;
+}
+
+const std::vector<double>& cdf_quantiles() {
+  static const std::vector<double> qs{0.10, 0.25, 0.50, 0.75, 0.90};
+  return qs;
+}
+
+analysis::SlotStream outcomes_to_stream(
+    const std::vector<handoff::SlotOutcome>& outcomes) {
+  analysis::SlotStream s;
+  s.slot = Time::millis(100);
+  s.per_slot_max = 2;
+  s.delivered.reserve(outcomes.size());
+  for (const auto& o : outcomes) s.delivered.push_back(o.delivered());
+  return s;
+}
+
+std::vector<handoff::SlotOutcome> replay_trip(
+    const trace::MeasurementTrace& trip, const std::string& policy,
+    const trace::Campaign& campaign) {
+  using namespace handoff;
+  if (policy == "AllBSes") return replay_allbses(trip);
+  std::unique_ptr<HandoffPolicy> p;
+  if (policy == "BestBS") p = std::make_unique<BestBsPolicy>();
+  if (policy == "History") p = std::make_unique<HistoryPolicy>(campaign);
+  if (policy == "RSSI") p = std::make_unique<RssiPolicy>();
+  if (policy == "BRR") p = std::make_unique<BrrPolicy>();
+  if (policy == "Sticky") p = std::make_unique<StickyPolicy>();
+  VIFI_EXPECTS(p != nullptr);
+  return replay_hard_handoff(trip, *p);
+}
+
+PointResult run_point(const ExperimentPoint& point) {
+  PointResult r;
+  r.index = point.index;
+  r.testbed = point.testbed;
+  r.policy = point.policy;
+  r.seed = point.seed;
+  const scenario::Testbed bed = make_testbed(point.testbed);
+  if (point.workload == "replay") {
+    run_replay(bed, point, r);
+  } else if (point.workload == "cbr") {
+    run_cbr(bed, point, r);
+  } else {
+    VIFI_EXPECTS(!"unknown workload (expected replay/cbr)");
+  }
+  return r;
+}
+
+}  // namespace vifi::runtime

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file executor.h
+/// Built-in interpretation of an `ExperimentPoint`: construct the testbed,
+/// realise the measurement campaign from the point's derived seed, run the
+/// policy — trace replay for the §3.1 policies, the live ViFi/BRR stack for
+/// the "cbr" workload — and distil the standard metric set (delivery rate,
+/// packets/day, session lengths, throughput CDF quantiles, MOS).
+
+#include <string>
+#include <vector>
+
+#include "analysis/sessions.h"
+#include "handoff/replay.h"
+#include "runtime/experiment.h"
+#include "runtime/result.h"
+#include "trace/observations.h"
+
+namespace vifi::runtime {
+
+/// Replay policy names understood by the executor, in the paper's ordering.
+const std::vector<std::string>& replay_policy_names();
+
+/// Converts replay outcomes into the analysis slot stream (100 ms slots,
+/// one packet each way).
+analysis::SlotStream outcomes_to_stream(
+    const std::vector<handoff::SlotOutcome>& outcomes);
+
+/// Quantile grid used for every CDF series the executor emits.
+const std::vector<double>& cdf_quantiles();
+
+/// Replays one trip under a named §3.1 policy (AllBSes handled specially;
+/// History needs the whole campaign). Shared with bench ports.
+std::vector<handoff::SlotOutcome> replay_trip(
+    const trace::MeasurementTrace& trip, const std::string& policy,
+    const trace::Campaign& campaign);
+
+/// Executes one point end-to-end on the calling thread. The point is the
+/// only input: the executor builds its own Testbed, Simulator and Rng
+/// streams, so concurrent calls never share mutable state.
+PointResult run_point(const ExperimentPoint& point);
+
+}  // namespace vifi::runtime

@@ -1,0 +1,68 @@
+#include "runtime/experiment.h"
+
+#include "util/contracts.h"
+
+namespace vifi::runtime {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t value) {
+  return splitmix64(seed ^ splitmix64(value));
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::string_view label) {
+  std::uint64_t h = splitmix64(seed);
+  for (const char c : label)
+    h = splitmix64(h ^ static_cast<unsigned char>(c));
+  return h;
+}
+
+std::vector<ExperimentPoint> ExperimentSpec::enumerate() const {
+  std::vector<ExperimentPoint> points;
+  points.reserve(grid.size());
+  std::size_t index = 0;
+  for (const auto& bed : grid.testbeds) {
+    for (const auto& policy : grid.policies) {
+      for (const std::uint64_t seed : grid.seeds) {
+        ExperimentPoint p;
+        p.index = index++;
+        p.testbed = bed;
+        p.policy = policy;
+        p.seed = seed;
+        p.days = days;
+        p.trips_per_day = trips_per_day;
+        p.trip_duration = trip_duration;
+        p.workload = workload;
+        p.session = session;
+        p.campaign_seed = mix_seed(mix_seed(base_seed, bed), seed);
+        p.point_seed = mix_seed(p.campaign_seed, policy);
+        points.push_back(std::move(p));
+      }
+    }
+  }
+  return points;
+}
+
+scenario::Testbed make_testbed(const std::string& name) {
+  if (name == "VanLAN") return scenario::make_vanlan();
+  if (name == "DieselNet-Ch1") return scenario::make_dieselnet(1);
+  if (name == "DieselNet-Ch6") return scenario::make_dieselnet(6);
+  VIFI_EXPECTS(!"unknown testbed name");
+  return scenario::make_vanlan();  // unreachable
+}
+
+bool known_testbed(const std::string& name) {
+  return name == "VanLAN" || name == "DieselNet-Ch1" ||
+         name == "DieselNet-Ch6";
+}
+
+}  // namespace vifi::runtime

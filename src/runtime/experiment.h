@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file experiment.h
+/// Declarative description of an experiment sweep. A `ParamGrid` enumerates
+/// scenario points (testbed × handoff policy × replicate seed); an
+/// `ExperimentSpec` binds the grid to shared workload knobs (campaign
+/// length, workload kind, session definition). Every point carries seeds
+/// derived deterministically from (base seed, point coordinates), so a
+/// sweep's results are bit-identical regardless of execution order or
+/// worker count.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/sessions.h"
+#include "scenario/testbed.h"
+
+namespace vifi::runtime {
+
+/// Mixes a value or label into a seed (splitmix64 finalizer, the same
+/// generator family `Rng` uses for stream forking).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t value);
+std::uint64_t mix_seed(std::uint64_t seed, std::string_view label);
+
+/// The axes of a sweep, enumerated row-major in declaration order.
+struct ParamGrid {
+  std::vector<std::string> testbeds{"VanLAN"};
+  std::vector<std::string> policies{"BRR"};
+  std::vector<std::uint64_t> seeds{1};
+
+  std::size_t size() const {
+    return testbeds.size() * policies.size() * seeds.size();
+  }
+};
+
+/// One scenario point, fully self-describing: a worker can execute it with
+/// no shared mutable state (it builds its own Testbed, Simulator and Rng
+/// streams from the fields below).
+struct ExperimentPoint {
+  std::size_t index = 0;  ///< Row-major position in the grid.
+  std::string testbed;    ///< "VanLAN", "DieselNet-Ch1", "DieselNet-Ch6".
+  std::string policy;     ///< §3.1 replay policy, or "ViFi"/"BRR" live.
+  std::uint64_t seed = 1; ///< Replicate seed (the grid's seeds axis).
+  int days = 1;
+  int trips_per_day = 2;
+  Time trip_duration = Time::zero();  ///< Zero means one full route lap.
+  std::string workload = "replay";    ///< "replay" (§3.1) or "cbr" (§5.2).
+  analysis::SessionDef session;
+
+  /// Campaign realisation seed — a function of (base seed, testbed,
+  /// replicate seed) only. Points that differ only in policy replay the
+  /// *same* traces, as in the paper's policy comparisons.
+  std::uint64_t campaign_seed = 0;
+  /// Stream for point-local randomness (live trips, subset draws); also
+  /// mixes the policy so live stacks don't share draws across points.
+  std::uint64_t point_seed = 0;
+};
+
+/// A declarative sweep: grid axes plus the workload knobs shared by every
+/// point.
+struct ExperimentSpec {
+  std::string name = "sweep";
+  ParamGrid grid;
+  int days = 1;
+  int trips_per_day = 2;
+  Time trip_duration = Time::zero();
+  std::string workload = "replay";
+  analysis::SessionDef session;
+  std::uint64_t base_seed = 20080817;
+
+  /// Row-major (testbed, policy, seed) enumeration with derived seeds.
+  std::vector<ExperimentPoint> enumerate() const;
+};
+
+/// Testbed factory by grid name. Throws ContractViolation on unknown names.
+scenario::Testbed make_testbed(const std::string& name);
+
+/// True for names make_testbed() accepts.
+bool known_testbed(const std::string& name);
+
+}  // namespace vifi::runtime

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file result.h
+/// Structured per-point results and their thread-safe aggregation. Metric
+/// and series maps are ordered, and the sink restores grid order before
+/// serialising, so the JSON/CSV output of a sweep is byte-identical
+/// regardless of the order in which workers finish (and therefore of the
+/// worker count).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vifi::runtime {
+
+/// Everything one scenario point produced. Scalars go in `metrics`;
+/// fixed-grid vectors (CDF quantiles, per-trip values, slot streams) go in
+/// `series`. Wall-clock timings are deliberately excluded — results must be
+/// a pure function of the point.
+struct PointResult {
+  std::size_t index = 0;
+  std::string testbed;
+  std::string policy;
+  std::uint64_t seed = 0;
+  std::map<std::string, double> metrics;
+  std::map<std::string, std::vector<double>> series;
+  std::string error;  ///< Non-empty if the point failed; metrics are empty.
+};
+
+/// Thread-safe collector for a sweep's results.
+class ResultSink {
+ public:
+  ResultSink() = default;
+  // Movable (the mutex is not moved) so runners can return sinks by value;
+  // moving while workers still hold a reference is a caller bug.
+  ResultSink(ResultSink&& o) noexcept;
+  ResultSink& operator=(ResultSink&& o) noexcept;
+
+  void add(PointResult r);
+  std::size_t size() const;
+  bool any_errors() const;
+
+  /// Results sorted by grid index.
+  std::vector<PointResult> ordered() const;
+
+  /// Deterministic serialisations (doubles rendered with %.17g).
+  std::string to_json() const;
+  std::string to_csv() const;
+
+  void write_json(const std::string& path) const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PointResult> results_;
+};
+
+}  // namespace vifi::runtime

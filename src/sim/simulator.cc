@@ -1,7 +1,5 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-
 namespace vifi::sim {
 
 EventId Simulator::schedule(Time delay, std::function<void()> fn) {
@@ -14,20 +12,19 @@ EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
   VIFI_EXPECTS(fn != nullptr);
   const EventId id(next_seq_);
   queue_.push(Event{at, next_seq_, std::move(fn)});
+  pending_.insert(next_seq_);
   ++next_seq_;
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
   if (!id.valid()) return false;
-  // Lazy deletion: remember the sequence number; skip it on pop. The list
-  // stays small because entries are erased as their events surface.
-  if (std::find(cancelled_.begin(), cancelled_.end(), id.seq_) !=
-      cancelled_.end())
-    return false;
-  if (id.seq_ >= next_seq_) return false;
-  cancelled_.push_back(id.seq_);
-  ++cancelled_pending_;
+  // Only genuinely pending events can be cancelled; stale ids (already
+  // fired or already cancelled) are rejected in O(1).
+  if (pending_.erase(id.seq_) == 0) return false;
+  // Lazy deletion: remember the sequence number; skip it on pop. Entries
+  // are purged as their events surface in the queue.
+  cancelled_.insert(id.seq_);
   return true;
 }
 
@@ -35,17 +32,14 @@ bool Simulator::dispatch_next(Time limit) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
     if (top.at > limit) return false;
-    const auto it =
-        std::find(cancelled_.begin(), cancelled_.end(), top.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_pending_;
+    if (cancelled_.erase(top.seq) != 0) {
       queue_.pop();
       continue;
     }
     // Move the callback out before popping so the event may schedule more.
     Event ev = std::move(const_cast<Event&>(top));
     queue_.pop();
+    pending_.erase(ev.seq);
     now_ = ev.at;
     ++executed_;
     ev.fn();
@@ -68,9 +62,7 @@ void Simulator::run() {
   }
 }
 
-std::size_t Simulator::pending_events() const {
-  return queue_.size() - cancelled_pending_;
-}
+std::size_t Simulator::pending_events() const { return pending_.size(); }
 
 void PeriodicTimer::start() { start_after(period_); }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/contracts.h"
@@ -76,11 +77,11 @@ class Simulator {
   bool dispatch_next(Time limit);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
+  std::unordered_set<std::uint64_t> pending_;    // scheduled, not yet fired
+  std::unordered_set<std::uint64_t> cancelled_;  // purged as events surface
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::size_t cancelled_pending_ = 0;
   bool stopped_ = false;
 };
 

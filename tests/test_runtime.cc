@@ -1,0 +1,220 @@
+// Tests for the parallel experiment runtime: grid enumeration, seed
+// derivation, thread-safe result aggregation, and — the core contract —
+// byte-identical serialised output regardless of worker count.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "runtime/executor.h"
+#include "runtime/runner.h"
+#include "util/contracts.h"
+
+namespace vifi::runtime {
+namespace {
+
+ExperimentSpec small_replay_spec() {
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN"};
+  spec.grid.policies = {"AllBSes", "BRR"};
+  spec.grid.seeds = {1, 2};
+  spec.days = 1;
+  spec.trips_per_day = 1;
+  spec.base_seed = 99;
+  return spec;
+}
+
+TEST(ParamGrid, EnumeratesRowMajorWithDenseIndices) {
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN", "DieselNet-Ch1"};
+  spec.grid.policies = {"BRR", "BestBS", "AllBSes"};
+  spec.grid.seeds = {1, 2};
+  const auto points = spec.enumerate();
+  ASSERT_EQ(points.size(), 12u);
+  EXPECT_EQ(points.size(), spec.grid.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].index, i);
+  // Row-major: seeds vary fastest, testbeds slowest.
+  EXPECT_EQ(points[0].testbed, "VanLAN");
+  EXPECT_EQ(points[0].policy, "BRR");
+  EXPECT_EQ(points[0].seed, 1u);
+  EXPECT_EQ(points[1].seed, 2u);
+  EXPECT_EQ(points[2].policy, "BestBS");
+  EXPECT_EQ(points[6].testbed, "DieselNet-Ch1");
+}
+
+TEST(ParamGrid, CampaignSeedIgnoresPolicyButPointSeedDoesNot) {
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN"};
+  spec.grid.policies = {"BRR", "BestBS"};
+  spec.grid.seeds = {7};
+  const auto points = spec.enumerate();
+  ASSERT_EQ(points.size(), 2u);
+  // Policies are compared on the same campaign realisation...
+  EXPECT_EQ(points[0].campaign_seed, points[1].campaign_seed);
+  // ...but point-local streams must not collide across policies.
+  EXPECT_NE(points[0].point_seed, points[1].point_seed);
+}
+
+TEST(ParamGrid, SeedsDifferAcrossAxes) {
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN", "DieselNet-Ch1", "DieselNet-Ch6"};
+  spec.grid.policies = {"BRR"};
+  spec.grid.seeds = {1, 2, 3, 4};
+  std::set<std::uint64_t> campaign_seeds;
+  for (const auto& p : spec.enumerate()) campaign_seeds.insert(p.campaign_seed);
+  EXPECT_EQ(campaign_seeds.size(), 12u);
+}
+
+TEST(MixSeed, DeterministicAndSensitive) {
+  EXPECT_EQ(mix_seed(1, "abc"), mix_seed(1, "abc"));
+  EXPECT_NE(mix_seed(1, "abc"), mix_seed(2, "abc"));
+  EXPECT_NE(mix_seed(1, "abc"), mix_seed(1, "abd"));
+  EXPECT_EQ(mix_seed(1, std::uint64_t{5}), mix_seed(1, std::uint64_t{5}));
+  EXPECT_NE(mix_seed(1, std::uint64_t{5}), mix_seed(1, std::uint64_t{6}));
+}
+
+TEST(MakeTestbed, KnowsBothTestbedFamilies) {
+  EXPECT_TRUE(known_testbed("VanLAN"));
+  EXPECT_TRUE(known_testbed("DieselNet-Ch1"));
+  EXPECT_TRUE(known_testbed("DieselNet-Ch6"));
+  EXPECT_FALSE(known_testbed("CabLAN"));
+  EXPECT_THROW(make_testbed("CabLAN"), ContractViolation);
+}
+
+TEST(ResultSink, OrdersByIndexRegardlessOfInsertionOrder) {
+  ResultSink sink;
+  for (const std::size_t i : {2u, 0u, 1u}) {
+    PointResult r;
+    r.index = i;
+    r.policy = "p" + std::to_string(i);
+    sink.add(std::move(r));
+  }
+  const auto ordered = sink.ordered();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0].index, 0u);
+  EXPECT_EQ(ordered[1].index, 1u);
+  EXPECT_EQ(ordered[2].index, 2u);
+}
+
+TEST(ResultSink, CsvUnionsMetricColumnsSorted) {
+  ResultSink sink;
+  PointResult a;
+  a.index = 0;
+  a.metrics["zeta"] = 1.0;
+  PointResult b;
+  b.index = 1;
+  b.metrics["alpha"] = 2.5;
+  sink.add(std::move(a));
+  sink.add(std::move(b));
+  const std::string csv = sink.to_csv();
+  EXPECT_NE(csv.find("index,testbed,policy,seed,alpha,zeta,error"),
+            std::string::npos);
+}
+
+TEST(Runner, ShardsAllIndicesExactlyOnce) {
+  const Runner runner({.threads = 4});
+  const ResultSink sink = runner.run_indexed(37, [](std::size_t i) {
+    PointResult r;
+    r.index = i;
+    r.metrics["i"] = static_cast<double>(i);
+    return r;
+  });
+  const auto results = sink.ordered();
+  ASSERT_EQ(results.size(), 37u);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i].metrics.at("i"), static_cast<double>(i));
+}
+
+TEST(Runner, RecordsPointFailuresWithoutAbortingTheSweep) {
+  const Runner runner({.threads = 2});
+  const ResultSink sink = runner.run_indexed(4, [](std::size_t i) {
+    if (i == 2) throw std::runtime_error("boom");
+    PointResult r;
+    r.index = i;
+    return r;
+  });
+  EXPECT_TRUE(sink.any_errors());
+  const auto results = sink.ordered();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[2].error, "boom");
+  EXPECT_TRUE(results[3].error.empty());
+}
+
+TEST(Runner, EmptySweepYieldsEmptySink) {
+  const Runner runner({.threads = 4});
+  const ResultSink sink =
+      runner.run_indexed(0, [](std::size_t) { return PointResult{}; });
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_FALSE(sink.any_errors());
+}
+
+// The core determinism contract: the serialised output of a sweep is a pure
+// function of the spec — identical bytes for 1 worker and N workers.
+TEST(Runner, ReplaySweepIsThreadCountInvariant) {
+  const ExperimentSpec spec = small_replay_spec();
+  const ResultSink one = Runner({.threads = 1}).run(spec);
+  const ResultSink four = Runner({.threads = 4}).run(spec);
+  EXPECT_FALSE(one.any_errors());
+  EXPECT_EQ(one.to_json(), four.to_json());
+  EXPECT_EQ(one.to_csv(), four.to_csv());
+}
+
+TEST(Runner, SameSpecTwiceIsIdentical) {
+  const ExperimentSpec spec = small_replay_spec();
+  const Runner runner({.threads = 2});
+  EXPECT_EQ(runner.run(spec).to_json(), runner.run(spec).to_json());
+}
+
+TEST(Runner, BaseSeedChangesResults) {
+  ExperimentSpec a = small_replay_spec();
+  ExperimentSpec b = small_replay_spec();
+  b.base_seed = a.base_seed + 1;
+  const Runner runner({.threads = 2});
+  EXPECT_NE(runner.run(a).to_json(), runner.run(b).to_json());
+}
+
+TEST(Runner, LiveCbrSweepIsThreadCountInvariant) {
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN"};
+  spec.grid.policies = {"ViFi", "BRR"};
+  spec.grid.seeds = {1};
+  spec.days = 1;
+  spec.trips_per_day = 1;
+  spec.trip_duration = Time::seconds(20.0);
+  spec.workload = "cbr";
+  const ResultSink one = Runner({.threads = 1}).run(spec);
+  const ResultSink four = Runner({.threads = 4}).run(spec);
+  EXPECT_FALSE(one.any_errors());
+  EXPECT_EQ(one.to_json(), four.to_json());
+}
+
+TEST(Executor, ReplayPointProducesTheStandardMetricSet) {
+  const auto points = small_replay_spec().enumerate();
+  const PointResult r = run_point(points[0]);
+  EXPECT_TRUE(r.error.empty());
+  for (const char* key :
+       {"slots", "packets_sent", "packets_delivered", "delivery_rate",
+        "packets_per_day", "session_count", "median_session_s"})
+    EXPECT_TRUE(r.metrics.count(key)) << key;
+  ASSERT_TRUE(r.series.count("session_len_s_q"));
+  ASSERT_TRUE(r.series.count("throughput_kbps_q"));
+  EXPECT_EQ(r.series.at("session_len_s_q").size(), cdf_quantiles().size());
+  EXPECT_GT(r.metrics.at("delivery_rate"), 0.0);
+  EXPECT_LE(r.metrics.at("delivery_rate"), 1.0);
+}
+
+TEST(Executor, UnknownWorkloadOrPolicyIsAContractViolation) {
+  ExperimentSpec spec = small_replay_spec();
+  spec.workload = "warp-drive";
+  EXPECT_THROW(run_point(spec.enumerate()[0]), ContractViolation);
+
+  ExperimentSpec live = small_replay_spec();
+  live.workload = "cbr";
+  live.grid.policies = {"Sticky"};  // replay-only policy, invalid live
+  EXPECT_THROW(run_point(live.enumerate()[0]), ContractViolation);
+}
+
+}  // namespace
+}  // namespace vifi::runtime

@@ -90,6 +90,34 @@ TEST(Simulator, CancelInvalidIdIsNoop) {
   EXPECT_FALSE(s.cancel(EventId{}));
 }
 
+TEST(Simulator, CancelAfterFireIsRejectedAndKeepsAccountingSane) {
+  Simulator s;
+  const EventId id = s.schedule(Time::millis(1.0), [] {});
+  s.schedule(Time::millis(2.0), [] {});
+  s.run_until(Time::millis(1.0));  // fires the first event only
+  EXPECT_FALSE(s.cancel(id));      // stale id: already fired
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ManyCancellationsStayCheap) {
+  // Regression guard for the old O(n) cancelled-list scan: schedule and
+  // cancel a large batch, then dispatch; linear-scan bookkeeping would make
+  // this quadratic.
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20000; ++i)
+    ids.push_back(s.schedule(Time::millis(1.0 + i), [] {}));
+  for (std::size_t i = 0; i < ids.size(); i += 2)
+    EXPECT_TRUE(s.cancel(ids[i]));
+  EXPECT_EQ(s.pending_events(), ids.size() / 2);
+  s.run();
+  EXPECT_EQ(s.events_executed(), ids.size() / 2);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
 TEST(Simulator, PendingEventsAccountsForCancellations) {
   Simulator s;
   const EventId a = s.schedule(Time::millis(1.0), [] {});
