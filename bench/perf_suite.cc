@@ -1,0 +1,278 @@
+// Performance suite (google-benchmark) for the packet/frame hot path and
+// the simulator core. Supersedes the old micro_core bench: in addition to
+// the event queue, channel sampling, relay probability and medium
+// micro-benches, it measures the per-packet allocation path and a full
+// end-to-end deployment (factory -> sender -> radio -> medium -> PAB ->
+// ack) so regressions anywhere in the packet path show up.
+//
+// CI runs this with --benchmark_format=json, uploads the result as
+// BENCH.json, and gates merges on tools/bench_compare.py against the
+// committed bench/baseline.json. Run locally with:
+//
+//   ./build/perf_suite --benchmark_format=json > BENCH.json
+//   python3 tools/bench_compare.py bench/baseline.json BENCH.json
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/tcp.h"
+#include "channel/vehicular.h"
+#include "core/pab.h"
+#include "core/relay_policy.h"
+#include "core/system.h"
+#include "mac/medium.h"
+#include "mac/radio.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vifi;
+using sim::NodeId;
+
+// ---------------------------------------------------------------------------
+// Simulator core
+// ---------------------------------------------------------------------------
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule(Time::micros(i), [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_EventScheduleCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+      ids.push_back(sim.schedule(Time::micros(i), [&fired] { ++fired; }));
+    for (auto id : ids) sim.cancel(id);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleCancel);
+
+// ---------------------------------------------------------------------------
+// Packet allocation path
+// ---------------------------------------------------------------------------
+
+void BM_PacketAlloc(benchmark::State& state) {
+  net::PacketFactory factory;
+  std::vector<net::PacketRef> live;
+  live.reserve(256);
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i)
+      live.push_back(factory.make(net::Direction::Upstream, NodeId(1),
+                                  NodeId(2), 500, Time::micros(i)));
+    benchmark::DoNotOptimize(live.data());
+    live.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PacketAlloc);
+
+void BM_PacketAllocPayload(benchmark::State& state) {
+  net::PacketFactory factory;
+  std::vector<net::PacketRef> live;
+  live.reserve(256);
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      apps::TcpSegment seg;
+      seg.kind = apps::TcpSegment::Kind::Data;
+      seg.seq = i;
+      seg.len = 1200;
+      live.push_back(factory.make(net::Direction::Downstream, NodeId(1),
+                                  NodeId(2), 1200, Time::micros(i), 7,
+                                  static_cast<std::uint64_t>(i), seg));
+    }
+    benchmark::DoNotOptimize(live.data());
+    live.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PacketAllocPayload);
+
+void BM_FrameRelayCopy(benchmark::State& state) {
+  // The auxiliary relay path clones an overheard data frame; this measures
+  // that per-relay frame copy (header + piggyback ids + packet handle).
+  net::PacketFactory factory;
+  mac::Frame f;
+  f.type = mac::FrameType::Data;
+  f.tx = NodeId(3);
+  f.packet = factory.make(net::Direction::Upstream, NodeId(1), NodeId(2), 500,
+                          Time::zero());
+  f.data.packet_id = f.packet->id;
+  f.data.origin = NodeId(1);
+  f.data.hop_dst = NodeId(2);
+  for (int i = 0; i < 8; ++i)
+    f.data.piggyback_acked.push_back(static_cast<std::uint64_t>(i + 1));
+  for (auto _ : state) {
+    mac::Frame relay = f;
+    relay.data.is_relay = true;
+    relay.data.relayer = NodeId(4);
+    benchmark::DoNotOptimize(&relay);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameRelayCopy);
+
+// ---------------------------------------------------------------------------
+// Channel + protocol computations
+// ---------------------------------------------------------------------------
+
+void BM_ChannelSample(benchmark::State& state) {
+  channel::VehicularChannelParams params;
+  channel::VehicularChannel ch(
+      params,
+      [](NodeId id, Time) {
+        return mobility::Vec2{id.value() * 60.0, 0.0};
+      },
+      Rng(1));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ch.sample_delivery(NodeId(0), NodeId(1), Time::micros(t)));
+    t += 100;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSample);
+
+void BM_RelayProbability(benchmark::State& state) {
+  const auto n_aux = static_cast<int>(state.range(0));
+  core::PabTable pab(NodeId(0));
+  std::vector<mac::ProbReport> reports;
+  const NodeId src(100), dst(101);
+  for (int i = 0; i < n_aux; ++i) {
+    reports.push_back({src, NodeId(i), 0.7});
+    reports.push_back({dst, NodeId(i), 0.4});
+    reports.push_back({NodeId(i), dst, 0.6});
+  }
+  reports.push_back({src, dst, 0.5});
+  pab.fold_reports(reports, Time::zero());
+  core::RelayContext ctx;
+  ctx.self = NodeId(0);
+  ctx.src = src;
+  ctx.dst = dst;
+  for (int i = 0; i < n_aux; ++i) ctx.auxiliaries.push_back(NodeId(i));
+  ctx.pab = &pab;
+  ctx.now = Time::zero();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::relay_probability(ctx, core::RelayVariant::ViFi));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelayProbability)->Arg(2)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_PabTick(benchmark::State& state) {
+  core::PabTable pab(NodeId(0));
+  std::int64_t sec = 1;
+  for (auto _ : state) {
+    for (int n = 1; n <= 12; ++n)
+      for (int b = 0; b < 8; ++b)
+        pab.note_beacon(NodeId(n), Time::seconds(static_cast<double>(sec)));
+    pab.tick_second(Time::seconds(static_cast<double>(sec)));
+    ++sec;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PabTick);
+
+// ---------------------------------------------------------------------------
+// Medium
+// ---------------------------------------------------------------------------
+
+void BM_MediumBroadcast(benchmark::State& state) {
+  const auto n_nodes = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  channel::VehicularChannelParams params;
+  channel::VehicularChannel loss(
+      params,
+      [](NodeId id, Time) {
+        return mobility::Vec2{(id.value() % 4) * 50.0,
+                              (id.value() / 4) * 50.0};
+      },
+      Rng(2));
+  mac::Medium medium(sim, loss, {});
+  class NullSink final : public mac::FrameSink {
+   public:
+    void on_frame(const mac::Frame&) override {}
+  };
+  std::vector<std::unique_ptr<NullSink>> sinks;
+  for (int i = 0; i < n_nodes; ++i) {
+    sinks.push_back(std::make_unique<NullSink>());
+    medium.attach(NodeId(i), sinks.back().get());
+  }
+  net::PacketFactory factory;
+  for (auto _ : state) {
+    mac::Frame f;
+    f.type = mac::FrameType::Data;
+    f.tx = NodeId(0);
+    f.packet = factory.make(net::Direction::Upstream, NodeId(0), NodeId(1),
+                            500, sim.now());
+    f.data.packet_id = f.packet->id;
+    f.data.origin = NodeId(0);
+    f.data.hop_dst = NodeId(1);
+    medium.transmit(std::move(f));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumBroadcast)->Arg(4)->Arg(12);
+
+// ---------------------------------------------------------------------------
+// End-to-end packet path
+// ---------------------------------------------------------------------------
+
+void BM_EndToEndPacketPath(benchmark::State& state) {
+  // A small live deployment: 3 BSes, one vehicle driving past them, CBR
+  // upstream traffic. Exercises the full chain: packet factory -> sender
+  // queue -> radio CSMA -> medium sampling -> PAB/beacons -> relay
+  // consideration -> ack handling.
+  constexpr int kPackets = 100;
+  constexpr double kSimSeconds = 2.0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    channel::VehicularChannelParams cparams;
+    channel::VehicularChannel loss(
+        cparams,
+        [](NodeId id, Time t) {
+          if (id.value() == 1)  // the vehicle, driving along x
+            return mobility::Vec2{10.0 * t.to_seconds(), 0.0};
+          return mobility::Vec2{(id.value() - 10) * 40.0, 30.0};
+        },
+        Rng(7));
+    core::SystemConfig config;
+    config.seed = 42;
+    core::VifiSystem system(sim, loss, {NodeId(10), NodeId(11), NodeId(12)},
+                            NodeId(1), NodeId(100), config);
+    system.start();
+    for (int i = 0; i < kPackets; ++i) {
+      sim.schedule_at(Time::seconds(kSimSeconds * i / kPackets),
+                      [&system] { system.send_up(500); });
+    }
+    sim.run_until(Time::seconds(kSimSeconds + 1.0));
+    benchmark::DoNotOptimize(system.stats());
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+}
+BENCHMARK(BM_EndToEndPacketPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -44,12 +44,12 @@ int main() {
 
   std::map<int, int> delivered_down;  // vehicle id -> count
   system.vehicle(vehicle_a).set_delivery_handler(
-      [&](const net::PacketPtr&) { ++delivered_down[vehicle_a.value()]; });
+      [&](const net::PacketRef&) { ++delivered_down[vehicle_a.value()]; });
   system.vehicle(vehicle_b).set_delivery_handler(
-      [&](const net::PacketPtr&) { ++delivered_down[vehicle_b.value()]; });
+      [&](const net::PacketRef&) { ++delivered_down[vehicle_b.value()]; });
   int delivered_up = 0;
   system.host().set_delivery_handler(
-      [&](const net::PacketPtr&) { ++delivered_up; });
+      [&](const net::PacketRef&) { ++delivered_up; });
 
   system.start();
   sim.run_until(Time::seconds(3.0));

@@ -40,9 +40,9 @@ int main() {
   //    each direction every 100 ms.
   int up_delivered = 0, down_delivered = 0;
   trip.system().host().set_delivery_handler(
-      [&](const net::PacketPtr&) { ++up_delivered; });
+      [&](const net::PacketRef&) { ++up_delivered; });
   trip.system().vehicle().set_delivery_handler(
-      [&](const net::PacketPtr&) { ++down_delivered; });
+      [&](const net::PacketRef&) { ++down_delivered; });
 
   const int rounds = 600;
   for (int i = 0; i < rounds; ++i) {

@@ -5,7 +5,7 @@
 // and resumed across machines.
 //
 // Example (the BS-density x policy grid from the README):
-//   sweep --threads 4 --testbeds VanLAN,DieselNet-Ch1 \
+//   sweep --threads 4 --testbeds VanLAN,DieselNet-Ch1
 //         --policies AllBSes,BestBS,BRR --seeds 1,2 --json sweep.json
 
 #include <cstdint>

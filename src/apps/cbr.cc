@@ -11,7 +11,7 @@ CbrWorkload::CbrWorkload(sim::Simulator& sim, Transport& transport,
       params_(params),
       tick_(sim, params.interval, [this] { on_tick(); }) {
   transport_.subscribe(params_.flow,
-                       [this](const net::PacketPtr& p) { on_delivery(p); });
+                       [this](const net::PacketRef& p) { on_delivery(p); });
 }
 
 void CbrWorkload::start(Time until) {
@@ -33,7 +33,7 @@ void CbrWorkload::on_tick() {
                   slot);
 }
 
-void CbrWorkload::on_delivery(const net::PacketPtr& p) {
+void CbrWorkload::on_delivery(const net::PacketRef& p) {
   const auto slot = static_cast<std::size_t>(p->app_seq);
   if (slot >= slots_) return;
   if (sim_.now() - slot_start_[slot] > params_.delivery_deadline) return;

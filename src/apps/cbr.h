@@ -39,7 +39,7 @@ class CbrWorkload {
 
  private:
   void on_tick();
-  void on_delivery(const net::PacketPtr& p);
+  void on_delivery(const net::PacketRef& p);
 
   sim::Simulator& sim_;
   Transport& transport_;

@@ -19,7 +19,7 @@ CellularTransport::CellularTransport(sim::Simulator& sim,
 }
 
 void CellularTransport::send(Direction dir, int bytes, int flow,
-                             std::uint64_t app_seq, std::any data) {
+                             std::uint64_t app_seq, net::AppPayload data) {
   const bool up = dir == Direction::Upstream;
   auto packet = factory_.make(dir, up ? kVehicleEnd : kHostEnd,
                               up ? kHostEnd : kVehicleEnd, bytes, sim_.now(),

@@ -26,7 +26,7 @@ class CellularTransport final : public Transport {
   CellularTransport(sim::Simulator& sim, CellularParams params, Rng rng);
 
   void send(Direction dir, int bytes, int flow, std::uint64_t app_seq,
-            std::any data = {}) override;
+            net::AppPayload data = {}) override;
   void subscribe(int flow, Handler handler) override;
   void unsubscribe(int flow) override { handlers_.erase(flow); }
   Time now() const override { return sim_.now(); }

@@ -31,7 +31,7 @@ TcpTransfer::TcpTransfer(sim::Simulator& sim, Transport& transport, int flow,
   cwnd_ = static_cast<double>(params_.init_cwnd_segments) * params_.mss;
   ssthresh_ = static_cast<double>(params_.init_ssthresh);
   transport_.subscribe(flow_,
-                       [this](const net::PacketPtr& p) { on_packet(p); });
+                       [this](const net::PacketRef& p) { on_packet(p); });
 }
 
 TcpTransfer::~TcpTransfer() {
@@ -65,9 +65,9 @@ void TcpTransfer::set_completion_handler(std::function<void()> fn) {
   on_complete_ = std::move(fn);
 }
 
-void TcpTransfer::on_packet(const net::PacketPtr& p) {
+void TcpTransfer::on_packet(const net::PacketRef& p) {
   if (aborted_ || complete_) return;
-  const TcpSegment* seg = std::any_cast<TcpSegment>(&p->app_data);
+  const TcpSegment* seg = std::get_if<TcpSegment>(&p->app_data);
   if (seg == nullptr) return;
   switch (seg->kind) {
     case TcpSegment::Kind::Syn: {

@@ -29,14 +29,9 @@ struct TcpParams {
   int header_bytes = 40;  ///< TCP/IP header on every segment.
 };
 
-/// Segment exchanged through the Transport's app_data.
-struct TcpSegment {
-  enum class Kind { Syn, SynAck, Data, Ack };
-  Kind kind = Kind::Data;
-  std::int64_t seq = 0;  ///< First payload byte (Data) — or ISN exchange.
-  int len = 0;           ///< Payload bytes (Data only).
-  std::int64_t ack = 0;  ///< Cumulative ack (Ack / SynAck).
-};
+/// Segment exchanged through the Transport's app_data. The wire struct
+/// lives at the net layer (net/payload.h) so packets can store it inline.
+using TcpSegment = net::TcpSegmentData;
 
 /// One connection transferring `total_bytes` in direction `dir`
 /// (Downstream = wired host serves the file to the vehicle).
@@ -80,7 +75,7 @@ class TcpTransfer {
   void on_data(const TcpSegment& seg);
   void send_ack_segment();
 
-  void on_packet(const net::PacketPtr& p);
+  void on_packet(const net::PacketRef& p);
 
   sim::Simulator& sim_;
   Transport& transport_;

@@ -6,13 +6,13 @@ namespace vifi::apps {
 
 VifiTransport::VifiTransport(core::VifiSystem& system) : system_(system) {
   system_.vehicle().set_delivery_handler(
-      [this](const net::PacketPtr& p) { dispatch(p); });
+      [this](const net::PacketRef& p) { dispatch(p); });
   system_.host().set_delivery_handler(
-      [this](const net::PacketPtr& p) { dispatch(p); });
+      [this](const net::PacketRef& p) { dispatch(p); });
 }
 
 void VifiTransport::send(Direction dir, int bytes, int flow,
-                         std::uint64_t app_seq, std::any data) {
+                         std::uint64_t app_seq, net::AppPayload data) {
   if (dir == Direction::Upstream)
     system_.send_up(bytes, flow, app_seq, std::move(data));
   else
@@ -28,7 +28,7 @@ void VifiTransport::unsubscribe(int flow) { handlers_.erase(flow); }
 
 Time VifiTransport::now() const { return system_.simulator().now(); }
 
-void VifiTransport::dispatch(const net::PacketPtr& p) {
+void VifiTransport::dispatch(const net::PacketRef& p) {
   const auto it = handlers_.find(p->flow);
   if (it != handlers_.end()) it->second(p);
 }

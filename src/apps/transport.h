@@ -6,7 +6,6 @@
 /// they run unchanged over ViFi/BRR (VifiTransport) or over the cellular
 /// comparison link (§5.3.1).
 
-#include <any>
 #include <functional>
 #include <map>
 
@@ -21,13 +20,13 @@ using net::Direction;
 /// Unreliable datagram transport between the vehicle end and the host end.
 class Transport {
  public:
-  using Handler = std::function<void(const net::PacketPtr&)>;
+  using Handler = std::function<void(const net::PacketRef&)>;
 
   virtual ~Transport() = default;
 
   /// Sends \p bytes toward the other end. Upstream = vehicle-to-host.
   virtual void send(Direction dir, int bytes, int flow,
-                    std::uint64_t app_seq, std::any data = {}) = 0;
+                    std::uint64_t app_seq, net::AppPayload data = {}) = 0;
 
   /// Registers the unique-delivery handler for a flow (both directions;
   /// the packet's dir field disambiguates).
@@ -46,13 +45,13 @@ class VifiTransport final : public Transport {
   explicit VifiTransport(core::VifiSystem& system);
 
   void send(Direction dir, int bytes, int flow, std::uint64_t app_seq,
-            std::any data = {}) override;
+            net::AppPayload data = {}) override;
   void subscribe(int flow, Handler handler) override;
   void unsubscribe(int flow) override;
   Time now() const override;
 
  private:
-  void dispatch(const net::PacketPtr& p);
+  void dispatch(const net::PacketRef& p);
 
   core::VifiSystem& system_;
   std::map<int, Handler> handlers_;

@@ -15,7 +15,7 @@ VoipCall::VoipCall(sim::Simulator& sim, Transport& transport,
       params_(params),
       tick_(sim, params.packet_interval, [this] { on_tick(); }) {
   transport_.subscribe(params_.flow,
-                       [this](const net::PacketPtr& p) { on_delivery(p); });
+                       [this](const net::PacketRef& p) { on_delivery(p); });
 }
 
 void VoipCall::start(Time until) {
@@ -35,7 +35,7 @@ void VoipCall::on_tick() {
   }
 }
 
-void VoipCall::on_delivery(const net::PacketPtr& p) {
+void VoipCall::on_delivery(const net::PacketRef& p) {
   const auto key = std::make_pair(static_cast<int>(p->dir), p->app_seq);
   const auto it = sent_.find(key);
   if (it == sent_.end()) return;

@@ -58,7 +58,7 @@ class VoipCall {
 
  private:
   void on_tick();
-  void on_delivery(const net::PacketPtr& p);
+  void on_delivery(const net::PacketRef& p);
 
   sim::Simulator& sim_;
   Transport& transport_;

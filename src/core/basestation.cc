@@ -215,7 +215,7 @@ void VifiBasestation::on_data(const mac::Frame& f) {
   overheard_.push_back({f, sim_.now(), vehicle});
 }
 
-void VifiBasestation::accept_upstream(const net::PacketPtr& packet,
+void VifiBasestation::accept_upstream(const net::PacketRef& packet,
                                       std::uint64_t id,
                                       std::uint64_t link_seq, int attempt,
                                       bool relayed, NodeId relayer) {
@@ -248,7 +248,7 @@ void VifiBasestation::accept_upstream(const net::PacketPtr& packet,
                  .emplace(packet->src,
                           std::make_unique<Sequencer>(
                               sim_, config_.reorder_hold,
-                              [this](const net::PacketPtr& p) {
+                              [this](const net::PacketRef& p) {
                                 forward_to_gateway(p);
                               }))
                  .first;
@@ -260,7 +260,7 @@ void VifiBasestation::accept_upstream(const net::PacketPtr& packet,
   }
 }
 
-void VifiBasestation::forward_to_gateway(const net::PacketPtr& packet) {
+void VifiBasestation::forward_to_gateway(const net::PacketRef& packet) {
   net::WireMessage fwd;
   fwd.kind = net::WireMessage::Kind::Data;
   fwd.from = self();
@@ -270,7 +270,7 @@ void VifiBasestation::forward_to_gateway(const net::PacketPtr& packet) {
   backplane_.send(std::move(fwd));
 }
 
-void VifiBasestation::enqueue_downstream(const net::PacketPtr& packet) {
+void VifiBasestation::enqueue_downstream(const net::PacketRef& packet) {
   salvage_buffer_[packet->id] = {packet, sim_.now()};
   sender_for(packet->dst).enqueue(packet);
 }

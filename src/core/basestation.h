@@ -78,7 +78,7 @@ class VifiBasestation {
 
   /// Downstream packet kept for acknowledgment tracking and salvaging.
   struct SalvageEntry {
-    net::PacketPtr packet;
+    net::PacketRef packet;
     Time arrived;  ///< When it came in from the Internet (or via salvage).
   };
 
@@ -88,11 +88,11 @@ class VifiBasestation {
   void on_wire(const net::WireMessage& msg);
   void on_second_tick();
   void on_relay_tick();
-  void accept_upstream(const net::PacketPtr& packet, std::uint64_t id,
+  void accept_upstream(const net::PacketRef& packet, std::uint64_t id,
                        std::uint64_t link_seq, int attempt, bool relayed,
                        NodeId relayer);
-  void forward_to_gateway(const net::PacketPtr& packet);
-  void enqueue_downstream(const net::PacketPtr& packet);
+  void forward_to_gateway(const net::PacketRef& packet);
+  void enqueue_downstream(const net::PacketRef& packet);
   void become_anchor(NodeId vehicle, NodeId prev_anchor);
   void send_ack(std::uint64_t packet_id);
   std::vector<std::uint64_t> recent_received_ids() const;

@@ -31,11 +31,11 @@ void VifiSender::set_designated_aux_provider(std::function<int()> provider) {
 }
 
 void VifiSender::set_drop_handler(
-    std::function<void(const net::PacketPtr&)> handler) {
+    std::function<void(const net::PacketRef&)> handler) {
   on_drop_ = std::move(handler);
 }
 
-void VifiSender::enqueue(net::PacketPtr packet) {
+void VifiSender::enqueue(net::PacketRef packet) {
   VIFI_EXPECTS(packet != nullptr);
   Entry e;
   e.packet = std::move(packet);
@@ -131,7 +131,7 @@ void VifiSender::transmit(Entry& e) {
   const bool last_attempt = e.attempts >= 1 + config_.max_retx;
   if (last_attempt) {
     // No more attempts: the entry leaves the queue once the frame is out.
-    const net::PacketPtr packet = e.packet;
+    const net::PacketRef packet = e.packet;
     const std::uint64_t order = e.order;
     entries_.remove_if([order](const Entry& x) { return x.order == order; });
     ++dropped_;

@@ -41,11 +41,11 @@ class VifiSender {
   void set_designated_aux_provider(std::function<int()> provider);
   void set_stats(VifiStats* stats) { stats_ = stats; }
   /// Called when a packet exhausts its attempts without an ACK.
-  void set_drop_handler(std::function<void(const net::PacketPtr&)> handler);
+  void set_drop_handler(std::function<void(const net::PacketRef&)> handler);
 
   /// Queues an application packet for (re)transmission until acked or out
   /// of attempts.
-  void enqueue(net::PacketPtr packet);
+  void enqueue(net::PacketRef packet);
 
   /// Acknowledgment (explicit ACK frame or piggybacked id).
   /// \p explicit_ack contributes a delay sample to the retx estimator.
@@ -63,7 +63,7 @@ class VifiSender {
 
  private:
   struct Entry {
-    net::PacketPtr packet;
+    net::PacketRef packet;
     int attempts = 0;
     Time next_ready;       ///< Earliest time the next attempt may go out.
     Time last_tx;          ///< When the latest attempt was enqueued to air.
@@ -82,7 +82,7 @@ class VifiSender {
   std::function<NodeId()> hop_dst_;
   std::function<std::vector<std::uint64_t>()> piggyback_;
   std::function<int()> designated_aux_;
-  std::function<void(const net::PacketPtr&)> on_drop_;
+  std::function<void(const net::PacketRef&)> on_drop_;
   VifiStats* stats_ = nullptr;
 
   std::list<Entry> entries_;

@@ -22,7 +22,7 @@ namespace vifi::core {
 
 class Sequencer {
  public:
-  using Deliver = std::function<void(const net::PacketPtr&)>;
+  using Deliver = std::function<void(const net::PacketRef&)>;
 
   Sequencer(sim::Simulator& sim, Time hold, Deliver deliver)
       : sim_(sim), hold_(hold), deliver_(std::move(deliver)) {
@@ -32,7 +32,7 @@ class Sequencer {
 
   /// Accepts a received packet with its link sequence number. Duplicates
   /// must be filtered by the caller.
-  void push(std::uint64_t link_seq, const net::PacketPtr& packet) {
+  void push(std::uint64_t link_seq, const net::PacketRef& packet) {
     VIFI_EXPECTS(packet != nullptr);
     if (link_seq <= released_through_) {
       // A predecessor we already gave up on: deliver immediately rather
@@ -50,7 +50,7 @@ class Sequencer {
 
  private:
   struct Held {
-    net::PacketPtr packet;
+    net::PacketRef packet;
     Time deadline;
   };
 

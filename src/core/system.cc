@@ -77,9 +77,9 @@ VifiBasestation& VifiSystem::basestation(NodeId id) {
   throw ContractViolation("unknown basestation id " + id.to_string());
 }
 
-net::PacketPtr VifiSystem::send_up(int bytes, int flow,
-                                   std::uint64_t app_seq, std::any app_data,
-                                   NodeId from) {
+net::PacketRef VifiSystem::send_up(int bytes, int flow,
+                                   std::uint64_t app_seq,
+                                   net::AppPayload app_data, NodeId from) {
   if (!from.valid()) from = vehicle_ids_.front();
   auto p = packet_factory_.make(net::Direction::Upstream, from, gateway_id_,
                                 bytes, sim_.now(), flow, app_seq,
@@ -88,9 +88,9 @@ net::PacketPtr VifiSystem::send_up(int bytes, int flow,
   return p;
 }
 
-net::PacketPtr VifiSystem::send_down(int bytes, int flow,
+net::PacketRef VifiSystem::send_down(int bytes, int flow,
                                      std::uint64_t app_seq,
-                                     std::any app_data, NodeId to) {
+                                     net::AppPayload app_data, NodeId to) {
   if (!to.valid()) to = vehicle_ids_.front();
   auto p = packet_factory_.make(net::Direction::Downstream, gateway_id_, to,
                                 bytes, sim_.now(), flow, app_seq,

@@ -71,12 +71,12 @@ class VifiSystem {
 
   /// Convenience: makes and sends one upstream application packet from a
   /// vehicle (default: the first).
-  net::PacketPtr send_up(int bytes, int flow = 0, std::uint64_t app_seq = 0,
-                         std::any app_data = {}, NodeId from = NodeId{});
+  net::PacketRef send_up(int bytes, int flow = 0, std::uint64_t app_seq = 0,
+                         net::AppPayload app_data = {}, NodeId from = NodeId{});
   /// Convenience: makes and sends one downstream application packet to a
   /// vehicle (default: the first).
-  net::PacketPtr send_down(int bytes, int flow = 0, std::uint64_t app_seq = 0,
-                           std::any app_data = {}, NodeId to = NodeId{});
+  net::PacketRef send_down(int bytes, int flow = 0, std::uint64_t app_seq = 0,
+                           net::AppPayload app_data = {}, NodeId to = NodeId{});
 
  private:
   sim::Simulator& sim_;

@@ -33,14 +33,14 @@ void VifiVehicle::start() {
   pump_tick_.start();
 }
 
-void VifiVehicle::send_up(net::PacketPtr packet) {
+void VifiVehicle::send_up(net::PacketRef packet) {
   VIFI_EXPECTS(packet != nullptr);
   VIFI_EXPECTS(packet->dir == Direction::Upstream);
   sender_.enqueue(std::move(packet));
 }
 
 void VifiVehicle::set_delivery_handler(
-    std::function<void(const net::PacketPtr&)> fn) {
+    std::function<void(const net::PacketRef&)> fn) {
   deliver_ = std::move(fn);
 }
 
@@ -185,7 +185,7 @@ void VifiVehicle::on_data(const mac::Frame& f) {
 }
 
 void VifiVehicle::deliver_up_the_stack(NodeId origin, std::uint64_t link_seq,
-                                       const net::PacketPtr& packet) {
+                                       const net::PacketRef& packet) {
   if (!deliver_) return;
   if (!config_.inorder_delivery || link_seq == 0) {
     deliver_(packet);
@@ -196,7 +196,7 @@ void VifiVehicle::deliver_up_the_stack(NodeId origin, std::uint64_t link_seq,
     it = sequencers_
              .emplace(origin, std::make_unique<Sequencer>(
                                   sim_, config_.reorder_hold,
-                                  [this](const net::PacketPtr& p) {
+                                  [this](const net::PacketRef& p) {
                                     deliver_(p);
                                   }))
              .first;

@@ -47,10 +47,10 @@ class VifiVehicle {
 
   /// Sends an application packet upstream (to the wired host through the
   /// anchor). The caller provides a fully-formed packet.
-  void send_up(net::PacketPtr packet);
+  void send_up(net::PacketRef packet);
 
   /// Called with each unique downstream packet delivered to the client.
-  void set_delivery_handler(std::function<void(const net::PacketPtr&)> fn);
+  void set_delivery_handler(std::function<void(const net::PacketRef&)> fn);
 
   VifiSender& sender() { return sender_; }
   const PabTable& pab() const { return pab_; }
@@ -83,12 +83,12 @@ class VifiVehicle {
   RecentIdSet received_;
   RecentIdSet acked_once_;  ///< Ids acked in response to a *relayed* copy.
   std::deque<std::uint64_t> recent_rx_order_;  ///< For piggybacking.
-  std::function<void(const net::PacketPtr&)> deliver_;
+  std::function<void(const net::PacketRef&)> deliver_;
   /// In-order delivery buffers, one per stream origin (§4.7 extension).
   std::map<NodeId, std::unique_ptr<Sequencer>> sequencers_;
 
   void deliver_up_the_stack(NodeId origin, std::uint64_t link_seq,
-                            const net::PacketPtr& packet);
+                            const net::PacketRef& packet);
 };
 
 }  // namespace vifi::core

@@ -16,7 +16,7 @@ WiredHost::WiredHost(net::Backplane& backplane, NodeId self, VifiStats* stats)
                     [this](const net::WireMessage& m) { on_wire(m); });
 }
 
-void WiredHost::send_down(net::PacketPtr packet) {
+void WiredHost::send_down(net::PacketRef packet) {
   VIFI_EXPECTS(packet != nullptr);
   VIFI_EXPECTS(packet->dir == net::Direction::Downstream);
   const NodeId anchor = registered_anchor(packet->dst);
@@ -34,7 +34,7 @@ void WiredHost::send_down(net::PacketPtr packet) {
 }
 
 void WiredHost::set_delivery_handler(
-    std::function<void(const net::PacketPtr&)> fn) {
+    std::function<void(const net::PacketRef&)> fn) {
   deliver_ = std::move(fn);
 }
 

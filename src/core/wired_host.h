@@ -29,10 +29,10 @@ class WiredHost {
 
   /// Sends a downstream packet toward the vehicle (packet.dst). Dropped
   /// (and counted) if no anchor has registered for that vehicle yet.
-  void send_down(net::PacketPtr packet);
+  void send_down(net::PacketRef packet);
 
   /// Unique upstream deliveries.
-  void set_delivery_handler(std::function<void(const net::PacketPtr&)> fn);
+  void set_delivery_handler(std::function<void(const net::PacketRef&)> fn);
 
   /// The anchor currently registered for a vehicle (invalid if none).
   NodeId registered_anchor(NodeId vehicle) const;
@@ -47,7 +47,7 @@ class WiredHost {
   VifiStats* stats_;
   std::map<NodeId, NodeId> anchor_of_;  // vehicle -> registered anchor
   RecentIdSet delivered_;
-  std::function<void(const net::PacketPtr&)> deliver_;
+  std::function<void(const net::PacketRef&)> deliver_;
   std::uint64_t undeliverable_ = 0;
 };
 

@@ -86,7 +86,7 @@ struct Frame {
   BeaconPayload beacon;
   DataHeader data;
   AckPayload ack;
-  net::PacketPtr packet;  ///< App payload for data frames.
+  net::PacketRef packet;  ///< App payload for data frames.
 
   /// Total bytes serialised on the air (MAC body; PHY overhead is added by
   /// the medium).

@@ -65,15 +65,16 @@ void Medium::finish(std::uint64_t seq) {
   const auto it = std::find_if(active_.begin(), active_.end(),
                                [seq](const ActiveTx& t) { return t.seq == seq; });
   VIFI_EXPECTS(it != active_.end());
-  // Work on a copy: frame sinks may synchronously transmit (e.g. an ACK),
-  // which mutates active_ and would invalidate references into it. The
-  // original record stays in active_ until prune() so transmissions that
-  // started during this one still see it for their own collision checks.
-  const ActiveTx tx = *it;
+  // Frame sinks may synchronously transmit (e.g. an ACK), which appends to
+  // active_ — a deque, so this record stays put — and tries to prune, which
+  // is deferred while delivering_. The record therefore stays addressable
+  // (no defensive deep copy of the frame), and transmissions that start
+  // during this one still see it for their own collision checks.
+  const ActiveTx& tx = *it;
 
   // Resolve collisions against the snapshot of overlapping transmissions
   // before dispatching anything.
-  std::vector<NodeId> deliver_to;
+  deliver_scratch_.clear();
   for (NodeId rx : tx.decoders) {
     bool collided = false;
     if (params_.model_collisions) {
@@ -93,18 +94,22 @@ void Medium::finish(std::uint64_t seq) {
     if (collided) {
       ++collisions_;
     } else {
-      deliver_to.push_back(rx);
+      deliver_scratch_.push_back(rx);
     }
   }
-  for (NodeId rx : deliver_to) {
+  delivering_ = true;
+  for (NodeId rx : deliver_scratch_) {
     ++deliveries_;
     sinks_.at(rx)->on_frame(tx.frame);
   }
+  delivering_ = false;
 }
 
 void Medium::prune(Time now) {
   // A finished transmission can only matter to transmissions overlapping
   // it; anything ended more than a max-frame-time ago is irrelevant.
+  // Deferred while finish() is dispatching out of active_.
+  if (delivering_) return;
   const Time keep_after = now - airtime(2000);
   std::erase_if(active_,
                 [keep_after](const ActiveTx& t) { return t.end < keep_after; });

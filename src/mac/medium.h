@@ -8,6 +8,7 @@
 /// lives in Radio; the medium answers "is the channel busy for me?".
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -83,7 +84,12 @@ class Medium {
   MediumParams params_;
   std::unordered_map<NodeId, FrameSink*> sinks_;
   std::vector<NodeId> nodes_;
-  std::vector<ActiveTx> active_;  // includes recently finished, pruned lazily
+  /// Includes recently finished transmissions, pruned lazily. A deque so
+  /// records stay put while finish() dispatches from them even if a sink
+  /// synchronously transmits (appends); prune is deferred meanwhile.
+  std::deque<ActiveTx> active_;
+  std::vector<NodeId> deliver_scratch_;  ///< Reused by finish().
+  bool delivering_ = false;
   std::uint64_t next_seq_ = 1;
   std::uint64_t transmissions_ = 0;
   std::uint64_t collisions_ = 0;

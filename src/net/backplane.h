@@ -33,7 +33,7 @@ struct WireMessage {
   Kind kind = Kind::Data;
   NodeId from;
   NodeId to;
-  PacketPtr packet;  ///< For Data / RelayedData / SalvageReply.
+  PacketRef packet;  ///< For Data / RelayedData / SalvageReply.
   NodeId about;      ///< Vehicle in question (salvage/register messages).
   int attempt = 1;   ///< RelayedData: the source attempt that was overheard.
   std::uint64_t link_seq = 0;  ///< RelayedData: stream sequence (§4.7).

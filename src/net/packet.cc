@@ -4,22 +4,24 @@
 
 namespace vifi::net {
 
-PacketPtr PacketFactory::make(Direction dir, NodeId src, NodeId dst,
+PacketRef PacketFactory::make(Direction dir, NodeId src, NodeId dst,
                               int bytes, Time created, int flow,
-                              std::uint64_t app_seq, std::any app_data) {
+                              std::uint64_t app_seq, AppPayload app_data) {
   VIFI_EXPECTS(bytes >= 0);
   VIFI_EXPECTS(src.valid() && dst.valid());
-  auto p = std::make_shared<Packet>();
-  p->id = next_id_++;
-  p->dir = dir;
-  p->src = src;
-  p->dst = dst;
-  p->bytes = bytes;
-  p->created = created;
-  p->flow = flow;
-  p->app_seq = app_seq;
-  p->app_data = std::move(app_data);
-  return p;
+  const std::uint32_t slot = pool_.allocate_slot();
+  PacketPool::Slot& s = pool_.core_->slot(slot);
+  Packet& p = s.packet;
+  p.id = next_id_++;
+  p.dir = dir;
+  p.src = src;
+  p.dst = dst;
+  p.bytes = bytes;
+  p.created = created;
+  p.flow = flow;
+  p.app_seq = app_seq;
+  p.app_data = std::move(app_data);
+  return PacketRef(pool_.core_, slot, s.gen);
 }
 
 }  // namespace vifi::net

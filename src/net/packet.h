@@ -4,12 +4,20 @@
 /// Application-layer datagrams carried end-to-end between the vehicle and a
 /// wired correspondent host, in both directions. ViFi frames wrap these on
 /// the wireless hop; the backplane carries them on wires.
+///
+/// Packets are slab-allocated from a per-run PacketPool and handed around
+/// as intrusively refcounted `PacketRef` handles (index + generation into
+/// the pool) instead of `std::shared_ptr<const Packet>`: allocation is a
+/// free-list pop, release returns the slot for reuse, and a generation
+/// counter catches any dangling handle that survives a slot's reuse.
 
-#include <any>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "net/payload.h"
 #include "sim/ids.h"
+#include "util/contracts.h"
 #include "util/time.h"
 
 namespace vifi::net {
@@ -36,21 +44,252 @@ struct Packet {
   Time created;      ///< When the application emitted it.
   int flow = 0;      ///< Application flow demultiplexer.
   std::uint64_t app_seq = 0;  ///< Application sequence number within flow.
-  std::any app_data;          ///< Optional app payload (e.g. a TCP segment).
+  AppPayload app_data;        ///< Typed app payload (e.g. a TCP segment).
 };
 
-using PacketPtr = std::shared_ptr<const Packet>;
+class PacketRef;
+class PacketView;
 
-/// Allocates packets with unique ids. One factory per simulation run.
-class PacketFactory {
+/// A slab allocator of Packet slots with an embedded free list. One pool
+/// per simulation run (it is owned by the run's PacketFactory); slots are
+/// recycled as handles release them and all slabs are freed together when
+/// the pool and the last outstanding handle are gone. Not thread-safe —
+/// a run is single-threaded by construction, and sweep shards never share
+/// packets.
+class PacketPool {
  public:
-  PacketPtr make(Direction dir, NodeId src, NodeId dst, int bytes,
-                 Time created, int flow = 0, std::uint64_t app_seq = 0,
-                 std::any app_data = {});
+  PacketPool() : core_(new Core) {}
+  ~PacketPool() {
+    core_->pool_alive = false;
+    Core::maybe_dispose(core_);
+  }
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
 
-  std::uint64_t packets_created() const { return next_id_ - 1; }
+  /// Live (refcounted) packets currently held.
+  std::size_t live() const { return core_->live; }
+  /// Slots ever allocated (high-water mark; slabs are never returned
+  /// individually).
+  std::size_t capacity() const { return core_->next_unused; }
 
  private:
+  friend class PacketRef;
+  friend class PacketView;
+  friend class PacketFactory;
+
+  static constexpr std::uint32_t kSlabBits = 10;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    Packet packet;
+    std::uint32_t refcount = 0;
+    std::uint32_t gen = 1;  ///< Bumped on free; stale handles mismatch.
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// Heap-allocated so outstanding handles (owning refs *and* non-owning
+  /// views) keep the slabs alive even if the pool object itself is
+  /// destroyed first. Views pin only the Core's memory, never a packet.
+  struct Core {
+    std::vector<std::unique_ptr<Slot[]>> slabs;
+    std::uint32_t next_unused = 0;
+    std::uint32_t free_head = kNoSlot;
+    std::size_t live = 0;
+    std::size_t views = 0;
+    bool pool_alive = true;
+
+    Slot& slot(std::uint32_t i) {
+      return slabs[i >> kSlabBits][i & (kSlabSize - 1)];
+    }
+    static void maybe_dispose(Core* core) {
+      if (!core->pool_alive && core->live == 0 && core->views == 0)
+        delete core;
+    }
+  };
+
+  /// Pops a slot off the free list (or carves a new one) with refcount 1.
+  std::uint32_t allocate_slot() {
+    Core& c = *core_;
+    std::uint32_t idx;
+    if (c.free_head != kNoSlot) {
+      idx = c.free_head;
+      c.free_head = c.slot(idx).next_free;
+    } else {
+      if (c.next_unused == c.slabs.size() * kSlabSize)
+        c.slabs.push_back(std::make_unique<Slot[]>(kSlabSize));
+      idx = c.next_unused++;
+    }
+    Slot& s = c.slot(idx);
+    s.refcount = 1;
+    ++c.live;
+    return idx;
+  }
+
+  Core* core_;
+};
+
+/// A refcounted handle to an immutable pooled Packet. Copy = refcount
+/// bump; the last release recycles the slot. Dereferencing validates the
+/// slot's generation, so a handle that somehow outlives its packet (a
+/// reuse-after-free bug) trips a contract violation instead of silently
+/// reading another packet's bytes.
+class PacketRef {
+ public:
+  constexpr PacketRef() = default;
+  constexpr PacketRef(std::nullptr_t) {}  // NOLINT: mirrors shared_ptr
+
+  PacketRef(const PacketRef& o) noexcept
+      : core_(o.core_), slot_(o.slot_), gen_(o.gen_) {
+    if (core_ != nullptr) ++core_->slot(slot_).refcount;
+  }
+  PacketRef(PacketRef&& o) noexcept
+      : core_(o.core_), slot_(o.slot_), gen_(o.gen_) {
+    o.core_ = nullptr;
+  }
+  PacketRef& operator=(const PacketRef& o) noexcept {
+    PacketRef tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  PacketRef& operator=(PacketRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      core_ = o.core_;
+      slot_ = o.slot_;
+      gen_ = o.gen_;
+      o.core_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketRef() { release(); }
+
+  void swap(PacketRef& o) noexcept {
+    std::swap(core_, o.core_);
+    std::swap(slot_, o.slot_);
+    std::swap(gen_, o.gen_);
+  }
+
+  const Packet* get() const {
+    if (core_ == nullptr) return nullptr;
+    return &checked_slot().packet;
+  }
+  const Packet& operator*() const { return checked_slot().packet; }
+  const Packet* operator->() const { return &checked_slot().packet; }
+  explicit operator bool() const { return core_ != nullptr; }
+
+  /// Handles compare by identity (same pooled packet), like shared_ptr.
+  friend bool operator==(const PacketRef& a, const PacketRef& b) {
+    return a.core_ == b.core_ && (a.core_ == nullptr || a.slot_ == b.slot_);
+  }
+  friend bool operator==(const PacketRef& r, std::nullptr_t) {
+    return r.core_ == nullptr;
+  }
+
+ private:
+  friend class PacketFactory;
+  friend class PacketView;
+
+  PacketRef(PacketPool::Core* core, std::uint32_t slot,
+            std::uint32_t gen) noexcept
+      : core_(core), slot_(slot), gen_(gen) {}
+
+  PacketPool::Slot& checked_slot() const {
+    VIFI_EXPECTS(core_ != nullptr);
+    PacketPool::Slot& s = core_->slot(slot_);
+    // Generation mismatch = this handle outlived its packet and the slot
+    // was recycled. Refcounting makes that unreachable through the public
+    // API; the check is the pool's reuse-after-free tripwire.
+    VIFI_EXPECTS(s.gen == gen_);
+    return s;
+  }
+
+  void release() noexcept {
+    if (core_ == nullptr) return;
+    PacketPool::Slot& s = core_->slot(slot_);
+    if (--s.refcount == 0) {
+      ++s.gen;                // invalidate any PacketView observers
+      s.packet.app_data = {};  // payload is dead; keep slots cheap
+      s.next_free = core_->free_head;
+      core_->free_head = slot_;
+      --core_->live;
+      PacketPool::Core::maybe_dispose(core_);
+    }
+    core_ = nullptr;
+  }
+
+  PacketPool::Core* core_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
+/// Compatibility alias for code written against the shared_ptr era.
+using PacketPtr = PacketRef;
+
+/// A non-owning observer of a pooled packet. Does not keep the *packet*
+/// alive; `try_get()` returns nullptr once the packet has been released
+/// (the slot's generation moved on). It does pin the pool's slab memory
+/// (not any packet) so observation stays safe even after the factory and
+/// every owning ref are gone. Useful for caches that must never extend
+/// packet lifetime, and for testing the pool's reuse protection.
+class PacketView {
+ public:
+  PacketView() = default;
+  explicit PacketView(const PacketRef& ref)
+      : core_(ref.core_), slot_(ref.slot_), gen_(ref.gen_) {
+    if (core_ != nullptr) ++core_->views;
+  }
+  PacketView(const PacketView& o) noexcept
+      : core_(o.core_), slot_(o.slot_), gen_(o.gen_) {
+    if (core_ != nullptr) ++core_->views;
+  }
+  PacketView(PacketView&& o) noexcept
+      : core_(o.core_), slot_(o.slot_), gen_(o.gen_) {
+    o.core_ = nullptr;
+  }
+  PacketView& operator=(PacketView o) noexcept {  // unified copy/move
+    std::swap(core_, o.core_);
+    std::swap(slot_, o.slot_);
+    std::swap(gen_, o.gen_);
+    return *this;
+  }
+  ~PacketView() {
+    if (core_ != nullptr) {
+      --core_->views;
+      PacketPool::Core::maybe_dispose(core_);
+    }
+  }
+
+  /// True while the observed packet is still live.
+  bool alive() const {
+    return core_ != nullptr && core_->slot(slot_).gen == gen_;
+  }
+  /// The packet, or nullptr if it has been released (slot reused or free).
+  const Packet* try_get() const {
+    if (!alive()) return nullptr;
+    return &core_->slot(slot_).packet;
+  }
+
+ private:
+  PacketPool::Core* core_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
+/// Allocates packets with unique ids out of its own pool. One factory per
+/// simulation run; every packet it made is recycled by the time the run's
+/// handles are gone, and the slabs die with the factory.
+class PacketFactory {
+ public:
+  PacketRef make(Direction dir, NodeId src, NodeId dst, int bytes,
+                 Time created, int flow = 0, std::uint64_t app_seq = 0,
+                 AppPayload app_data = {});
+
+  std::uint64_t packets_created() const { return next_id_ - 1; }
+  const PacketPool& pool() const { return pool_; }
+
+ private:
+  PacketPool pool_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file payload.h
+/// Typed application payloads carried inside a Packet. Replaces the old
+/// `std::any app_data`: a closed variant keeps the payload inline in the
+/// packet slot (no per-packet heap allocation) and makes every payload
+/// kind visible at the net layer.
+
+#include <cstdint>
+#include <variant>
+
+namespace vifi::net {
+
+/// A TCP segment riding through the transport (apps/tcp.h aliases this as
+/// `TcpSegment`). Defined at the net layer so the packet pool can store it
+/// by value without depending on apps/.
+struct TcpSegmentData {
+  enum class Kind : std::uint8_t { Syn, SynAck, Data, Ack };
+  Kind kind = Kind::Data;
+  std::int64_t seq = 0;  ///< First payload byte (Data) — or ISN exchange.
+  int len = 0;           ///< Payload bytes (Data only).
+  std::int64_t ack = 0;  ///< Cumulative ack (Ack / SynAck).
+};
+
+/// The closed set of application payloads. `std::monostate` = no payload
+/// (probe/VoIP/CBR packets carry only sizes). Extend the variant when a new
+/// workload needs typed data end-to-end.
+using AppPayload = std::variant<std::monostate, TcpSegmentData>;
+
+}  // namespace vifi::net

@@ -23,7 +23,13 @@ class NodeId {
 
   friend constexpr auto operator<=>(NodeId, NodeId) = default;
 
-  std::string to_string() const { return "n" + std::to_string(value_); }
+  std::string to_string() const {
+    // Built with += rather than "n" + ... : the temporary-concat form
+    // trips GCC 12's -Wrestrict false positive when inlined (PR105651).
+    std::string s(1, 'n');
+    s += std::to_string(value_);
+    return s;
+  }
 
  private:
   int value_ = -1;

@@ -1,48 +1,110 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 namespace vifi::sim {
 
-EventId Simulator::schedule(Time delay, std::function<void()> fn) {
+EventId Simulator::schedule(Time delay, EventClosure fn) {
   VIFI_EXPECTS(!delay.is_negative());
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+EventId Simulator::schedule_at(Time at, EventClosure fn) {
   VIFI_EXPECTS(at >= now_);
-  VIFI_EXPECTS(fn != nullptr);
-  const EventId id(next_seq_);
-  queue_.push(Event{at, next_seq_, std::move(fn)});
-  pending_.insert(next_seq_);
-  ++next_seq_;
-  return id;
+  VIFI_EXPECTS(static_cast<bool>(fn));
+  const std::uint32_t idx = acquire_slot();
+  EventSlot& s = slot(idx);
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  heap_push(QueueEntry{at, s.seq, idx});
+  ++live_;
+  return EventId(idx + 1, s.seq);
+}
+
+void Simulator::heap_push(QueueEntry e) {
+  heap_.push_back(e);  // placeholder; sift the hole up, then drop e in
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_pop() {
+  const QueueEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
 }
 
 bool Simulator::cancel(EventId id) {
   if (!id.valid()) return false;
+  const std::uint32_t idx = id.slot_plus1_ - 1;
+  if (idx >= slot_count_) return false;
+  EventSlot& s = slot(idx);
   // Only genuinely pending events can be cancelled; stale ids (already
-  // fired or already cancelled) are rejected in O(1).
-  if (pending_.erase(id.seq_) == 0) return false;
-  // Lazy deletion: remember the sequence number; skip it on pop. Entries
-  // are purged as their events surface in the queue.
-  cancelled_.insert(id.seq_);
+  // fired or already cancelled, slot possibly reused) fail the sequence
+  // match and are rejected in O(1). The queue entry is purged lazily when
+  // it surfaces.
+  if (s.seq == 0 || s.seq != id.seq_) return false;
+  s.fn.reset();
+  release_slot(idx);
+  --live_;
   return true;
 }
 
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slot(idx).next_free;
+    return idx;
+  }
+  if (slot_count_ == slabs_.size() * kSlabSize)
+    slabs_.push_back(std::make_unique<EventSlot[]>(kSlabSize));
+  return slot_count_++;
+}
+
+void Simulator::release_slot(std::uint32_t idx) {
+  EventSlot& s = slot(idx);
+  s.seq = 0;
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
 bool Simulator::dispatch_next(Time limit) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.at > limit) return false;
-    if (cancelled_.erase(top.seq) != 0) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const QueueEntry top = heap_[0];
+    // Stale entries (cancelled, or their slot reused after firing) are
+    // skipped regardless of the time limit.
+    EventSlot& s = slot(top.slot);
+    if (s.seq != top.seq) {
+      heap_pop();
       continue;
     }
-    // Move the callback out before popping so the event may schedule more.
-    Event ev = std::move(const_cast<Event&>(top));
-    queue_.pop();
-    pending_.erase(ev.seq);
-    now_ = ev.at;
+    if (top.at > limit) return false;
+    heap_pop();
+    EventClosure fn = std::move(s.fn);
+    release_slot(top.slot);
+    --live_;
+    now_ = top.at;
     ++executed_;
-    ev.fn();
+    fn();
     return true;
   }
   return false;
@@ -61,8 +123,6 @@ void Simulator::run() {
   while (!stopped_ && dispatch_next(Time::max())) {
   }
 }
-
-std::size_t Simulator::pending_events() const { return pending_.size(); }
 
 void PeriodicTimer::start() { start_after(period_); }
 

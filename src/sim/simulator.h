@@ -4,11 +4,19 @@
 /// The discrete-event engine every experiment runs on — the reproduction's
 /// stand-in for the paper's QualNet simulator (§5.1). Single-threaded,
 /// deterministic: events at equal timestamps fire in scheduling order.
+///
+/// The schedule path is allocation-free for typical callbacks: closures are
+/// stored in a small-buffer `EventClosure` (no `std::function` heap
+/// allocation), callbacks live in a slab of reusable event slots, and the
+/// priority queue sifts trivially-copyable {time, seq, slot} entries only.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/contracts.h"
@@ -16,16 +24,114 @@
 
 namespace vifi::sim {
 
-/// Identifies a scheduled event so it can be cancelled.
+/// A move-only `void()` callable with inline storage. Callables up to
+/// `kInlineBytes` (nearly every capture list in this codebase) are stored
+/// in place; larger ones fall back to a single heap allocation.
+class EventClosure {
+ public:
+  static constexpr std::size_t kInlineBytes = 32;
+
+  EventClosure() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventClosure> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventClosure(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    // An empty nullable callable (std::function, function pointer) becomes
+    // an empty closure, so schedule-time preconditions reject it at the
+    // buggy call site instead of the run dying at fire time.
+    if constexpr (std::is_constructible_v<bool, const Fn&>) {
+      if (!static_cast<bool>(f)) return;
+    }
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &InlineOps<Fn>::vtable;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &HeapOps<Fn>::vtable;
+    }
+  }
+
+  EventClosure(EventClosure&& o) noexcept { move_from(o); }
+  EventClosure& operator=(EventClosure&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  EventClosure(const EventClosure&) = delete;
+  EventClosure& operator=(const EventClosure&) = delete;
+  ~EventClosure() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;  // move-construct + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static void invoke(void* p) { (**static_cast<Fn**>(p))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) Fn*(*static_cast<Fn**>(src));
+    }
+    static void destroy(void* p) noexcept { delete *static_cast<Fn**>(p); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(EventClosure& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(o.buf_, buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+/// Identifies a scheduled event so it can be cancelled. Holds the event's
+/// slot and its unique sequence number; a stale id (event already fired or
+/// cancelled, slot since reused) is detected by a sequence mismatch.
 class EventId {
  public:
   constexpr EventId() = default;
-  constexpr bool valid() const { return seq_ != 0; }
+  constexpr bool valid() const { return slot_plus1_ != 0; }
   friend constexpr bool operator==(EventId, EventId) = default;
 
  private:
   friend class Simulator;
-  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  constexpr EventId(std::uint32_t slot_plus1, std::uint64_t seq)
+      : slot_plus1_(slot_plus1), seq_(seq) {}
+  std::uint32_t slot_plus1_ = 0;  ///< Slot index + 1; 0 = invalid.
   std::uint64_t seq_ = 0;
 };
 
@@ -40,10 +146,10 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules \p fn to run at now() + delay (delay >= 0).
-  EventId schedule(Time delay, std::function<void()> fn);
+  EventId schedule(Time delay, EventClosure fn);
 
   /// Schedules \p fn at the absolute time \p at (at >= now()).
-  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_at(Time at, EventClosure fn);
 
   /// Cancels a pending event. Cancelling an already-fired or already-
   /// cancelled event is a no-op. Returns true if the event was pending.
@@ -61,24 +167,57 @@ class Simulator {
 
   /// Number of events executed so far (for tests and micro-benches).
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending_events() const;
+  std::size_t pending_events() const { return live_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// What the heap actually sifts: a trivially copyable record. The
+  /// closure stays put in its slot until the event fires.
+  struct QueueEntry {
     Time at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
+    std::uint64_t seq;   // tie-break: FIFO among equal timestamps
+    std::uint32_t slot;  // index into slots_
   };
 
-  bool dispatch_next(Time limit);
+  /// Strict total order over (at, seq) — seq is unique, so the pop
+  /// sequence is identical for any correct heap arity.
+  static bool earlier(const QueueEntry& a, const QueueEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> pending_;    // scheduled, not yet fired
-  std::unordered_set<std::uint64_t> cancelled_;  // purged as events surface
+  /// Slab entry holding a pending callback. seq == 0 marks a free slot;
+  /// queue entries whose seq no longer matches their slot are stale
+  /// (cancelled, or fired and the slot reused) and are skipped on pop.
+  struct EventSlot {
+    EventClosure fn;
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  static constexpr std::uint32_t kSlabBits = 8;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+
+  bool dispatch_next(Time limit);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_push(QueueEntry e);
+  void heap_pop();
+
+  EventSlot& slot(std::uint32_t i) {
+    return slabs_[i >> kSlabBits][i & (kSlabSize - 1)];
+  }
+
+  /// An implicit 4-ary min-heap: shallower than a binary heap and sifts
+  /// 24-byte PODs within cache lines, which is what makes the schedule
+  /// path cheap at queue depths in the thousands.
+  std::vector<QueueEntry> heap_;
+  /// Fixed-size slabs: growth never relocates a pending closure.
+  std::vector<std::unique_ptr<EventSlot[]>> slabs_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;

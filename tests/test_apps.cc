@@ -86,7 +86,7 @@ class LoopbackTransport final : public Transport {
   void set_delay(Time d) { delay_ = d; }
 
   void send(Direction dir, int bytes, int flow, std::uint64_t app_seq,
-            std::any data) override {
+            net::AppPayload data) override {
     ++sent_;
     if (drop_next_ > 0) {
       --drop_next_;

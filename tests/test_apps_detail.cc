@@ -25,7 +25,7 @@ class DirectionalLoopback final : public Transport {
   }
 
   void send(Direction dir, int bytes, int flow, std::uint64_t app_seq,
-            std::any data) override {
+            net::AppPayload data) override {
     ++sent_[dir == Direction::Upstream];
     if (drop_[dir == Direction::Upstream]) return;
     auto p = factory_.make(dir, sim::NodeId(0), sim::NodeId(1), bytes,

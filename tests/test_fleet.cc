@@ -28,11 +28,11 @@ class FleetTest : public ::testing::Test {
         std::vector<NodeId>{NodeId(kVehA), NodeId(kVehB)}, NodeId(kGw),
         config);
     system_->vehicle(NodeId(kVehA)).set_delivery_handler(
-        [this](const net::PacketPtr& p) { got_a_.push_back(p->id); });
+        [this](const net::PacketRef& p) { got_a_.push_back(p->id); });
     system_->vehicle(NodeId(kVehB)).set_delivery_handler(
-        [this](const net::PacketPtr& p) { got_b_.push_back(p->id); });
+        [this](const net::PacketRef& p) { got_b_.push_back(p->id); });
     system_->host().set_delivery_handler(
-        [this](const net::PacketPtr& p) { got_host_.push_back(p->src); });
+        [this](const net::PacketRef& p) { got_host_.push_back(p->src); });
     system_->start();
   }
 

@@ -52,7 +52,7 @@ TEST(Integration, UpstreamPacketsReachHost) {
   trip.run_until(LiveTrip::warmup());
   int delivered = 0;
   trip.system().host().set_delivery_handler(
-      [&](const net::PacketPtr&) { ++delivered; });
+      [&](const net::PacketRef&) { ++delivered; });
   for (int i = 0; i < 50; ++i) {
     trip.system().send_up(200, 1, static_cast<std::uint64_t>(i));
     trip.run_until(trip.simulator().now() + Time::millis(100.0));
@@ -67,7 +67,7 @@ TEST(Integration, DownstreamPacketsReachVehicle) {
   trip.run_until(LiveTrip::warmup());
   int delivered = 0;
   trip.system().vehicle().set_delivery_handler(
-      [&](const net::PacketPtr&) { ++delivered; });
+      [&](const net::PacketRef&) { ++delivered; });
   for (int i = 0; i < 50; ++i) {
     trip.system().send_down(200, 1, static_cast<std::uint64_t>(i));
     trip.run_until(trip.simulator().now() + Time::millis(100.0));
@@ -82,7 +82,7 @@ TEST(Integration, NoDuplicateDeliveriesToApps) {
   trip.run_until(LiveTrip::warmup());
   std::map<std::uint64_t, int> seen;
   trip.system().vehicle().set_delivery_handler(
-      [&](const net::PacketPtr& p) { ++seen[p->id]; });
+      [&](const net::PacketRef& p) { ++seen[p->id]; });
   for (int i = 0; i < 100; ++i) {
     trip.system().send_down(100, 1, static_cast<std::uint64_t>(i));
     trip.run_until(trip.simulator().now() + Time::millis(50.0));

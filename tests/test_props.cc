@@ -273,7 +273,7 @@ class DroppyTransport final : public apps::Transport {
       : sim_(sim), drop_every_(drop_every) {}
 
   void send(net::Direction dir, int bytes, int flow, std::uint64_t app_seq,
-            std::any data) override {
+            net::AppPayload data) override {
     ++count_;
     if (drop_every_ > 0 && count_ % drop_every_ == 0) return;
     auto p = factory_.make(dir, sim::NodeId(0), sim::NodeId(1), bytes,

@@ -33,9 +33,9 @@ class ProtocolTest : public ::testing::Test {
         sim_, loss_, std::vector<NodeId>{NodeId(kBs0), NodeId(kBs1)},
         NodeId(kVehicle), NodeId(kGateway), config);
     system_->vehicle().set_delivery_handler(
-        [this](const net::PacketPtr& p) { vehicle_got_.push_back(p->id); });
+        [this](const net::PacketRef& p) { vehicle_got_.push_back(p->id); });
     system_->host().set_delivery_handler(
-        [this](const net::PacketPtr& p) { host_got_.push_back(p->id); });
+        [this](const net::PacketRef& p) { host_got_.push_back(p->id); });
     system_->start();
   }
 

@@ -88,7 +88,8 @@ TEST(ResultSink, OrdersByIndexRegardlessOfInsertionOrder) {
   for (const std::size_t i : {2u, 0u, 1u}) {
     PointResult r;
     r.index = i;
-    r.policy = "p" + std::to_string(i);
+    r.policy = "p";
+    r.policy += std::to_string(i);  // += form: avoids GCC 12 -Wrestrict FP
     sink.add(std::move(r));
   }
   const auto ordered = sink.ordered();

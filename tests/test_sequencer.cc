@@ -15,16 +15,16 @@ namespace {
 class SequencerTest : public ::testing::Test {
  protected:
   SequencerTest()
-      : seq_(sim_, Time::millis(50), [this](const net::PacketPtr& p) {
-          delivered_.push_back(p->id);
+      : seq_(sim_, Time::millis(50), [this](const net::PacketRef& p) {
+          delivered_.push_back(p->app_seq);
         }) {}
 
-  net::PacketPtr packet(std::uint64_t id) {
-    auto p = std::make_shared<net::Packet>();
-    p->id = id;
-    return p;
+  net::PacketRef packet(std::uint64_t id) {
+    return factory_.make(net::Direction::Upstream, sim::NodeId(1),
+                         sim::NodeId(2), 100, sim_.now(), 0, id);
   }
 
+  net::PacketFactory factory_;
   sim::Simulator sim_;
   std::vector<std::uint64_t> delivered_;
   Sequencer seq_;
@@ -100,7 +100,7 @@ TEST_F(SequencerTest, RejectsNullPacket) {
 
 TEST(SequencerConfig, RejectsBadConstruction) {
   sim::Simulator sim;
-  EXPECT_THROW(Sequencer(sim, Time::zero(), [](const net::PacketPtr&) {}),
+  EXPECT_THROW(Sequencer(sim, Time::zero(), [](const net::PacketRef&) {}),
                vifi::ContractViolation);
   EXPECT_THROW(Sequencer(sim, Time::millis(1), nullptr),
                vifi::ContractViolation);

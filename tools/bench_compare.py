@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON result against a committed baseline.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+    bench_compare.py --self-test
+
+Exit status:
+    0  no benchmark regressed beyond the threshold
+    1  at least one regression beyond the threshold (or a benchmark
+       disappeared from CURRENT)
+    2  bad invocation / unreadable input
+
+Comparison is by benchmark name on `cpu_time` (normalised to ns).
+Benchmarks present only in CURRENT are listed as "new" and never fail the
+gate — committing a refreshed baseline is how they start being tracked.
+
+Output is a table; the `delta` column is (current - baseline) / baseline,
+negative = faster. Lines are tagged:
+
+    ok          within threshold
+    FASTER      improved by more than the threshold (consider refreshing
+                the baseline so the win is locked in)
+    REGRESSION  slower by more than the threshold -> exit 1
+    new         no baseline entry yet
+    MISSING     in the baseline but not in CURRENT -> exit 1
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_context(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("context", {})
+
+
+def context_warning(baseline_ctx, current_ctx):
+    """Absolute times only transfer between comparable hosts; flag when the
+    two results clearly came from different machines."""
+    diffs = []
+    for key in ("num_cpus", "mhz_per_cpu", "host_name"):
+        b, c = baseline_ctx.get(key), current_ctx.get(key)
+        if b is not None and c is not None and b != c:
+            diffs.append(f"{key}: {b} vs {c}")
+    return diffs
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            # Keep only the mean aggregate when repetitions were used.
+            if b.get("aggregate_name") != "mean":
+                continue
+        name = b["name"]
+        scale = _UNIT_NS.get(b.get("time_unit", "ns"))
+        if scale is None:
+            raise ValueError(f"{path}: unknown time_unit in {name}")
+        out[name.removesuffix("_mean")] = float(b["cpu_time"]) * scale
+    if not out:
+        raise ValueError(f"{path}: no benchmarks found")
+    return out
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:9.2f} {unit}"
+    return f"{ns:9.2f} ns"
+
+
+def compare(baseline, current, threshold):
+    """Returns (lines, regressions, missing) for the comparison table."""
+    lines = []
+    regressions = []
+    missing = []
+    width = max(map(len, list(baseline) + list(current)))
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(f"{name:<{width}}  {'':>12}  {fmt_ns(cur):>12}  "
+                         f"{'':>8}  new")
+            continue
+        if cur is None:
+            lines.append(f"{name:<{width}}  {fmt_ns(base):>12}  {'':>12}  "
+                         f"{'':>8}  MISSING")
+            missing.append(name)
+            continue
+        delta = (cur - base) / base
+        if delta > threshold:
+            tag = "REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -threshold:
+            tag = "FASTER"
+        else:
+            tag = "ok"
+        lines.append(f"{name:<{width}}  {fmt_ns(base):>12}  {fmt_ns(cur):>12}  "
+                     f"{delta:+7.1%}  {tag}")
+    return lines, regressions, missing
+
+
+def self_test():
+    base = {"BM_a": 100.0, "BM_b": 100.0, "BM_gone": 50.0}
+    # Injected slowdown on BM_a must trip the gate; BM_gone missing must too.
+    _, regressions, missing = compare(
+        base, {"BM_a": 120.0, "BM_b": 101.0, "BM_new": 5.0}, 0.15)
+    assert [n for n, _ in regressions] == ["BM_a"], regressions
+    assert missing == ["BM_gone"], missing
+    # Within threshold: clean pass.
+    _, regressions, missing = compare(
+        {"BM_a": 100.0}, {"BM_a": 114.0}, 0.15)
+    assert not regressions and not missing
+    # Improvement is never a failure.
+    _, regressions, missing = compare(
+        {"BM_a": 100.0}, {"BM_a": 40.0}, 0.15)
+    assert not regressions and not missing
+    print("bench_compare self-test: OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max tolerated slowdown fraction (default 0.15)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run internal fixtures and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("BASELINE and CURRENT are required (or --self-test)")
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        current = load_benchmarks(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    lines, regressions, missing = compare(baseline, current, args.threshold)
+    print(f"benchmark comparison: {args.current} vs baseline "
+          f"{args.baseline} (threshold {args.threshold:.0%})")
+    ctx_diffs = context_warning(load_context(args.baseline),
+                                load_context(args.current))
+    if ctx_diffs:
+        print("WARNING: baseline and current were recorded on different "
+              "hosts (" + "; ".join(ctx_diffs) + "). Absolute-time deltas "
+              "may reflect hardware, not code — refresh the baseline from "
+              "this runner class's artifact if the flagged deltas look "
+              "uniform across benchmarks.")
+    for line in lines:
+        print(line)
+    if missing:
+        print(f"\n{len(missing)} benchmark(s) missing from {args.current}; "
+              "the suite must not silently lose coverage.")
+    if regressions:
+        worst = max(delta for _, delta in regressions)
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} (worst {worst:+.1%}).")
+        return 1
+    if missing:
+        return 1
+    print("\nOK: no regressions beyond threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
