@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "apps/cbr.h"
 #include "apps/tcp.h"
 #include "channel/vehicular.h"
 #include "core/pab.h"
@@ -25,6 +26,8 @@
 #include "mac/medium.h"
 #include "mac/radio.h"
 #include "net/packet.h"
+#include "scenario/live.h"
+#include "scenario/testbed.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -272,6 +275,34 @@ void BM_EndToEndPacketPath(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kPackets);
 }
 BENCHMARK(BM_EndToEndPacketPath);
+
+void BM_FleetEndToEnd(benchmark::State& state) {
+  // Fleet scaling as a tracked perf property: the full VanLAN deployment
+  // (11 BSes, V vehicles, shared medium + backplane) with one CBR probe
+  // stream per vehicle. Sub-linear per-vehicle cost is the target; a
+  // regression here means the medium, PAB, or backplane stopped scaling
+  // with client count.
+  const int fleet = static_cast<int>(state.range(0));
+  const scenario::Testbed bed = scenario::make_vanlan(fleet);
+  constexpr double kSimSeconds = 2.0;
+  for (auto _ : state) {
+    scenario::LiveTrip trip(bed, core::SystemConfig{}, 11);
+    trip.run_until(scenario::LiveTrip::warmup());
+    std::vector<std::unique_ptr<apps::CbrWorkload>> cbrs;
+    cbrs.reserve(trip.transports().size());
+    for (const auto& transport : trip.transports())
+      cbrs.push_back(
+          std::make_unique<apps::CbrWorkload>(trip.simulator(), *transport));
+    const Time end = trip.simulator().now() + Time::seconds(kSimSeconds);
+    for (auto& cbr : cbrs) cbr->start(end);
+    trip.run_until(end + Time::seconds(1.0));
+    benchmark::DoNotOptimize(trip.system().stats());
+  }
+  // Packets attempted: 2 per 100 ms slot per vehicle.
+  state.SetItemsProcessed(state.iterations() * fleet *
+                          static_cast<std::int64_t>(kSimSeconds * 20.0));
+}
+BENCHMARK(BM_FleetEndToEnd)->Arg(1)->Arg(4)->Arg(16);
 
 }  // namespace
 

@@ -2,68 +2,55 @@
 // ViFi vehicles on the same campus simultaneously — sharing the wireless
 // medium, the BSes, and the backplane — and shows that the BSes anchor and
 // serve them independently.
+//
+// Everything here rides the first-class fleet API: make_vanlan(2) builds a
+// Testbed whose two shuttles loop the campus half a lap out of phase (ids,
+// mobility and the channel position callback all come from the Testbed),
+// and LiveTrip instantiates the whole fleet with one transport per vehicle.
 
 #include <iostream>
+#include <map>
 
-#include "channel/vehicular.h"
-#include "core/system.h"
-#include "mobility/layouts.h"
+#include "scenario/live.h"
 #include "scenario/testbed.h"
 #include "util/table.h"
 
 int main() {
   using namespace vifi;
 
-  // Geometry: the standard VanLAN layout, with the second vehicle started
-  // half a lap ahead of the first.
-  const scenario::Testbed bed = scenario::make_vanlan();
-  const mobility::Layout& layout = bed.layout();
-  mobility::WaypointPath route(layout.route_waypoints, /*closed=*/true);
-  mobility::PathMobility van_a(route, layout.cruise_mps, 0.0);
-  mobility::PathMobility van_b(route, layout.cruise_mps,
-                               route.total_length() / 2.0);
+  const scenario::Testbed bed = scenario::make_vanlan(/*vehicles=*/2);
+  const sim::NodeId vehicle_a = bed.vehicle_ids()[0];
+  const sim::NodeId vehicle_b = bed.vehicle_ids()[1];
 
-  const sim::NodeId vehicle_a(11), vehicle_b(12), gateway(13);
-  auto position = [&](sim::NodeId id, Time t) {
-    if (id == vehicle_a) return van_a.position_at(t);
-    if (id == vehicle_b) return van_b.position_at(t);
-    if (id == gateway) return mobility::Vec2{-1e9, -1e9};
-    return layout.bs_positions[static_cast<std::size_t>(id.value())];
-  };
-
-  channel::VehicularChannelParams params;
-  channel::VehicularChannel loss(params, position, Rng(2));
-  loss.mark_mobile(vehicle_a);
-  loss.mark_mobile(vehicle_b);
-
-  sim::Simulator sim;
   core::SystemConfig config;
-  config.seed = 3;
-  core::VifiSystem system(sim, loss, bed.bs_ids(), {vehicle_a, vehicle_b},
-                          gateway, config);
+  scenario::LiveTrip trip(bed, config, /*trip_seed=*/3);
+  core::VifiSystem& system = trip.system();
 
   std::map<int, int> delivered_down;  // vehicle id -> count
-  system.vehicle(vehicle_a).set_delivery_handler(
-      [&](const net::PacketRef&) { ++delivered_down[vehicle_a.value()]; });
-  system.vehicle(vehicle_b).set_delivery_handler(
-      [&](const net::PacketRef&) { ++delivered_down[vehicle_b.value()]; });
   int delivered_up = 0;
-  system.host().set_delivery_handler(
-      [&](const net::PacketRef&) { ++delivered_up; });
+  for (const sim::NodeId v : bed.vehicle_ids()) {
+    trip.transport(v).subscribe(1, [&, v](const net::PacketRef& p) {
+      if (p->dir == net::Direction::Downstream)
+        ++delivered_down[v.value()];
+      else
+        ++delivered_up;
+    });
+  }
 
-  system.start();
-  sim.run_until(Time::seconds(3.0));
+  trip.run_until(scenario::LiveTrip::warmup());
 
   // Both vans exchange traffic with the wired host for two minutes.
   const int rounds = 1200;
   for (int i = 0; i < rounds; ++i) {
-    for (const sim::NodeId v : {vehicle_a, vehicle_b}) {
-      system.send_up(150, 1, static_cast<std::uint64_t>(i), {}, v);
-      system.send_down(150, 1, static_cast<std::uint64_t>(i), {}, v);
+    for (const sim::NodeId v : bed.vehicle_ids()) {
+      trip.transport(v).send(net::Direction::Upstream, 150, 1,
+                             static_cast<std::uint64_t>(i));
+      trip.transport(v).send(net::Direction::Downstream, 150, 1,
+                             static_cast<std::uint64_t>(i));
     }
-    sim.run_until(sim.now() + Time::millis(100.0));
+    trip.run_until(trip.simulator().now() + Time::millis(100.0));
   }
-  sim.run_until(sim.now() + Time::seconds(2.0));
+  trip.run_until(trip.simulator().now() + Time::seconds(2.0));
 
   TextTable table("Two vans, two minutes, one campus");
   table.set_header({"metric", "van A", "van B"});

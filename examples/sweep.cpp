@@ -43,6 +43,7 @@ int usage(const char* argv0) {
       << "Usage: " << argv0 << " [options]\n"
       << "  --threads N         worker threads (default 4; 0 = hardware)\n"
       << "  --testbeds a,b      default VanLAN,DieselNet-Ch1\n"
+      << "  --fleets a,b        vehicles per testbed, default 1\n"
       << "  --policies a,b,c    replay: AllBSes/BestBS/History/RSSI/BRR/"
          "Sticky\n"
       << "                      cbr (live): ViFi/BRR/Diversity\n"
@@ -84,6 +85,11 @@ int main(int argc, char** argv) {
     };
     if (arg == "--threads") threads = std::atoi(value().c_str());
     else if (arg == "--testbeds") spec.grid.testbeds = split_csv(value());
+    else if (arg == "--fleets") {
+      spec.grid.fleet_sizes.clear();
+      for (const auto& item : split_csv(value()))
+        spec.grid.fleet_sizes.push_back(std::atoi(item.c_str()));
+    }
     else if (arg == "--policies") spec.grid.policies = split_csv(value());
     else if (arg == "--seeds") spec.grid.seeds = split_csv_u64(value());
     else if (arg == "--days") spec.days = std::atoi(value().c_str());
@@ -104,10 +110,17 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  for (const int fleet : spec.grid.fleet_sizes) {
+    if (fleet < 1) {
+      std::cerr << "fleet sizes must be >= 1\n";
+      return usage(argv[0]);
+    }
+  }
 
   const runtime::Runner runner({.threads = threads});
   std::cerr << "sweep: " << spec.grid.size() << " points ("
             << spec.grid.testbeds.size() << " testbeds x "
+            << spec.grid.fleet_sizes.size() << " fleet sizes x "
             << spec.grid.policies.size() << " policies x "
             << spec.grid.seeds.size() << " seeds) on " << runner.threads()
             << " thread(s)\n";
@@ -116,16 +129,17 @@ int main(int argc, char** argv) {
 
   if (summary) {
     TextTable table("Sweep summary");
-    table.set_header({"testbed", "policy", "seed", "delivery", "median sess",
-                      "pkts/day"});
+    table.set_header({"testbed", "fleet", "policy", "seed", "delivery",
+                      "median sess", "pkts/day"});
     for (const auto& r : sink.ordered()) {
       if (!r.error.empty()) {
-        table.add_row({r.testbed, r.policy, std::to_string(r.seed),
-                       "error: " + r.error, "", ""});
+        table.add_row({r.testbed, std::to_string(r.fleet), r.policy,
+                       std::to_string(r.seed), "error: " + r.error, "", ""});
         continue;
       }
       table.add_row(
-          {r.testbed, r.policy, std::to_string(r.seed),
+          {r.testbed, std::to_string(r.fleet), r.policy,
+           std::to_string(r.seed),
            TextTable::pct(r.metrics.at("delivery_rate"), 1),
            TextTable::num(r.metrics.at("median_session_s"), 1) + " s",
            TextTable::num(r.metrics.at("packets_per_day"), 0)});

@@ -40,9 +40,19 @@ class Transport {
 };
 
 /// Transport over a live ViFi (or BRR-configured) deployment.
+///
+/// The single-argument form binds the whole system (first vehicle +
+/// catch-all host handler) — the historical single-vehicle behaviour. The
+/// two-argument form binds one vehicle of a fleet: it registers a
+/// per-vehicle host handler, so one VifiTransport per vehicle coexists on
+/// the shared wired host.
 class VifiTransport final : public Transport {
  public:
   explicit VifiTransport(core::VifiSystem& system);
+  VifiTransport(core::VifiSystem& system, sim::NodeId vehicle);
+
+  /// The vehicle this transport serves.
+  sim::NodeId vehicle() const { return vehicle_; }
 
   void send(Direction dir, int bytes, int flow, std::uint64_t app_seq,
             net::AppPayload data = {}) override;
@@ -54,6 +64,7 @@ class VifiTransport final : public Transport {
   void dispatch(const net::PacketRef& p);
 
   core::VifiSystem& system_;
+  sim::NodeId vehicle_;
   std::map<int, Handler> handlers_;
 };
 

@@ -68,7 +68,17 @@ class Sequencer {
   }
 
   void arm() {
-    if (buffer_.empty()) return;
+    if (buffer_.empty()) {
+      // Cancel on drain: without this the hold timer stays armed after the
+      // in-order prefix releases everything, and the stale pending_ /
+      // armed_at_ pair later fires a dead event into an empty buffer.
+      if (armed_) {
+        sim_.cancel(pending_);
+        pending_ = sim::EventId{};
+        armed_ = false;
+      }
+      return;
+    }
     const Time next = buffer_.begin()->second.deadline;
     if (armed_ && armed_at_ <= next) return;
     sim_.cancel(pending_);

@@ -38,6 +38,12 @@ void WiredHost::set_delivery_handler(
   deliver_ = std::move(fn);
 }
 
+void WiredHost::set_delivery_handler(
+    NodeId vehicle, std::function<void(const net::PacketRef&)> fn) {
+  VIFI_EXPECTS(vehicle.valid());
+  deliver_per_vehicle_[vehicle] = std::move(fn);
+}
+
 NodeId WiredHost::registered_anchor(NodeId vehicle) const {
   const auto it = anchor_of_.find(vehicle);
   return it == anchor_of_.end() ? NodeId{} : it->second;
@@ -52,7 +58,12 @@ void WiredHost::on_wire(const net::WireMessage& msg) {
       VIFI_EXPECTS(msg.packet != nullptr);
       if (!delivered_.insert(msg.packet->id)) return;  // duplicate
       if (stats_) stats_->on_app_delivered(net::Direction::Upstream);
-      if (deliver_) deliver_(msg.packet);
+      const auto it = deliver_per_vehicle_.find(msg.packet->src);
+      if (it != deliver_per_vehicle_.end() && it->second) {
+        it->second(msg.packet);
+      } else if (deliver_) {
+        deliver_(msg.packet);
+      }
       break;
     }
     default:

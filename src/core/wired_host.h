@@ -31,8 +31,15 @@ class WiredHost {
   /// (and counted) if no anchor has registered for that vehicle yet.
   void send_down(net::PacketRef packet);
 
-  /// Unique upstream deliveries.
+  /// Unique upstream deliveries (catch-all: packets from any vehicle that
+  /// has no per-vehicle handler registered).
   void set_delivery_handler(std::function<void(const net::PacketRef&)> fn);
+
+  /// Unique upstream deliveries originating from one vehicle. Fleet
+  /// deployments register one handler per vehicle; a per-vehicle handler
+  /// takes precedence over the catch-all for its vehicle's packets.
+  void set_delivery_handler(NodeId vehicle,
+                            std::function<void(const net::PacketRef&)> fn);
 
   /// The anchor currently registered for a vehicle (invalid if none).
   NodeId registered_anchor(NodeId vehicle) const;
@@ -48,6 +55,8 @@ class WiredHost {
   std::map<NodeId, NodeId> anchor_of_;  // vehicle -> registered anchor
   RecentIdSet delivered_;
   std::function<void(const net::PacketRef&)> deliver_;
+  std::map<NodeId, std::function<void(const net::PacketRef&)>>
+      deliver_per_vehicle_;  // keyed by packet source vehicle
   std::uint64_t undeliverable_ = 0;
 };
 

@@ -101,12 +101,25 @@ Layout dieselnet_layout(int channel) {
   return l;
 }
 
-std::unique_ptr<MobilityModel> make_vehicle_mobility(const Layout& layout) {
+Time route_cycle_time(const Layout& layout) {
   WaypointPath path(layout.route_waypoints, /*closed=*/true);
-  if (layout.stops.empty())
-    return std::make_unique<PathMobility>(std::move(path), layout.cruise_mps);
+  Time dwell_total = Time::zero();
+  for (const auto& s : layout.stops) dwell_total += s.dwell;
+  return Time::seconds(path.total_length() / layout.cruise_mps) + dwell_total;
+}
+
+std::unique_ptr<MobilityModel> make_vehicle_mobility(const Layout& layout,
+                                                     double phase_fraction) {
+  VIFI_EXPECTS(phase_fraction >= 0.0 && phase_fraction < 1.0);
+  WaypointPath path(layout.route_waypoints, /*closed=*/true);
+  if (layout.stops.empty()) {
+    const double offset_m = phase_fraction * path.total_length();
+    return std::make_unique<PathMobility>(std::move(path), layout.cruise_mps,
+                                          offset_m);
+  }
   return std::make_unique<BusMobility>(std::move(path), layout.cruise_mps,
-                                       layout.stops);
+                                       layout.stops,
+                                       route_cycle_time(layout) * phase_fraction);
 }
 
 }  // namespace vifi::mobility

@@ -37,6 +37,11 @@ struct Layout {
   std::size_t bs_count() const { return bs_positions.size(); }
 };
 
+/// Duration of one full route cycle: cruise time plus all dwells. The
+/// single source for lap-derived quantities (trip duration, fleet phase
+/// offsets); matches BusMobility::lap_time() for layouts with stops.
+Time route_cycle_time(const Layout& layout);
+
 /// The VanLAN campus: 11 BSes, shuttle loop at ~40 km/h.
 Layout vanlan_layout();
 
@@ -45,6 +50,11 @@ Layout vanlan_layout();
 Layout dieselnet_layout(int channel);
 
 /// Builds the vehicle mobility model a layout describes (shuttle or bus).
-std::unique_ptr<MobilityModel> make_vehicle_mobility(const Layout& layout);
+/// \p phase_fraction in [0, 1) shifts where in the route cycle the vehicle
+/// starts: shuttles get a route offset of phase * route length (VanLAN's
+/// two vans ran the same loop out of phase, §2.1); buses get a time offset
+/// of phase * lap time against the shared stop schedule.
+std::unique_ptr<MobilityModel> make_vehicle_mobility(
+    const Layout& layout, double phase_fraction = 0.0);
 
 }  // namespace vifi::mobility

@@ -24,9 +24,13 @@ Time PathMobility::lap_time() const {
 }
 
 BusMobility::BusMobility(WaypointPath path, double cruise_mps,
-                         std::vector<Stop> stops)
-    : path_(std::move(path)), cruise_mps_(cruise_mps), stops_(std::move(stops)) {
+                         std::vector<Stop> stops, Time start_phase)
+    : path_(std::move(path)),
+      cruise_mps_(cruise_mps),
+      stops_(std::move(stops)),
+      start_phase_(start_phase) {
   VIFI_EXPECTS(cruise_mps > 0.0);
+  VIFI_EXPECTS(!start_phase.is_negative());
   std::sort(stops_.begin(), stops_.end(),
             [](const Stop& a, const Stop& b) {
               return a.at_distance_m < b.at_distance_m;
@@ -61,8 +65,12 @@ double BusMobility::lap_distance_at(Time t_in_lap) const {
 
 Vec2 BusMobility::position_at(Time t) const {
   VIFI_EXPECTS(!t.is_negative());
-  const double laps = t / lap_time_;
-  const Time in_lap = t - lap_time_ * std::floor(laps);
+  const Time shifted = t + start_phase_;
+  const double laps = shifted / lap_time_;
+  Time in_lap = shifted - lap_time_ * std::floor(laps);
+  // Exact lap boundaries must map to the lap start, not a full lap (the
+  // scaled subtraction above can leave in_lap == lap_time_ to rounding).
+  if (in_lap >= lap_time_) in_lap -= lap_time_;
   return path_.position_at_distance(lap_distance_at(in_lap));
 }
 

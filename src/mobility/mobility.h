@@ -63,7 +63,10 @@ class BusMobility final : public MobilityModel {
     Time dwell;                  ///< How long the bus waits there.
   };
 
-  BusMobility(WaypointPath path, double cruise_mps, std::vector<Stop> stops);
+  /// \p start_phase shifts where in the lap cycle (cruise + dwells) the bus
+  /// is at t = 0; fleets stagger buses on a shared stop schedule with it.
+  BusMobility(WaypointPath path, double cruise_mps, std::vector<Stop> stops,
+              Time start_phase = Time::zero());
 
   Vec2 position_at(Time t) const override;
 
@@ -78,6 +81,7 @@ class BusMobility final : public MobilityModel {
   double cruise_mps_;
   std::vector<Stop> stops_;  // sorted by at_distance_m
   Time lap_time_;
+  Time start_phase_;
 };
 
 }  // namespace vifi::mobility

@@ -81,6 +81,8 @@ void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
   cfg.log_bs_beacons = false;
   const trace::Campaign campaign = scenario::generate_campaign(bed, cfg);
 
+  // Fleet campaigns carry one trace per vehicle per trip; every vehicle's
+  // log replays under the policy and aggregates into the point's metrics.
   MetricAccumulator acc;
   for (const auto& trip : campaign.trips)
     acc.add_trip(
@@ -110,14 +112,19 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
     scenario::LiveTrip live(
         bed, sys, mix_seed(point.point_seed, static_cast<std::uint64_t>(trip)));
     live.run_until(scenario::LiveTrip::warmup());
-    apps::CbrWorkload cbr(live.simulator(), live.transport());
+    // One CBR probe stream per vehicle, all sharing the trip's medium —
+    // fleet points measure the stack under real multi-client contention.
+    std::vector<std::unique_ptr<apps::CbrWorkload>> cbrs;
+    for (const auto& transport : live.transports())
+      cbrs.push_back(std::make_unique<apps::CbrWorkload>(live.simulator(),
+                                                         *transport));
     const Time duration = point.trip_duration.is_zero()
                               ? bed.trip_duration()
                               : point.trip_duration;
     const Time end = live.simulator().now() + duration;
-    cbr.start(end);
+    for (auto& cbr : cbrs) cbr->start(end);
     live.run_until(end + Time::seconds(1.0));
-    acc.add_trip(cbr.slot_stream(), point.session);
+    for (auto& cbr : cbrs) acc.add_trip(cbr->slot_stream(), point.session);
   }
   acc.finish(point.days, r);
 
@@ -172,9 +179,10 @@ PointResult run_point(const ExperimentPoint& point) {
   PointResult r;
   r.index = point.index;
   r.testbed = point.testbed;
+  r.fleet = point.fleet_size;
   r.policy = point.policy;
   r.seed = point.seed;
-  const scenario::Testbed bed = make_testbed(point.testbed);
+  const scenario::Testbed bed = make_testbed(point.testbed, point.fleet_size);
   if (point.workload == "replay") {
     run_replay(bed, point, r);
   } else if (point.workload == "cbr") {

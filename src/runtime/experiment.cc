@@ -31,31 +31,41 @@ std::vector<ExperimentPoint> ExperimentSpec::enumerate() const {
   points.reserve(grid.size());
   std::size_t index = 0;
   for (const auto& bed : grid.testbeds) {
-    for (const auto& policy : grid.policies) {
-      for (const std::uint64_t seed : grid.seeds) {
-        ExperimentPoint p;
-        p.index = index++;
-        p.testbed = bed;
-        p.policy = policy;
-        p.seed = seed;
-        p.days = days;
-        p.trips_per_day = trips_per_day;
-        p.trip_duration = trip_duration;
-        p.workload = workload;
-        p.session = session;
-        p.campaign_seed = mix_seed(mix_seed(base_seed, bed), seed);
-        p.point_seed = mix_seed(p.campaign_seed, policy);
-        points.push_back(std::move(p));
+    for (const int fleet : grid.fleet_sizes) {
+      VIFI_EXPECTS(fleet > 0);
+      for (const auto& policy : grid.policies) {
+        for (const std::uint64_t seed : grid.seeds) {
+          ExperimentPoint p;
+          p.index = index++;
+          p.testbed = bed;
+          p.fleet_size = fleet;
+          p.policy = policy;
+          p.seed = seed;
+          p.days = days;
+          p.trips_per_day = trips_per_day;
+          p.trip_duration = trip_duration;
+          p.workload = workload;
+          p.session = session;
+          p.campaign_seed = mix_seed(mix_seed(base_seed, bed), seed);
+          // Fleet size 1 mixes nothing in: single-vehicle sweeps keep the
+          // pre-fleet seed derivation, so their output bytes are stable.
+          if (fleet > 1)
+            p.campaign_seed =
+                mix_seed(p.campaign_seed,
+                         "fleet" + std::to_string(fleet));
+          p.point_seed = mix_seed(p.campaign_seed, policy);
+          points.push_back(std::move(p));
+        }
       }
     }
   }
   return points;
 }
 
-scenario::Testbed make_testbed(const std::string& name) {
-  if (name == "VanLAN") return scenario::make_vanlan();
-  if (name == "DieselNet-Ch1") return scenario::make_dieselnet(1);
-  if (name == "DieselNet-Ch6") return scenario::make_dieselnet(6);
+scenario::Testbed make_testbed(const std::string& name, int fleet_size) {
+  if (name == "VanLAN") return scenario::make_vanlan(fleet_size);
+  if (name == "DieselNet-Ch1") return scenario::make_dieselnet(1, fleet_size);
+  if (name == "DieselNet-Ch6") return scenario::make_dieselnet(6, fleet_size);
   VIFI_EXPECTS(!"unknown testbed name");
   return scenario::make_vanlan();  // unreachable
 }

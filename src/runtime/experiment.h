@@ -27,11 +27,15 @@ std::uint64_t mix_seed(std::uint64_t seed, std::string_view label);
 /// The axes of a sweep, enumerated row-major in declaration order.
 struct ParamGrid {
   std::vector<std::string> testbeds{"VanLAN"};
+  /// Vehicles riding each testbed (VanLAN ran two shuttles, DieselNet is a
+  /// bus system); 1 is the paper's single instrumented vehicle.
+  std::vector<int> fleet_sizes{1};
   std::vector<std::string> policies{"BRR"};
   std::vector<std::uint64_t> seeds{1};
 
   std::size_t size() const {
-    return testbeds.size() * policies.size() * seeds.size();
+    return testbeds.size() * fleet_sizes.size() * policies.size() *
+           seeds.size();
   }
 };
 
@@ -41,6 +45,7 @@ struct ParamGrid {
 struct ExperimentPoint {
   std::size_t index = 0;  ///< Row-major position in the grid.
   std::string testbed;    ///< "VanLAN", "DieselNet-Ch1", "DieselNet-Ch6".
+  int fleet_size = 1;     ///< Vehicles riding the testbed.
   std::string policy;     ///< §3.1 replay policy, or "ViFi"/"BRR" live.
   std::uint64_t seed = 1; ///< Replicate seed (the grid's seeds axis).
   int days = 1;
@@ -49,9 +54,11 @@ struct ExperimentPoint {
   std::string workload = "replay";    ///< "replay" (§3.1) or "cbr" (§5.2).
   analysis::SessionDef session;
 
-  /// Campaign realisation seed — a function of (base seed, testbed,
-  /// replicate seed) only. Points that differ only in policy replay the
-  /// *same* traces, as in the paper's policy comparisons.
+  /// Campaign realisation seed — a function of (base seed, testbed, fleet
+  /// size, replicate seed) only. Points that differ only in policy replay
+  /// the *same* traces, as in the paper's policy comparisons. (Fleet size
+  /// 1 mixes nothing in, so single-vehicle sweeps keep their pre-fleet
+  /// seed derivation and outputs.)
   std::uint64_t campaign_seed = 0;
   /// Stream for point-local randomness (live trips, subset draws); also
   /// mixes the policy so live stacks don't share draws across points.
@@ -70,12 +77,14 @@ struct ExperimentSpec {
   analysis::SessionDef session;
   std::uint64_t base_seed = 20080817;
 
-  /// Row-major (testbed, policy, seed) enumeration with derived seeds.
+  /// Row-major (testbed, fleet size, policy, seed) enumeration with
+  /// derived seeds.
   std::vector<ExperimentPoint> enumerate() const;
 };
 
-/// Testbed factory by grid name. Throws ContractViolation on unknown names.
-scenario::Testbed make_testbed(const std::string& name);
+/// Testbed factory by grid name, carrying \p fleet_size vehicles. Throws
+/// ContractViolation on unknown names.
+scenario::Testbed make_testbed(const std::string& name, int fleet_size = 1);
 
 /// True for names make_testbed() accepts.
 bool known_testbed(const std::string& name);

@@ -110,6 +110,7 @@ std::string ResultSink::to_json() const {
     os << "    {\n"
        << "      \"index\": " << r.index << ",\n"
        << "      \"testbed\": \"" << json_escape(r.testbed) << "\",\n"
+       << "      \"fleet\": " << r.fleet << ",\n"
        << "      \"policy\": \"" << json_escape(r.policy) << "\",\n"
        << "      \"seed\": " << r.seed << ",\n";
     if (!r.error.empty())
@@ -147,11 +148,11 @@ std::string ResultSink::to_csv() const {
       keys.insert(key);
     }
   std::ostringstream os;
-  os << "index,testbed,policy,seed";
+  os << "index,testbed,fleet,policy,seed";
   for (const auto& key : keys) os << "," << csv_escape(key);
   os << ",error\n";
   for (const auto& r : results) {
-    os << r.index << "," << csv_escape(r.testbed) << ","
+    os << r.index << "," << csv_escape(r.testbed) << "," << r.fleet << ","
        << csv_escape(r.policy) << "," << r.seed;
     for (const auto& key : keys) {
       os << ",";

@@ -22,6 +22,7 @@ namespace vifi::runtime {
 struct PointResult {
   std::size_t index = 0;
   std::string testbed;
+  int fleet = 1;  ///< Vehicles riding the testbed at this point.
   std::string policy;
   std::uint64_t seed = 0;
   std::map<std::string, double> metrics;

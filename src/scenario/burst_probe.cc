@@ -4,36 +4,66 @@
 
 namespace vifi::scenario {
 
-BurstProbeRun burst_probe_single(const Testbed& bed, NodeId bs,
-                                 Time trip_duration, Time period, Rng rng,
-                                 double in_range_threshold) {
-  VIFI_EXPECTS(period > Time::zero());
+namespace {
+
+/// Samples one vehicle's probe stream against an existing channel.
+BurstProbeRun probe_one(channel::VehicularChannel& channel, NodeId bs,
+                        NodeId veh, Time trip_duration, Time period,
+                        double in_range_threshold) {
   BurstProbeRun run;
   run.bs = bs;
-  auto channel = bed.make_channel(rng.fork("channel"));
-  const NodeId veh = bed.vehicle();
+  run.vehicle = veh;
   const auto n = static_cast<std::int64_t>(trip_duration.to_micros() /
                                            period.to_micros());
   run.received.reserve(static_cast<std::size_t>(n));
   run.in_range.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
     const Time now = period * static_cast<double>(i);
-    run.received.push_back(channel->sample_delivery(bs, veh, now));
-    run.in_range.push_back(channel->geometric_reception_prob(bs, veh, now) >=
+    run.received.push_back(channel.sample_delivery(bs, veh, now));
+    run.in_range.push_back(channel.geometric_reception_prob(bs, veh, now) >=
                            in_range_threshold);
   }
   return run;
 }
 
+}  // namespace
+
+BurstProbeRun burst_probe_single(const Testbed& bed, NodeId bs,
+                                 Time trip_duration, Time period, Rng rng,
+                                 double in_range_threshold, NodeId vehicle) {
+  VIFI_EXPECTS(period > Time::zero());
+  auto channel = bed.make_channel(rng.fork("channel"));
+  const NodeId veh = vehicle.valid() ? vehicle : bed.vehicle();
+  VIFI_EXPECTS(bed.is_vehicle(veh));
+  return probe_one(*channel, bs, veh, trip_duration, period,
+                   in_range_threshold);
+}
+
+std::vector<BurstProbeRun> burst_probe_fleet(const Testbed& bed, NodeId bs,
+                                             Time trip_duration, Time period,
+                                             Rng rng,
+                                             double in_range_threshold) {
+  VIFI_EXPECTS(period > Time::zero());
+  auto channel = bed.make_channel(rng.fork("channel"));
+  std::vector<BurstProbeRun> runs;
+  runs.reserve(bed.vehicle_ids().size());
+  for (const NodeId veh : bed.vehicle_ids())
+    runs.push_back(probe_one(*channel, bs, veh, trip_duration, period,
+                             in_range_threshold));
+  return runs;
+}
+
 PairProbeRun burst_probe_pair(const Testbed& bed, NodeId a, NodeId b,
                               Time trip_duration, Time period, Rng rng,
-                              double in_range_threshold) {
+                              double in_range_threshold, NodeId vehicle) {
   VIFI_EXPECTS(period > Time::zero());
   PairProbeRun run;
   run.bs_a = a;
   run.bs_b = b;
   auto channel = bed.make_channel(rng.fork("channel"));
-  const NodeId veh = bed.vehicle();
+  const NodeId veh = vehicle.valid() ? vehicle : bed.vehicle();
+  VIFI_EXPECTS(bed.is_vehicle(veh));
+  run.vehicle = veh;
   const auto n = static_cast<std::int64_t>(trip_duration.to_micros() /
                                            period.to_micros());
   for (std::int64_t i = 0; i < n; ++i) {

@@ -10,62 +10,86 @@ namespace vifi::scenario {
 
 namespace {
 
-trace::MeasurementTrace generate_trip(const Testbed& bed,
-                                      const CampaignConfig& config, int day,
-                                      int trip, Rng rng) {
-  trace::MeasurementTrace t;
-  t.testbed = bed.layout().name;
-  t.day = day;
-  t.trip = trip;
-  t.duration = config.trip_duration.is_zero() ? bed.trip_duration()
-                                              : config.trip_duration;
-  t.beacons_per_second = config.beacons_per_second;
-  t.bs_ids = bed.bs_ids();
+/// One trip of the whole fleet: every vehicle rides the same channel
+/// realisation (they share the campus at the same instant) and each logs
+/// its own MeasurementTrace. For a single-vehicle testbed the channel draw
+/// order — and therefore the generated trace — is identical to the
+/// original single-vehicle generator.
+std::vector<trace::MeasurementTrace> generate_trip(
+    const Testbed& bed, const CampaignConfig& config, int day, int trip,
+    Rng rng) {
+  const std::vector<NodeId>& vehicles = bed.vehicle_ids();
+  std::vector<trace::MeasurementTrace> logs(vehicles.size());
+  const Time duration = config.trip_duration.is_zero() ? bed.trip_duration()
+                                                       : config.trip_duration;
+  for (std::size_t v = 0; v < vehicles.size(); ++v) {
+    trace::MeasurementTrace& t = logs[v];
+    t.testbed = bed.layout().name;
+    t.day = day;
+    t.trip = trip;
+    t.vehicle = vehicles[v];
+    t.duration = duration;
+    t.beacons_per_second = config.beacons_per_second;
+    t.bs_ids = bed.bs_ids();
+  }
 
   auto channel = bed.make_channel(rng.fork("channel"));
   Rng rssi_rng = rng.fork("rssi");
 
-  const NodeId veh = bed.vehicle();
   const Time slot_len = Time::millis(100);
   const auto n_slots =
-      static_cast<std::int64_t>(t.duration.to_micros() / slot_len.to_micros());
+      static_cast<std::int64_t>(duration.to_micros() / slot_len.to_micros());
   const int beacons_per_slot = std::max(1, config.beacons_per_second / 10);
 
   for (std::int64_t i = 0; i < n_slots; ++i) {
     const Time now = slot_len * static_cast<double>(i);
-    const mobility::Vec2 vpos = bed.position(veh, now);
 
     if (config.log_probes) {
-      trace::ProbeSlot slot;
-      slot.t = now;
-      slot.vehicle_pos = vpos;
-      for (NodeId bs : t.bs_ids) {
-        if (channel->sample_delivery(bs, veh, now)) slot.down_heard.push_back(bs);
-        if (channel->sample_delivery(veh, bs, now)) slot.up_heard_by.push_back(bs);
+      for (std::size_t v = 0; v < vehicles.size(); ++v) {
+        const NodeId veh = vehicles[v];
+        trace::ProbeSlot slot;
+        slot.t = now;
+        slot.vehicle_pos = bed.position(veh, now);
+        for (NodeId bs : bed.bs_ids()) {
+          if (channel->sample_delivery(bs, veh, now))
+            slot.down_heard.push_back(bs);
+          if (channel->sample_delivery(veh, bs, now))
+            slot.up_heard_by.push_back(bs);
+        }
+        logs[v].slots.push_back(std::move(slot));
       }
-      t.slots.push_back(std::move(slot));
     }
 
     // Beacons within this slot (10/s => 1 per 100 ms slot).
     for (int b = 0; b < beacons_per_slot; ++b) {
       const Time bt = now + Time::millis(37);  // fixed offset inside slot
-      for (NodeId bs : t.bs_ids) {
-        if (!channel->sample_delivery(bs, veh, bt)) continue;
-        const double d = mobility::distance(bed.position(bs, bt), vpos);
-        t.vehicle_beacons.push_back(
-            {bt, bs, channel::synthesize_rssi_dbm(d, rssi_rng)});
+      for (std::size_t v = 0; v < vehicles.size(); ++v) {
+        const NodeId veh = vehicles[v];
+        // Slot-start GPS fix, as the original generator recorded it — keeps
+        // single-vehicle campaign bytes identical across the fleet refactor.
+        const mobility::Vec2 vpos = bed.position(veh, now);
+        for (NodeId bs : bed.bs_ids()) {
+          if (!channel->sample_delivery(bs, veh, bt)) continue;
+          const double d = mobility::distance(bed.position(bs, bt), vpos);
+          logs[v].vehicle_beacons.push_back(
+              {bt, bs, channel::synthesize_rssi_dbm(d, rssi_rng)});
+        }
       }
       if (config.log_bs_beacons) {
-        for (NodeId tx : t.bs_ids)
-          for (NodeId rx : t.bs_ids) {
+        for (NodeId tx : bed.bs_ids())
+          for (NodeId rx : bed.bs_ids()) {
             if (tx == rx) continue;
-            if (channel->sample_delivery(tx, rx, bt))
-              t.bs_beacons.push_back({bt, tx, rx});
+            if (channel->sample_delivery(tx, rx, bt)) {
+              // BS-side logs are shared infrastructure; mirror them into
+              // every vehicle's trace so any one trace can drive the §5.1
+              // validation schedule.
+              for (auto& t : logs) t.bs_beacons.push_back({bt, tx, rx});
+            }
           }
       }
     }
   }
-  return t;
+  return logs;
 }
 
 }  // namespace
@@ -80,8 +104,8 @@ trace::Campaign generate_campaign(const Testbed& bed,
     for (int trip = 0; trip < config.trips_per_day; ++trip) {
       Rng trip_rng = root.fork("day" + std::to_string(day) + "/trip" +
                                std::to_string(trip));
-      campaign.trips.push_back(
-          generate_trip(bed, config, day, trip, trip_rng));
+      auto logs = generate_trip(bed, config, day, trip, trip_rng);
+      for (auto& t : logs) campaign.trips.push_back(std::move(t));
     }
   }
   return campaign;

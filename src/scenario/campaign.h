@@ -31,6 +31,9 @@ struct CampaignConfig {
 
 /// Runs the campaign: days x trips_per_day independent trips, each with a
 /// fresh channel realisation (a trip starts with uncorrelated fading).
+/// Fleet testbeds produce one MeasurementTrace per vehicle per trip — all
+/// vehicles of a trip share its channel realisation, and the campaign's
+/// trips are ordered by (day, trip, vehicle).
 trace::Campaign generate_campaign(const Testbed& bed,
                                   const CampaignConfig& config);
 

@@ -26,6 +26,8 @@
 
 #include <functional>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "channel/loss_model.h"
 
@@ -59,16 +61,32 @@ class ChannelPlan {
 
 class ChannelizedLoss final : public channel::LossModel {
  public:
-  /// \p vehicle_channel reports the channel the vehicle is currently
-  /// serving on (its anchor's primary channel).
+  /// Reports the channel a given vehicle is currently serving on (its
+  /// anchor's primary channel); called only for registered vehicles.
+  using ServingChannelFn = std::function<int(sim::NodeId vehicle)>;
+
+  /// Fleet form: every id in \p vehicles is gated by its *own* serving
+  /// channel. (The single-vehicle predecessor kept one `vehicle_` /
+  /// `vehicle_channel_` pair, so a second vehicle fell through to the
+  /// BS-to-BS branch and was silently gated as a channel-0 BS.)
+  ChannelizedLoss(channel::LossModel& base, ChannelPlan plan,
+                  std::vector<sim::NodeId> vehicles, bool aux_radios,
+                  ServingChannelFn serving_channel)
+      : base_(base),
+        plan_(std::move(plan)),
+        vehicles_(vehicles.begin(), vehicles.end()),
+        aux_radios_(aux_radios),
+        serving_channel_(std::move(serving_channel)) {}
+
+  /// Single-vehicle convenience, matching the original interface.
   ChannelizedLoss(channel::LossModel& base, ChannelPlan plan,
                   sim::NodeId vehicle, bool aux_radios,
                   std::function<int()> vehicle_channel)
-      : base_(base),
-        plan_(std::move(plan)),
-        vehicle_(vehicle),
-        aux_radios_(aux_radios),
-        vehicle_channel_(std::move(vehicle_channel)) {}
+      : ChannelizedLoss(base, std::move(plan),
+                        std::vector<sim::NodeId>{vehicle}, aux_radios,
+                        [fn = std::move(vehicle_channel)](sim::NodeId) {
+                          return fn();
+                        }) {}
 
   bool sample_delivery(sim::NodeId tx, sim::NodeId rx, Time now) override {
     const bool audible = can_hear(tx, rx);
@@ -83,16 +101,23 @@ class ChannelizedLoss final : public channel::LossModel {
   }
 
  private:
+  bool is_vehicle(sim::NodeId id) const { return vehicles_.contains(id); }
+
   bool can_hear(sim::NodeId tx, sim::NodeId rx) const {
-    if (tx == vehicle_) {
-      // Vehicle transmits on its serving channel; a BS hears it if tuned
+    if (is_vehicle(tx)) {
+      if (is_vehicle(rx)) {
+        // Vehicle-to-vehicle overhearing requires a shared serving channel
+        // (or aux listen-everywhere radios).
+        return aux_radios_ || serving_channel_(tx) == serving_channel_(rx);
+      }
+      // A vehicle transmits on its serving channel; a BS hears it if tuned
       // there or if it carries an aux (listen-everywhere) radio.
-      return aux_radios_ ||
-             plan_.channel_of(rx) == vehicle_channel_();
+      return aux_radios_ || plan_.channel_of(rx) == serving_channel_(tx);
     }
-    if (rx == vehicle_) {
-      // BSes address the vehicle on its serving channel (anchor natively,
-      // relays via the aux radio); beacon scanning keeps discovery open.
+    if (is_vehicle(rx)) {
+      // BSes address a vehicle on that vehicle's serving channel (anchor
+      // natively, relays via the aux radio); beacon scanning keeps
+      // discovery open.
       return true;
     }
     // BS-to-BS overhearing.
@@ -102,9 +127,9 @@ class ChannelizedLoss final : public channel::LossModel {
 
   channel::LossModel& base_;
   ChannelPlan plan_;
-  sim::NodeId vehicle_;
+  std::set<sim::NodeId> vehicles_;
   bool aux_radios_;
-  std::function<int()> vehicle_channel_;
+  ServingChannelFn serving_channel_;
 };
 
 }  // namespace vifi::scenario

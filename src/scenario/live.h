@@ -5,8 +5,13 @@
 /// (stochastic VanLAN-style, or a §5.1 trace-driven loss schedule) + the
 /// full ViFi/BRR stack + a fresh simulator. Experiments attach application
 /// workloads through the transport and run the clock.
+///
+/// Fleet testbeds get the whole fleet: one ViFi client per vehicle on the
+/// shared medium/backplane, and one transport per vehicle so workloads
+/// attach per vehicle.
 
 #include <memory>
+#include <vector>
 
 #include "apps/transport.h"
 #include "channel/loss_model.h"
@@ -21,19 +26,36 @@ namespace vifi::scenario {
 /// One self-contained protocol trip (own simulator, channel and stack).
 class LiveTrip {
  public:
-  /// Stochastic-channel trip (the deployment methodology).
+  /// Stochastic-channel trip (the deployment methodology). The whole fleet
+  /// of \p bed rides: V vehicles, V transports.
   LiveTrip(const Testbed& bed, core::SystemConfig config,
            std::uint64_t trip_seed);
 
   /// Trace-driven trip (the DieselNet methodology): the §5.1 loss schedule
-  /// built from a beacon log replaces the stochastic channel.
+  /// built from a beacon log replaces the stochastic channel. \p trip's
+  /// `vehicle` field names the connected vehicle (invalid = the testbed's
+  /// first vehicle); the rest of the fleet has no schedule and stays deaf.
   LiveTrip(const Testbed& bed, const trace::MeasurementTrace& trip,
+           core::SystemConfig config, std::uint64_t trip_seed,
+           bool use_bs_beacon_logs = false);
+
+  /// Trace-driven fleet trip: one trace per vehicle of the same trip, as
+  /// generate_campaign produces for fleet testbeds.
+  LiveTrip(const Testbed& bed,
+           const std::vector<const trace::MeasurementTrace*>& trips,
            core::SystemConfig config, std::uint64_t trip_seed,
            bool use_bs_beacon_logs = false);
 
   sim::Simulator& simulator() { return sim_; }
   core::VifiSystem& system() { return *system_; }
-  apps::VifiTransport& transport() { return *transport_; }
+  /// The first (or only) vehicle's transport.
+  apps::VifiTransport& transport() { return *transports_.front(); }
+  /// A specific vehicle's transport.
+  apps::VifiTransport& transport(sim::NodeId vehicle);
+  /// One transport per vehicle, in fleet order.
+  const std::vector<std::unique_ptr<apps::VifiTransport>>& transports() const {
+    return transports_;
+  }
   channel::LossModel& loss_model() { return *channel_; }
 
   /// Starts the protocol stack and advances the clock to \p until.
@@ -44,10 +66,13 @@ class LiveTrip {
   static Time warmup() { return Time::seconds(3.0); }
 
  private:
+  void build_stack(const Testbed& bed, core::SystemConfig config,
+                   std::uint64_t system_seed);
+
   sim::Simulator sim_;
   std::unique_ptr<channel::LossModel> channel_;
   std::unique_ptr<core::VifiSystem> system_;
-  std::unique_ptr<apps::VifiTransport> transport_;
+  std::vector<std::unique_ptr<apps::VifiTransport>> transports_;
   bool started_ = false;
 };
 

@@ -1,19 +1,36 @@
 #include "scenario/testbed.h"
 
+#include <string>
+
 #include "util/contracts.h"
 
 namespace vifi::scenario {
 
 Testbed::Testbed(mobility::Layout layout,
-                 channel::VehicularChannelParams channel_params)
+                 channel::VehicularChannelParams channel_params,
+                 FleetSpec fleet)
     : layout_(std::move(layout)), channel_params_(channel_params) {
   const int n = static_cast<int>(layout_.bs_positions.size());
   VIFI_EXPECTS(n > 0);
+  VIFI_EXPECTS(fleet.vehicles > 0);
+  VIFI_EXPECTS(fleet.phases.empty() ||
+               fleet.phases.size() == static_cast<std::size_t>(fleet.vehicles));
   bs_ids_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) bs_ids_.push_back(NodeId(i));
-  vehicle_ = NodeId(n);
-  wired_host_ = NodeId(n + 1);
-  vehicle_mobility_ = mobility::make_vehicle_mobility(layout_);
+  for (int v = 0; v < fleet.vehicles; ++v) {
+    vehicle_ids_.push_back(NodeId(n + v));
+    const double phase = fleet.phases.empty()
+                             ? static_cast<double>(v) /
+                                   static_cast<double>(fleet.vehicles)
+                             : fleet.phases[static_cast<std::size_t>(v)];
+    vehicle_mobility_.push_back(mobility::make_vehicle_mobility(layout_, phase));
+  }
+  wired_host_ = NodeId(n + fleet.vehicles);
+}
+
+bool Testbed::is_vehicle(NodeId node) const {
+  return node.valid() && node >= vehicle_ids_.front() &&
+         node <= vehicle_ids_.back();
 }
 
 mobility::Vec2 Testbed::bs_position(NodeId bs) const {
@@ -23,10 +40,23 @@ mobility::Vec2 Testbed::bs_position(NodeId bs) const {
 }
 
 mobility::Vec2 Testbed::position(NodeId node, Time t) const {
-  if (node == vehicle_) return vehicle_mobility_->position_at(t);
+  if (is_vehicle(node)) {
+    const auto i =
+        static_cast<std::size_t>(node.value() - vehicle_ids_.front().value());
+    return vehicle_mobility_[i]->position_at(t);
+  }
   if (node == wired_host_) {
     // The wired host has no radio; park it far outside the radio plane.
     return {-1e9, -1e9};
+  }
+  if (!node.valid() || node > wired_host_) {
+    throw ContractViolation(
+        "Testbed::position: node " + node.to_string() + " is not part of " +
+        layout_.name + " (valid ids: BSes 0.." +
+        std::to_string(bs_ids_.size() - 1) + ", vehicles " +
+        vehicle_ids_.front().to_string() + ".." +
+        vehicle_ids_.back().to_string() + ", wired host " +
+        wired_host_.to_string() + ")");
   }
   return bs_position(node);
 }
@@ -39,25 +69,28 @@ std::unique_ptr<channel::VehicularChannel> Testbed::make_channel(
     Rng rng) const {
   auto ch = std::make_unique<channel::VehicularChannel>(channel_params_,
                                                         position_fn(), rng);
-  ch->mark_mobile(vehicle_);
+  for (NodeId v : vehicle_ids_) ch->mark_mobile(v);
   return ch;
 }
 
 Time Testbed::trip_duration() const {
-  mobility::WaypointPath path(layout_.route_waypoints, /*closed=*/true);
-  if (layout_.stops.empty())
-    return Time::seconds(path.total_length() / layout_.cruise_mps);
-  Time dwell = Time::zero();
-  for (const auto& s : layout_.stops) dwell += s.dwell;
-  return Time::seconds(path.total_length() / layout_.cruise_mps) + dwell;
+  return mobility::route_cycle_time(layout_);
 }
 
-Testbed make_vanlan() {
+Testbed make_vanlan(int vehicles) {
   channel::VehicularChannelParams params;  // defaults are VanLAN-calibrated
-  return Testbed(mobility::vanlan_layout(), params);
+  FleetSpec fleet;
+  fleet.vehicles = vehicles;
+  return Testbed(mobility::vanlan_layout(), params, std::move(fleet));
 }
 
-Testbed make_dieselnet(int channel) {
+Testbed make_dieselnet(int channel, int vehicles) {
+  FleetSpec fleet;
+  fleet.vehicles = vehicles;
+  return make_dieselnet_fleet(channel, std::move(fleet));
+}
+
+Testbed make_dieselnet_fleet(int channel, FleetSpec fleet) {
   channel::VehicularChannelParams params;
   // Town environment: shorter usable range (buildings, foliage, non-WiFi
   // interferers) and slightly longer gray periods than the campus.
@@ -65,7 +98,8 @@ Testbed make_dieselnet(int channel) {
   params.distance.width_m = 30.0;
   params.gray_mean_off = Time::seconds(45.0);
   params.gray_mean_on = Time::seconds(5.0);
-  return Testbed(mobility::dieselnet_layout(channel), params);
+  return Testbed(mobility::dieselnet_layout(channel), params,
+                 std::move(fleet));
 }
 
 }  // namespace vifi::scenario

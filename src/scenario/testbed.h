@@ -5,8 +5,14 @@
 /// parameters — everything needed to instantiate channels, media and
 /// protocol stacks for one of the two testbeds.
 ///
-/// Node id convention: BSes are 0..n-1 (matching layout order), the vehicle
-/// is n, and the wired correspondent host is n+1.
+/// The paper's testbeds were fleets: VanLAN ran two shuttles (§2.1) and
+/// DieselNet is a whole bus system. A Testbed therefore carries V >= 1
+/// vehicles with per-vehicle mobility (route offsets for shuttles, stop
+/// schedule phases for buses).
+///
+/// Node id convention: BSes are 0..n-1 (matching layout order), vehicles
+/// are n..n+V-1 (matching fleet order), and the wired correspondent host is
+/// n+V. Ids beyond the wired host do not exist in the testbed.
 
 #include <memory>
 #include <vector>
@@ -20,10 +26,23 @@ namespace vifi::scenario {
 
 using sim::NodeId;
 
+/// Describes the vehicle fleet a testbed runs. The default is the paper's
+/// single instrumented vehicle; VanLAN itself ran two vans and DieselNet
+/// variants scale to whole bus systems.
+struct FleetSpec {
+  int vehicles = 1;
+  /// Per-vehicle phase along the route cycle, each in [0, 1): shuttles get
+  /// a route offset of phase x route length, buses a time offset of
+  /// phase x lap time against the shared stop schedule. Empty = spread the
+  /// fleet evenly (vehicle i at phase i / V).
+  std::vector<double> phases;
+};
+
 class Testbed {
  public:
-  explicit Testbed(mobility::Layout layout,
-                   channel::VehicularChannelParams channel_params);
+  Testbed(mobility::Layout layout,
+          channel::VehicularChannelParams channel_params,
+          FleetSpec fleet = {});
 
   const mobility::Layout& layout() const { return layout_; }
   const channel::VehicularChannelParams& channel_params() const {
@@ -31,17 +50,24 @@ class Testbed {
   }
 
   const std::vector<NodeId>& bs_ids() const { return bs_ids_; }
-  NodeId vehicle() const { return vehicle_; }
+  /// All vehicle ids, in fleet order (ids n..n+V-1).
+  const std::vector<NodeId>& vehicle_ids() const { return vehicle_ids_; }
+  /// The first (or only) vehicle — the paper's instrumented one.
+  NodeId vehicle() const { return vehicle_ids_.front(); }
+  int fleet_size() const { return static_cast<int>(vehicle_ids_.size()); }
   NodeId wired_host() const { return wired_host_; }
+  bool is_vehicle(NodeId node) const;
 
   mobility::Vec2 bs_position(NodeId bs) const;
+  /// Position of any testbed node at time \p t. Precondition: \p node is a
+  /// BS, a vehicle, or the wired host of *this* testbed.
   mobility::Vec2 position(NodeId node, Time t) const;
 
   /// Position callback for channel models. The Testbed must outlive any
   /// channel constructed with this.
   channel::VehicularChannel::PositionFn position_fn() const;
 
-  /// A fresh stochastic channel with mobile-node marking applied.
+  /// A fresh stochastic channel with every vehicle marked mobile.
   /// Deterministic per \p rng.
   std::unique_ptr<channel::VehicularChannel> make_channel(Rng rng) const;
 
@@ -52,16 +78,22 @@ class Testbed {
   mobility::Layout layout_;
   channel::VehicularChannelParams channel_params_;
   std::vector<NodeId> bs_ids_;
-  NodeId vehicle_;
+  std::vector<NodeId> vehicle_ids_;
   NodeId wired_host_;
-  std::unique_ptr<mobility::MobilityModel> vehicle_mobility_;
+  std::vector<std::unique_ptr<mobility::MobilityModel>> vehicle_mobility_;
 };
 
-/// VanLAN with its default channel calibration.
-Testbed make_vanlan();
+/// VanLAN with its default channel calibration; \p vehicles shuttles evenly
+/// out of phase around the campus loop.
+Testbed make_vanlan(int vehicles = 1);
 
 /// DieselNet (channel 1 or 6) — beacon-logging only in the paper; the
 /// harsher town channel reflects obstructions and non-WiFi interference.
-Testbed make_dieselnet(int channel);
+/// \p vehicles buses staggered on the shared stop schedule.
+Testbed make_dieselnet(int channel, int vehicles = 1);
+
+/// DieselNet variant with an explicit fleet (V buses with chosen phases) —
+/// the generator for bus-system-scale contention studies.
+Testbed make_dieselnet_fleet(int channel, FleetSpec fleet);
 
 }  // namespace vifi::scenario

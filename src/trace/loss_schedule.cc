@@ -19,14 +19,13 @@ bool ever_covisible(const MeasurementTrace& trip, NodeId a, NodeId b) {
   return false;
 }
 
-std::unique_ptr<channel::TraceLossModel> build_loss_schedule(
-    const MeasurementTrace& trip, const LossScheduleOptions& options,
-    Rng rng) {
-  VIFI_EXPECTS(options.vehicle.valid());
-  VIFI_EXPECTS(trip.beacons_per_second > 0);
-  auto model = std::make_unique<channel::TraceLossModel>(rng.fork("draws"));
+namespace {
 
-  // Vehicle <-> BS: per-second beacon loss ratio, symmetric.
+/// Registers one vehicle's per-second beacon loss ratios, symmetric.
+void add_vehicle_links(channel::TraceLossModel& model,
+                       const MeasurementTrace& trip, NodeId vehicle) {
+  VIFI_EXPECTS(vehicle.valid());
+  VIFI_EXPECTS(trip.beacons_per_second > 0);
   const auto counts = beacon_counts_per_second(trip);
   for (const auto& [bs, per_sec] : counts) {
     for (std::size_t s = 0; s < per_sec.size(); ++s) {
@@ -34,12 +33,46 @@ std::unique_ptr<channel::TraceLossModel> build_loss_schedule(
           std::clamp(static_cast<double>(per_sec[s]) /
                          static_cast<double>(trip.beacons_per_second),
                      0.0, 1.0);
-      model->set_loss_rate(options.vehicle, bs, static_cast<int>(s),
-                           1.0 - ratio);
+      model.set_loss_rate(vehicle, bs, static_cast<int>(s), 1.0 - ratio);
     }
   }
+}
 
-  if (options.use_bs_beacon_logs) {
+/// Registers inter-BS links per the §5.1 rules (shared across vehicles).
+void add_interbs_links(channel::TraceLossModel& model,
+                       const MeasurementTrace& trip, bool use_bs_beacon_logs,
+                       Rng& rng);
+
+}  // namespace
+
+std::unique_ptr<channel::TraceLossModel> build_loss_schedule(
+    const MeasurementTrace& trip, const LossScheduleOptions& options,
+    Rng rng) {
+  auto model = std::make_unique<channel::TraceLossModel>(rng.fork("draws"));
+  add_vehicle_links(*model, trip, options.vehicle);
+  add_interbs_links(*model, trip, options.use_bs_beacon_logs, rng);
+  return model;
+}
+
+std::unique_ptr<channel::TraceLossModel> build_fleet_loss_schedule(
+    const std::vector<const MeasurementTrace*>& trips,
+    bool use_bs_beacon_logs, Rng rng) {
+  VIFI_EXPECTS(!trips.empty());
+  auto model = std::make_unique<channel::TraceLossModel>(rng.fork("draws"));
+  for (const MeasurementTrace* trip : trips) {
+    VIFI_EXPECTS(trip != nullptr);
+    add_vehicle_links(*model, *trip, trip->vehicle);
+  }
+  add_interbs_links(*model, *trips.front(), use_bs_beacon_logs, rng);
+  return model;
+}
+
+namespace {
+
+void add_interbs_links(channel::TraceLossModel& model,
+                       const MeasurementTrace& trip, bool use_bs_beacon_logs,
+                       Rng& rng) {
+  if (use_bs_beacon_logs) {
     // VanLAN validation: per-second inter-BS beacon loss ratios.
     std::map<std::pair<int, int>, std::map<int, int>> heard;  // (tx,rx)->sec->n
     for (const BsBeaconObs& b : trip.bs_beacons) {
@@ -62,7 +95,7 @@ std::unique_ptr<channel::TraceLossModel> build_loss_schedule(
               std::clamp(static_cast<double>(n) /
                              (2.0 * trip.beacons_per_second),
                          0.0, 1.0);
-          model->set_loss_rate(a, b, s, 1.0 - ratio);
+          model.set_loss_rate(a, b, s, 1.0 - ratio);
         }
       }
     }
@@ -74,11 +107,12 @@ std::unique_ptr<channel::TraceLossModel> build_loss_schedule(
       for (NodeId b : trip.bs_ids) {
         if (!(a < b)) continue;
         if (!ever_covisible(trip, a, b)) continue;  // unset => loss 1.0
-        model->set_constant_loss_rate(a, b, interbs.uniform01());
+        model.set_constant_loss_rate(a, b, interbs.uniform01());
       }
     }
   }
-  return model;
 }
+
+}  // namespace
 
 }  // namespace vifi::trace

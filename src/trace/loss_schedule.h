@@ -12,6 +12,7 @@
 ///    inter-BS beacon loss ratio.
 
 #include <memory>
+#include <vector>
 
 #include "channel/trace_driven.h"
 #include "trace/observations.h"
@@ -31,6 +32,14 @@ struct LossScheduleOptions {
 std::unique_ptr<channel::TraceLossModel> build_loss_schedule(
     const MeasurementTrace& trip, const LossScheduleOptions& options,
     Rng rng);
+
+/// Fleet form: one trace per vehicle of the same trip (each trace's
+/// `vehicle` field identifies its logger). The vehicle<->BS schedules of
+/// all traces merge into one model; inter-BS links are configured once,
+/// from the first trace, since BS-side behaviour is shared infrastructure.
+std::unique_ptr<channel::TraceLossModel> build_fleet_loss_schedule(
+    const std::vector<const MeasurementTrace*>& trips,
+    bool use_bs_beacon_logs, Rng rng);
 
 /// True if the two BSes are ever heard by the vehicle within the same
 /// one-second interval of the trip.

@@ -45,11 +45,14 @@ struct ProbeSlot {
   bool up_to(NodeId bs) const;
 };
 
-/// One trip's worth of raw logs.
+/// One trip's worth of raw logs, as recorded by ONE vehicle. Fleet
+/// campaigns produce one trace per vehicle per trip (all vehicles share the
+/// trip's channel realisation); `vehicle` identifies the logger.
 struct MeasurementTrace {
   std::string testbed;       ///< "VanLAN", "DieselNet-Ch1", ...
   int day = 0;               ///< Day index within the campaign.
   int trip = 0;              ///< Trip index within the day.
+  NodeId vehicle;            ///< Logging vehicle (invalid = legacy trace).
   Time duration;             ///< Trip length.
   int beacons_per_second = 10;
   std::vector<NodeId> bs_ids;

@@ -21,6 +21,10 @@ void save_trace(const MeasurementTrace& t, std::ostream& os) {
   os << "trace " << t.testbed << " day " << t.day << " trip " << t.trip
      << " duration_us " << t.duration.to_micros() << " bps "
      << t.beacons_per_second << "\n";
+  // The logging vehicle. Newly generated campaigns always name it (fleet
+  // or not); traces loaded from pre-fleet files carry no vehicle line and
+  // round-trip byte-identically.
+  if (t.vehicle.valid()) os << "vehicle " << t.vehicle.value() << "\n";
   for (NodeId bs : t.bs_ids) os << "bs " << bs.value() << "\n";
   for (const ProbeSlot& s : t.slots) {
     os << "slot " << s.t.to_micros() << " " << s.vehicle_pos.x << " "
@@ -62,6 +66,11 @@ MeasurementTrace load_trace(std::istream& is) {
       if (!ls) fail("bad trace header");
       t.duration = Time::micros(dur_us);
       have_header = true;
+    } else if (tag == "vehicle") {
+      int id = -1;
+      ls >> id;
+      if (!ls || id < 0) fail("bad vehicle line");
+      t.vehicle = NodeId(id);
     } else if (tag == "bs") {
       int id = -1;
       ls >> id;

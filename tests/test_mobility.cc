@@ -114,6 +114,75 @@ TEST(BusMobility, LapTimeIncludesDwells) {
             bus.position_at(Time::seconds(1.0)));
 }
 
+TEST(PathMobility, StartOffsetBeyondOneLapWrapsOnClosedPath) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}, {100.0, 100.0}, {0.0, 100.0}},
+                 true);
+  // 430 m into a 400 m lap == 30 m into the lap.
+  PathMobility m(p, 10.0, 430.0);
+  EXPECT_EQ(m.position_at(Time::zero()), (Vec2{30.0, 0.0}));
+  PathMobility reference(p, 10.0, 30.0);
+  EXPECT_EQ(m.position_at(Time::seconds(12.0)),
+            reference.position_at(Time::seconds(12.0)));
+}
+
+TEST(BusMobility, StopAtDistanceZeroDwellsBeforeDeparting) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}, {100.0, 10.0}, {0.0, 10.0}},
+                 true);
+  BusMobility bus(p, 10.0, {{0.0, Time::seconds(4.0)}});
+  // The bus opens every lap dwelling at the origin.
+  EXPECT_EQ(bus.position_at(Time::zero()), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(bus.position_at(Time::seconds(3.0)), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(bus.position_at(Time::seconds(4.0)), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(bus.position_at(Time::seconds(5.0)), (Vec2{10.0, 0.0}));
+  // Lap time: 220/10 cruise + 4 dwell = 26 s; the pattern repeats.
+  EXPECT_EQ(bus.lap_time(), Time::seconds(26.0));
+  EXPECT_EQ(bus.position_at(Time::seconds(29.0)),
+            bus.position_at(Time::seconds(3.0)));
+}
+
+TEST(BusMobility, StopExactlyAtLapEndDwellsBeforeWrapping) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}, {100.0, 10.0}, {0.0, 10.0}},
+                 true);
+  const double length = p.total_length();  // 220 m
+  BusMobility bus(p, 10.0, {{length, Time::seconds(5.0)}});
+  EXPECT_EQ(bus.lap_time(), Time::seconds(27.0));
+  // Cruise the whole lap (22 s), then dwell at the wrap point (= origin).
+  EXPECT_EQ(bus.position_at(Time::seconds(22.0)), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(bus.position_at(Time::seconds(25.0)), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(bus.position_at(Time::seconds(27.0)), (Vec2{0.0, 0.0}));
+  // Next lap under way again.
+  EXPECT_EQ(bus.position_at(Time::seconds(28.0)), (Vec2{10.0, 0.0}));
+}
+
+TEST(BusMobility, ExactLapBoundariesMapToTheLapStart) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}, {100.0, 10.0}, {0.0, 10.0}},
+                 true);
+  BusMobility bus(p, 10.0, {{50.0, Time::seconds(5.0)}});
+  const Time lap = bus.lap_time();  // 27 s
+  for (int k = 1; k <= 4; ++k)
+    EXPECT_EQ(bus.position_at(lap * static_cast<double>(k)),
+              bus.position_at(Time::zero()))
+        << "lap " << k;
+  // Just before a boundary the bus is still closing the loop.
+  EXPECT_EQ(bus.position_at(lap * 2.0 - Time::millis(100)),
+            (Vec2{0.0, 1.0}));
+}
+
+TEST(BusMobility, StartPhaseShiftsTheWholeCycle) {
+  WaypointPath p({{0.0, 0.0}, {100.0, 0.0}, {100.0, 10.0}, {0.0, 10.0}},
+                 true);
+  BusMobility base(p, 10.0, {{50.0, Time::seconds(5.0)}});
+  BusMobility shifted(p, 10.0, {{50.0, Time::seconds(5.0)}},
+                      Time::seconds(7.0));
+  // At t the shifted bus sits where the base bus is at t + 7 s — mid-dwell
+  // here (base reaches the stop at 5 s and departs at 10 s).
+  EXPECT_EQ(shifted.position_at(Time::zero()),
+            base.position_at(Time::seconds(7.0)));
+  EXPECT_EQ(shifted.position_at(Time::seconds(1.0)), (Vec2{50.0, 0.0}));
+  EXPECT_EQ(shifted.position_at(Time::seconds(20.0)),
+            base.position_at(Time::seconds(27.0)));
+}
+
 TEST(Layouts, VanLanShape) {
   const Layout l = vanlan_layout();
   EXPECT_EQ(l.bs_count(), 11u);
@@ -133,6 +202,19 @@ TEST(Layouts, DieselNetChannelSizes) {
   EXPECT_EQ(dieselnet_layout(6).bs_count(), 14u);
   EXPECT_FALSE(dieselnet_layout(1).stops.empty());
   EXPECT_THROW(dieselnet_layout(3), vifi::ContractViolation);
+}
+
+TEST(Layouts, RouteCycleTimeMatchesTheMobilityModelsLap) {
+  // route_cycle_time is the single source for lap-derived quantities; it
+  // must agree with what BusMobility actually computes.
+  const Layout bus_layout = dieselnet_layout(1);
+  WaypointPath path(bus_layout.route_waypoints, /*closed=*/true);
+  BusMobility bus(path, bus_layout.cruise_mps, bus_layout.stops);
+  EXPECT_EQ(route_cycle_time(bus_layout), bus.lap_time());
+  const Layout van = vanlan_layout();
+  PathMobility shuttle(WaypointPath(van.route_waypoints, /*closed=*/true),
+                       van.cruise_mps);
+  EXPECT_EQ(route_cycle_time(van), shuttle.lap_time());
 }
 
 TEST(Layouts, VehicleMobilityFactory) {

@@ -67,6 +67,32 @@ TEST(ParamGrid, SeedsDifferAcrossAxes) {
   EXPECT_EQ(campaign_seeds.size(), 12u);
 }
 
+TEST(ParamGrid, FleetAxisEnumeratesBetweenTestbedAndPolicy) {
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN"};
+  spec.grid.fleet_sizes = {1, 4};
+  spec.grid.policies = {"ViFi", "BRR"};
+  spec.grid.seeds = {1};
+  const auto points = spec.enumerate();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].fleet_size, 1);
+  EXPECT_EQ(points[0].policy, "ViFi");
+  EXPECT_EQ(points[1].policy, "BRR");
+  EXPECT_EQ(points[2].fleet_size, 4);
+  // Fleet-1 points keep the historical (base seed, testbed, seed)
+  // derivation; larger fleets realise different campaigns.
+  ExperimentSpec single = spec;
+  single.grid.fleet_sizes = {1};
+  EXPECT_EQ(points[0].campaign_seed, single.enumerate()[0].campaign_seed);
+  EXPECT_NE(points[0].campaign_seed, points[2].campaign_seed);
+}
+
+TEST(MakeTestbed, FleetSizePropagatesToTheTestbed) {
+  const scenario::Testbed bed = make_testbed("VanLAN", 3);
+  EXPECT_EQ(bed.fleet_size(), 3);
+  EXPECT_EQ(bed.vehicle_ids().size(), 3u);
+}
+
 TEST(MixSeed, DeterministicAndSensitive) {
   EXPECT_EQ(mix_seed(1, "abc"), mix_seed(1, "abc"));
   EXPECT_NE(mix_seed(1, "abc"), mix_seed(2, "abc"));
@@ -110,7 +136,7 @@ TEST(ResultSink, CsvUnionsMetricColumnsSorted) {
   sink.add(std::move(a));
   sink.add(std::move(b));
   const std::string csv = sink.to_csv();
-  EXPECT_NE(csv.find("index,testbed,policy,seed,alpha,zeta,error"),
+  EXPECT_NE(csv.find("index,testbed,fleet,policy,seed,alpha,zeta,error"),
             std::string::npos);
 }
 
@@ -189,6 +215,31 @@ TEST(Runner, LiveCbrSweepIsThreadCountInvariant) {
   const ResultSink four = Runner({.threads = 4}).run(spec);
   EXPECT_FALSE(one.any_errors());
   EXPECT_EQ(one.to_json(), four.to_json());
+}
+
+TEST(Runner, FleetReplaySweepIsThreadCountInvariant) {
+  ExperimentSpec spec = small_replay_spec();
+  spec.grid.fleet_sizes = {1, 2};
+  spec.trip_duration = Time::seconds(20.0);
+  const ResultSink one = Runner({.threads = 1}).run(spec);
+  const ResultSink four = Runner({.threads = 4}).run(spec);
+  EXPECT_FALSE(one.any_errors());
+  EXPECT_EQ(one.to_json(), four.to_json());
+  EXPECT_EQ(one.to_csv(), four.to_csv());
+}
+
+TEST(Executor, FleetReplayPointAggregatesEveryVehiclesLog) {
+  ExperimentSpec spec = small_replay_spec();
+  spec.grid.policies = {"AllBSes"};
+  spec.grid.seeds = {1};
+  spec.trip_duration = Time::seconds(20.0);
+  const PointResult solo = run_point(spec.enumerate()[0]);
+  spec.grid.fleet_sizes = {3};
+  const PointResult fleet = run_point(spec.enumerate()[0]);
+  EXPECT_TRUE(fleet.error.empty());
+  EXPECT_EQ(fleet.fleet, 3);
+  // Three vehicles log three slot streams per trip.
+  EXPECT_EQ(fleet.metrics.at("slots"), 3.0 * solo.metrics.at("slots"));
 }
 
 TEST(Executor, ReplayPointProducesTheStandardMetricSet) {

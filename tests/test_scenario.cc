@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
+#include "fakes.h"
 #include "scenario/burst_probe.h"
 #include "scenario/campaign.h"
+#include "scenario/channel_plan.h"
 #include "scenario/live.h"
 #include "scenario/testbed.h"
 #include "util/contracts.h"
@@ -21,6 +25,79 @@ TEST(Testbed, VanLanIdentityConventions) {
   EXPECT_EQ(bed.wired_host().value(), 12);
   for (std::size_t i = 0; i < bed.bs_ids().size(); ++i)
     EXPECT_EQ(bed.bs_ids()[i].value(), static_cast<int>(i));
+}
+
+TEST(Testbed, FleetIdentityConventions) {
+  // BSes 0..n-1, vehicles n..n+V-1, wired host n+V.
+  const Testbed bed = make_vanlan(3);
+  EXPECT_EQ(bed.fleet_size(), 3);
+  ASSERT_EQ(bed.vehicle_ids().size(), 3u);
+  EXPECT_EQ(bed.vehicle_ids()[0].value(), 11);
+  EXPECT_EQ(bed.vehicle_ids()[1].value(), 12);
+  EXPECT_EQ(bed.vehicle_ids()[2].value(), 13);
+  EXPECT_EQ(bed.vehicle(), bed.vehicle_ids()[0]);
+  EXPECT_EQ(bed.wired_host().value(), 14);
+  for (const auto v : bed.vehicle_ids()) EXPECT_TRUE(bed.is_vehicle(v));
+  EXPECT_FALSE(bed.is_vehicle(bed.bs_ids()[0]));
+  EXPECT_FALSE(bed.is_vehicle(bed.wired_host()));
+}
+
+TEST(Testbed, FleetVehiclesRideOutOfPhase) {
+  const Testbed bed = make_vanlan(2);
+  // Default spread: the second van starts half a lap ahead, so the two
+  // never share a position at the same instant (same loop, same speed).
+  const auto a = bed.vehicle_ids()[0];
+  const auto b = bed.vehicle_ids()[1];
+  EXPECT_NE(bed.position(a, Time::zero()), bed.position(b, Time::zero()));
+  // Phase, not geometry: b at t=0 sits where a is half a lap later.
+  const Time half_lap = bed.trip_duration() * 0.5;
+  const auto pa = bed.position(a, half_lap);
+  const auto pb = bed.position(b, Time::zero());
+  EXPECT_NEAR(pa.x, pb.x, 1e-6);
+  EXPECT_NEAR(pa.y, pb.y, 1e-6);
+}
+
+TEST(Testbed, ExplicitFleetPhasesAreHonoured) {
+  FleetSpec fleet;
+  fleet.vehicles = 2;
+  fleet.phases = {0.0, 0.0};
+  const Testbed bed = make_dieselnet_fleet(1, std::move(fleet));
+  EXPECT_EQ(bed.fleet_size(), 2);
+  // Identical phases: the two buses shadow each other exactly.
+  EXPECT_EQ(bed.position(bed.vehicle_ids()[0], Time::seconds(100.0)),
+            bed.position(bed.vehicle_ids()[1], Time::seconds(100.0)));
+}
+
+TEST(Testbed, DieselnetFleetBusesStaggerOnSharedStops) {
+  const Testbed bed = make_dieselnet(1, 2);
+  const auto a = bed.vehicle_ids()[0];
+  const auto b = bed.vehicle_ids()[1];
+  // Same stop schedule, half a cycle apart: positions differ at t = 0.
+  EXPECT_NE(bed.position(a, Time::zero()), bed.position(b, Time::zero()));
+  // Phase alignment across the full cycle (cruise + dwells).
+  const Time half = bed.trip_duration() * 0.5;
+  const auto pa = bed.position(a, half);
+  const auto pb = bed.position(b, Time::zero());
+  EXPECT_NEAR(pa.x, pb.x, 1e-6);
+  EXPECT_NEAR(pa.y, pb.y, 1e-6);
+}
+
+TEST(Testbed, PositionRejectsIdsOutsideTheTestbed) {
+  const Testbed bed = make_vanlan();
+  // 0..10 BSes, 11 vehicle, 12 wired host; 13 does not exist.
+  EXPECT_NO_THROW(bed.position(NodeId(12), Time::zero()));
+  EXPECT_THROW(bed.position(NodeId(13), Time::zero()), ContractViolation);
+  EXPECT_THROW(bed.position(NodeId(999), Time::zero()), ContractViolation);
+  EXPECT_THROW(bed.position(NodeId{}, Time::zero()), ContractViolation);
+  try {
+    bed.position(NodeId(42), Time::zero());
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    // The message must state the real contract, not leak the BS-array
+    // bounds check it used to fall through to.
+    EXPECT_NE(std::string(e.what()).find("not part of"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("wired host"), std::string::npos);
+  }
 }
 
 TEST(Testbed, BsPositionsAreFixedAndVehicleMoves) {
@@ -130,6 +207,48 @@ TEST(Campaign, TripsAreIndependentRealisations) {
   EXPECT_GT(diff, 0);
 }
 
+TEST(Campaign, FleetProducesOneTracePerVehiclePerTrip) {
+  const Testbed bed = make_vanlan(2);
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 2;
+  cfg.trip_duration = Time::seconds(20.0);
+  const auto campaign = generate_campaign(bed, cfg);
+  ASSERT_EQ(campaign.trips.size(), 4u);  // 2 trips x 2 vehicles
+  // Ordered by (day, trip, vehicle).
+  EXPECT_EQ(campaign.trips[0].trip, 0);
+  EXPECT_EQ(campaign.trips[0].vehicle, bed.vehicle_ids()[0]);
+  EXPECT_EQ(campaign.trips[1].trip, 0);
+  EXPECT_EQ(campaign.trips[1].vehicle, bed.vehicle_ids()[1]);
+  EXPECT_EQ(campaign.trips[2].trip, 1);
+  for (const auto& trip : campaign.trips) {
+    EXPECT_EQ(trip.slots.size(), 200u);
+    EXPECT_FALSE(trip.vehicle_beacons.empty());
+  }
+  // The two vehicles ride different parts of the campus, so their logs of
+  // the same trip must differ.
+  int diff = 0;
+  for (std::size_t i = 0; i < campaign.trips[0].slots.size(); ++i)
+    if (campaign.trips[0].slots[i].down_heard !=
+        campaign.trips[1].slots[i].down_heard)
+      ++diff;
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Campaign, TracesNameTheirLoggingVehicle) {
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(10.0);
+  const auto solo = generate_campaign(make_vanlan(), cfg);
+  EXPECT_EQ(solo.trips[0].vehicle, make_vanlan().vehicle());
+  const Testbed duo = make_dieselnet(1, 2);
+  const auto fleet = generate_campaign(duo, cfg);
+  ASSERT_EQ(fleet.trips.size(), 2u);
+  EXPECT_EQ(fleet.trips[0].vehicle, duo.vehicle_ids()[0]);
+  EXPECT_EQ(fleet.trips[1].vehicle, duo.vehicle_ids()[1]);
+}
+
 TEST(FilterSubset, DropsExcludedBsEverywhere) {
   const Testbed bed = make_vanlan();
   CampaignConfig cfg;
@@ -211,6 +330,167 @@ TEST(LiveTrip, SameSeedSameAnchorSequence) {
   EXPECT_EQ(a.system().vehicle().anchor(), b.system().vehicle().anchor());
   EXPECT_EQ(a.system().vehicle().anchor_switches(),
             b.system().vehicle().anchor_switches());
+}
+
+TEST(LiveTrip, FleetBuildsOneTransportPerVehicle) {
+  const Testbed bed = make_vanlan(2);
+  LiveTrip trip(bed, core::SystemConfig{}, 45);
+  ASSERT_EQ(trip.transports().size(), 2u);
+  EXPECT_EQ(trip.transport().vehicle(), bed.vehicle_ids()[0]);
+  EXPECT_EQ(trip.transport(bed.vehicle_ids()[1]).vehicle(),
+            bed.vehicle_ids()[1]);
+  EXPECT_THROW(trip.transport(sim::NodeId(99)), ContractViolation);
+  EXPECT_EQ(trip.system().vehicle_ids().size(), 2u);
+}
+
+TEST(LiveTrip, FleetVehiclesAnchorAndExchangeIndependently) {
+  const Testbed bed = make_vanlan(2);
+  LiveTrip trip(bed, core::SystemConfig{}, 46);
+  int up_a = 0, up_b = 0, down_a = 0, down_b = 0;
+  trip.transport(bed.vehicle_ids()[0])
+      .subscribe(7, [&](const net::PacketRef& p) {
+        (p->dir == net::Direction::Upstream ? up_a : down_a) += 1;
+      });
+  trip.transport(bed.vehicle_ids()[1])
+      .subscribe(7, [&](const net::PacketRef& p) {
+        (p->dir == net::Direction::Upstream ? up_b : down_b) += 1;
+      });
+  trip.run_until(LiveTrip::warmup());
+  EXPECT_TRUE(trip.system().vehicle(bed.vehicle_ids()[0]).anchor().valid());
+  EXPECT_TRUE(trip.system().vehicle(bed.vehicle_ids()[1]).anchor().valid());
+  for (int i = 0; i < 50; ++i) {
+    for (const auto v : bed.vehicle_ids()) {
+      trip.transport(v).send(net::Direction::Upstream, 200, 7,
+                             static_cast<std::uint64_t>(i));
+      trip.transport(v).send(net::Direction::Downstream, 200, 7,
+                             static_cast<std::uint64_t>(i));
+    }
+    trip.run_until(trip.simulator().now() + Time::millis(100.0));
+  }
+  trip.run_until(trip.simulator().now() + Time::seconds(1.0));
+  // Both vehicles' flows moved traffic, demultiplexed per vehicle.
+  EXPECT_GT(up_a, 0);
+  EXPECT_GT(up_b, 0);
+  EXPECT_GT(down_a, 0);
+  EXPECT_GT(down_b, 0);
+}
+
+TEST(LiveTrip, FleetTripIsDeterministicPerSeed) {
+  const Testbed bed = make_vanlan(2);
+  LiveTrip a(bed, core::SystemConfig{}, 47);
+  LiveTrip b(bed, core::SystemConfig{}, 47);
+  a.run_until(Time::seconds(15.0));
+  b.run_until(Time::seconds(15.0));
+  for (const auto v : bed.vehicle_ids()) {
+    EXPECT_EQ(a.system().vehicle(v).anchor(), b.system().vehicle(v).anchor());
+    EXPECT_EQ(a.system().vehicle(v).anchor_switches(),
+              b.system().vehicle(v).anchor_switches());
+  }
+}
+
+TEST(LiveTrip, TraceDrivenFleetConstructorConnectsEveryVehicle) {
+  const Testbed bed = make_dieselnet(1, 2);
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(30.0);
+  cfg.log_probes = false;
+  const auto campaign = generate_campaign(bed, cfg);
+  ASSERT_EQ(campaign.trips.size(), 2u);
+  LiveTrip trip(bed, {&campaign.trips[0], &campaign.trips[1]},
+                core::SystemConfig{}, 48);
+  trip.run_until(Time::seconds(10.0));
+  // Each vehicle's schedule registers its own id: some BS must be
+  // reachable from each within the trace horizon.
+  for (const auto v : bed.vehicle_ids()) {
+    double best = 0.0;
+    for (const auto bs : bed.bs_ids())
+      for (int s = 0; s < 30; ++s)
+        best = std::max(best, trip.loss_model().reception_prob(
+                                  bs, v, Time::seconds(s + 0.5)));
+    EXPECT_GT(best, 0.0) << "vehicle " << v.value();
+  }
+}
+
+TEST(LiveTrip, TraceDrivenFleetConstructorRejectsForeignOrDuplicateTraces) {
+  const Testbed bed = make_dieselnet(1, 2);
+  CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(20.0);
+  cfg.log_probes = false;
+  const auto campaign = generate_campaign(bed, cfg);
+  ASSERT_EQ(campaign.trips.size(), 2u);
+  // Duplicate logger.
+  EXPECT_THROW(LiveTrip(bed, {&campaign.trips[0], &campaign.trips[0]},
+                        core::SystemConfig{}, 49),
+               ContractViolation);
+  // Trace logged by an id outside this testbed's vehicle range.
+  trace::MeasurementTrace foreign = campaign.trips[0];
+  foreign.vehicle = sim::NodeId(99);
+  EXPECT_THROW(LiveTrip(bed, {&foreign, &campaign.trips[1]},
+                        core::SystemConfig{}, 50),
+               ContractViolation);
+}
+
+TEST(ChannelizedLoss, EachFleetVehicleIsGatedByItsOwnServingChannel) {
+  // Regression: the single-vehicle wrapper treated a second vehicle as a
+  // channel-0 BS, so its cross-channel deafness followed the *plan* rather
+  // than its serving channel. Two vehicles on different anchors/channels
+  // must each get correct gating.
+  testing::ScriptedLoss base;
+  const sim::NodeId bs0(0), bs1(1), veh_a(2), veh_b(3);
+  for (const auto tx : {bs0, bs1, veh_a, veh_b})
+    for (const auto rx : {bs0, bs1, veh_a, veh_b})
+      if (tx != rx) base.set_directed(tx, rx, 1.0);
+
+  ChannelPlan plan;
+  plan.assign(bs0, 0);
+  plan.assign(bs1, 1);
+  // Vehicle A serves on channel 0 (anchored at bs0), B on channel 1.
+  std::map<sim::NodeId, int> serving{{veh_a, 0}, {veh_b, 1}};
+  ChannelizedLoss loss(
+      base, plan, std::vector<sim::NodeId>{veh_a, veh_b},
+      /*aux_radios=*/false,
+      [&serving](sim::NodeId v) { return serving.at(v); });
+
+  const Time t = Time::zero();
+  // A is heard only by its same-channel BS; likewise B.
+  EXPECT_GT(loss.reception_prob(veh_a, bs0, t), 0.0);
+  EXPECT_EQ(loss.reception_prob(veh_a, bs1, t), 0.0);
+  EXPECT_EQ(loss.reception_prob(veh_b, bs0, t), 0.0);
+  EXPECT_GT(loss.reception_prob(veh_b, bs1, t), 0.0);
+  // Downlink beacon visibility stays open from any BS to any vehicle.
+  EXPECT_GT(loss.reception_prob(bs1, veh_a, t), 0.0);
+  EXPECT_GT(loss.reception_prob(bs0, veh_b, t), 0.0);
+  // Vehicles on different serving channels cannot overhear each other.
+  EXPECT_EQ(loss.reception_prob(veh_a, veh_b, t), 0.0);
+  serving[veh_b] = 0;  // B hands off to a channel-0 anchor
+  EXPECT_GT(loss.reception_prob(veh_b, bs0, t), 0.0);
+  EXPECT_EQ(loss.reception_prob(veh_b, bs1, t), 0.0);
+  EXPECT_GT(loss.reception_prob(veh_a, veh_b, t), 0.0);
+}
+
+TEST(ChannelizedLoss, AuxRadiosRestoreCrossChannelOverhearing) {
+  testing::ScriptedLoss base;
+  const sim::NodeId bs0(0), bs1(1), veh_a(2), veh_b(3);
+  for (const auto tx : {bs0, bs1, veh_a, veh_b})
+    for (const auto rx : {bs0, bs1, veh_a, veh_b})
+      if (tx != rx) base.set_directed(tx, rx, 1.0);
+  ChannelPlan plan;
+  plan.assign(bs0, 0);
+  plan.assign(bs1, 1);
+  ChannelizedLoss loss(
+      base, plan, std::vector<sim::NodeId>{veh_a, veh_b},
+      /*aux_radios=*/true, [](sim::NodeId v) { return v.value() == 2 ? 0 : 1; });
+  const Time t = Time::zero();
+  for (const auto bs : {bs0, bs1})
+    for (const auto v : {veh_a, veh_b}) {
+      EXPECT_GT(loss.reception_prob(v, bs, t), 0.0);
+      EXPECT_GT(loss.reception_prob(bs, v, t), 0.0);
+    }
+  EXPECT_GT(loss.reception_prob(bs0, bs1, t), 0.0);
+  EXPECT_GT(loss.reception_prob(veh_a, veh_b, t), 0.0);
 }
 
 TEST(LiveTrip, TraceDrivenConstructorUsesSchedule) {

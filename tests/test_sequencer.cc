@@ -94,6 +94,40 @@ TEST_F(SequencerTest, HoldBoundsDelay) {
   EXPECT_LE(sim_.now() - pushed, Time::millis(51));
 }
 
+TEST_F(SequencerTest, DrainCancelsTheHoldTimer) {
+  // Regression: after the gap fills and the buffer drains, the hold timer
+  // used to stay armed (stale pending_/armed_at_) and fire a dead event
+  // into the empty buffer.
+  seq_.push(1, packet(11));
+  seq_.push(3, packet(13));          // gap: timer armed for seq 3's hold
+  EXPECT_EQ(sim_.pending_events(), 1u);
+  seq_.push(2, packet(12));          // gap fills; 2 and 3 release in order
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{11, 12, 13}));
+  EXPECT_EQ(seq_.buffered(), 0u);
+  // Cancel on drain: nothing left scheduled, and running the clock past
+  // the old deadline executes no dead event.
+  EXPECT_EQ(sim_.pending_events(), 0u);
+  const std::uint64_t executed_before = sim_.events_executed();
+  sim_.run_until(Time::millis(200));
+  EXPECT_EQ(sim_.events_executed(), executed_before);
+}
+
+TEST_F(SequencerTest, ReArmsCleanlyAfterADrain) {
+  // A fresh gap after a drain must arm a fresh timer with the new deadline
+  // (nothing stale from the previous cycle).
+  seq_.push(1, packet(11));
+  seq_.push(3, packet(13));
+  seq_.push(2, packet(12));  // drain; timer cancelled
+  sim_.run_until(Time::millis(20));
+  seq_.push(5, packet(15));  // new gap (4 missing)
+  EXPECT_EQ(sim_.pending_events(), 1u);
+  sim_.run();
+  EXPECT_EQ(delivered_, (std::vector<std::uint64_t>{11, 12, 13, 15}));
+  EXPECT_EQ(seq_.buffered(), 0u);
+  // The hold expiry released 15; afterwards the timer is disarmed again.
+  EXPECT_EQ(sim_.pending_events(), 0u);
+}
+
 TEST_F(SequencerTest, RejectsNullPacket) {
   EXPECT_THROW(seq_.push(1, nullptr), vifi::ContractViolation);
 }

@@ -100,6 +100,22 @@ TEST(TraceIo, RoundTripsAllFields) {
   EXPECT_EQ(u.bs_beacons[0].rx, NodeId(1));
 }
 
+TEST(TraceIo, LoggingVehicleRoundTripsAndLegacyTracesStayValid) {
+  MeasurementTrace t = tiny_trace();
+  // Legacy traces carry no vehicle line and load with an invalid id.
+  {
+    std::stringstream ss;
+    save_trace(t, ss);
+    EXPECT_EQ(ss.str().find("vehicle "), std::string::npos);
+    EXPECT_FALSE(load_trace(ss).vehicle.valid());
+  }
+  // Fleet traces name their logger and it survives the round trip.
+  t.vehicle = NodeId(11);
+  std::stringstream ss;
+  save_trace(t, ss);
+  EXPECT_EQ(load_trace(ss).vehicle, NodeId(11));
+}
+
 TEST(TraceIo, EmptySlotListsRoundTrip) {
   MeasurementTrace t = tiny_trace();
   t.slots[0].down_heard.clear();

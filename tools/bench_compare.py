@@ -59,11 +59,23 @@ def load_benchmarks(path):
             # Keep only the mean aggregate when repetitions were used.
             if b.get("aggregate_name") != "mean":
                 continue
-        name = b["name"]
+        name = b.get("name")
+        if not name:
+            raise ValueError(f"{path}: benchmark entry without a name")
         scale = _UNIT_NS.get(b.get("time_unit", "ns"))
         if scale is None:
             raise ValueError(f"{path}: unknown time_unit in {name}")
-        out[name.removesuffix("_mean")] = float(b["cpu_time"]) * scale
+        if "cpu_time" not in b:
+            raise ValueError(
+                f"{path}: {name} has no cpu_time field; the file is not a "
+                "google-benchmark JSON result")
+        cpu_time = float(b["cpu_time"]) * scale
+        if cpu_time <= 0.0:
+            raise ValueError(
+                f"{path}: {name} has non-positive cpu_time {b['cpu_time']}; "
+                "a zero entry cannot anchor a regression ratio — re-record "
+                "the file")
+        out[name.removesuffix("_mean")] = cpu_time
     if not out:
         raise ValueError(f"{path}: no benchmarks found")
     return out
@@ -107,7 +119,17 @@ def compare(baseline, current, threshold):
     return lines, regressions, missing
 
 
+def _write_result(directory, filename, benchmarks):
+    import os
+    path = os.path.join(directory, filename)
+    with open(path, "w") as f:
+        json.dump({"context": {}, "benchmarks": benchmarks}, f)
+    return path
+
+
 def self_test():
+    import tempfile
+
     base = {"BM_a": 100.0, "BM_b": 100.0, "BM_gone": 50.0}
     # Injected slowdown on BM_a must trip the gate; BM_gone missing must too.
     _, regressions, missing = compare(
@@ -122,6 +144,21 @@ def self_test():
     _, regressions, missing = compare(
         {"BM_a": 100.0}, {"BM_a": 40.0}, 0.15)
     assert not regressions and not missing
+
+    # Malformed inputs must exit 2 with a diagnostic, not crash: a zero
+    # baseline entry (previously ZeroDivisionError in the delta) and an
+    # entry without cpu_time (previously an unhandled KeyError).
+    with tempfile.TemporaryDirectory() as tmp:
+        ok = _write_result(tmp, "ok.json", [
+            {"name": "BM_a", "cpu_time": 100.0, "time_unit": "ns"}])
+        zero = _write_result(tmp, "zero.json", [
+            {"name": "BM_a", "cpu_time": 0.0, "time_unit": "ns"}])
+        no_cpu = _write_result(tmp, "no_cpu.json", [
+            {"name": "BM_a", "real_time": 100.0, "time_unit": "ns"}])
+        assert main([zero, ok]) == 2, "zero baseline entry must exit 2"
+        assert main([ok, zero]) == 2, "zero current entry must exit 2"
+        assert main([no_cpu, ok]) == 2, "missing cpu_time must exit 2"
+        assert main([ok, ok]) == 0, "well-formed fixture must pass"
     print("bench_compare self-test: OK")
     return 0
 
