@@ -56,7 +56,10 @@ int usage(const char* argv0) {
       << "  --base-seed N       default 20080817\n"
       << "  --json PATH         write JSON here instead of stdout\n"
       << "  --csv PATH          also write CSV here\n"
-      << "  --summary           print a per-point summary table to stderr\n";
+      << "  --summary           print a per-point summary table to stderr\n"
+      << "  --fairness          add per-vehicle fairness columns (Jain's\n"
+      << "                      index, airtime split) to the summary table;\n"
+      << "                      fleet-1 points show '-'\n";
   return 2;
 }
 
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   int threads = 4;
   std::string json_path, csv_path;
   bool summary = false;
+  bool fairness = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +105,7 @@ int main(int argc, char** argv) {
     else if (arg == "--json") json_path = value();
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--summary") summary = true;
+    else if (arg == "--fairness") fairness = true;
     else return usage(argv[0]);
   }
 
@@ -128,21 +133,45 @@ int main(int argc, char** argv) {
   const runtime::ResultSink sink = runner.run(spec);
 
   if (summary) {
+    // Fairness columns come from the fleet points' metrics; fleet-1 points
+    // have none (their output is byte-identical to pre-fairness sweeps).
+    auto metric_or_dash = [](const runtime::PointResult& r,
+                             const std::string& key, int digits) {
+      const auto it = r.metrics.find(key);
+      return it == r.metrics.end() ? std::string("-")
+                                   : TextTable::num(it->second, digits);
+    };
     TextTable table("Sweep summary");
-    table.set_header({"testbed", "fleet", "policy", "seed", "delivery",
-                      "median sess", "pkts/day"});
+    std::vector<std::string> header{"testbed", "fleet",  "policy",
+                                    "seed",    "delivery", "median sess",
+                                    "pkts/day"};
+    if (fairness) {
+      header.insert(header.end(), {"jain(delivery)", "jain(airtime)",
+                                   "infra air (s)", "vehicle air (s)"});
+    }
+    table.set_header(header);
     for (const auto& r : sink.ordered()) {
       if (!r.error.empty()) {
-        table.add_row({r.testbed, std::to_string(r.fleet), r.policy,
-                       std::to_string(r.seed), "error: " + r.error, "", ""});
+        std::vector<std::string> row{r.testbed, std::to_string(r.fleet),
+                                     r.policy, std::to_string(r.seed),
+                                     "error: " + r.error, "", ""};
+        row.resize(header.size());
+        table.add_row(row);
         continue;
       }
-      table.add_row(
-          {r.testbed, std::to_string(r.fleet), r.policy,
-           std::to_string(r.seed),
-           TextTable::pct(r.metrics.at("delivery_rate"), 1),
-           TextTable::num(r.metrics.at("median_session_s"), 1) + " s",
-           TextTable::num(r.metrics.at("packets_per_day"), 0)});
+      std::vector<std::string> row{
+          r.testbed, std::to_string(r.fleet), r.policy,
+          std::to_string(r.seed),
+          TextTable::pct(r.metrics.at("delivery_rate"), 1),
+          TextTable::num(r.metrics.at("median_session_s"), 1) + " s",
+          TextTable::num(r.metrics.at("packets_per_day"), 0)};
+      if (fairness) {
+        row.push_back(metric_or_dash(r, "fairness_jain_delivery", 3));
+        row.push_back(metric_or_dash(r, "fairness_jain_airtime", 3));
+        row.push_back(metric_or_dash(r, "airtime_infra_s", 1));
+        row.push_back(metric_or_dash(r, "airtime_vehicle_s", 1));
+      }
+      table.add_row(row);
     }
     table.print(std::cerr);
   }

@@ -40,6 +40,7 @@ VifiSystem::VifiSystem(sim::Simulator& sim, channel::LossModel& loss,
   for (NodeId bs : bs_ids_) {
     auto radio = std::make_unique<mac::Radio>(
         sim_, *medium_, bs, root.fork("radio" + std::to_string(bs.value())));
+    medium_->set_role(bs, mac::NodeRole::Infrastructure);
     auto agent = std::make_unique<VifiBasestation>(
         sim_, *radio, *backplane_, gateway_id_, config_.vifi,
         root.fork("bs" + std::to_string(bs.value())), &stats_);
@@ -51,6 +52,7 @@ VifiSystem::VifiSystem(sim::Simulator& sim, channel::LossModel& loss,
     auto radio = std::make_unique<mac::Radio>(
         sim_, *medium_, v,
         root.fork("radio-vehicle" + std::to_string(v.value())));
+    medium_->set_role(v, mac::NodeRole::Vehicle);
     auto agent = std::make_unique<VifiVehicle>(
         sim_, *radio, config_.vifi,
         root.fork("vehicle" + std::to_string(v.value())), &stats_);

@@ -140,7 +140,11 @@ void VifiVehicle::on_frame(const mac::Frame& f) {
   const Time now = sim_.now();
   switch (f.type) {
     case mac::FrameType::Beacon:
-      pab_.note_beacon(f.tx, now);
+      // Another vehicle's beacon is not a BS: it must never enter the
+      // neighbor set anchor/auxiliary selection draws from (§4.3). With a
+      // fleet on one medium a vehicle would otherwise anchor on a passing
+      // vehicle and starve. Its gossiped reports still fold.
+      if (!f.beacon.from_vehicle) pab_.note_beacon(f.tx, now);
       pab_.fold_reports(f.beacon.prob_reports, now);
       break;
     case mac::FrameType::Ack:

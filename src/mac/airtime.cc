@@ -1,0 +1,64 @@
+#include "mac/airtime.h"
+
+#include "util/contracts.h"
+
+namespace vifi::mac {
+
+const char* to_string(NodeRole role) {
+  switch (role) {
+    case NodeRole::Unknown: return "unknown";
+    case NodeRole::Infrastructure: return "infrastructure";
+    case NodeRole::Vehicle: return "vehicle";
+  }
+  return "unknown";
+}
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    VIFI_EXPECTS(x >= 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+const NodeAirtime& MediumStats::node(NodeId id) const {
+  static const NodeAirtime kZero{};
+  const auto it = nodes.find(id);
+  return it == nodes.end() ? kZero : it->second;
+}
+
+std::vector<NodeId> MediumStats::nodes_with_role(NodeRole role) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, row] : nodes)
+    if (row.role == role) out.push_back(id);
+  return out;
+}
+
+Time MediumStats::tx_airtime(NodeRole role) const {
+  Time total;
+  for (const auto& [id, row] : nodes)
+    if (row.role == role) total += row.tx_airtime;
+  return total;
+}
+
+double MediumStats::jain_tx_airtime(const std::vector<NodeId>& subset) const {
+  std::vector<double> xs;
+  xs.reserve(subset.size());
+  for (const NodeId id : subset) xs.push_back(node(id).tx_airtime.to_seconds());
+  return jain_index(xs);
+}
+
+double MediumStats::jain_frames_received(
+    const std::vector<NodeId>& subset) const {
+  std::vector<double> xs;
+  xs.reserve(subset.size());
+  for (const NodeId id : subset)
+    xs.push_back(static_cast<double>(node(id).frames_received));
+  return jain_index(xs);
+}
+
+}  // namespace vifi::mac

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file airtime.h
+/// Per-node airtime and fairness accounting for the shared medium. The
+/// ledger answers the fleet-scale questions the paper's §5 evaluation asks
+/// per vehicle — who holds the channel, who decodes intact, whose decodes
+/// collisions destroy, and who waits — and `MediumStats` snapshots it
+/// together with Jain's fairness index over any node subset.
+///
+/// Counting model (everything is exact, integer-microsecond Time):
+///  - Transmitter side: `frames_tx`/`tx_airtime` per transmission started;
+///    each (transmission, receiver) decode that survives becomes one
+///    `frames_delivered`, each one destroyed by an overlap one
+///    `frames_collided`.
+///  - Receiver side: every transmission is one `decode_attempts` at every
+///    other attached node; the attempt ends as exactly one of
+///    `frames_received` (+ `rx_airtime`), a collision (`collisions_seen`,
+///    + `collided_airtime`), or a `channel_losses` (failed loss sampling).
+///  - `deferral_wait` is CSMA wait charged by the Radio, not the medium.
+///
+/// These definitions make the ledger reconcile exactly with the medium's
+/// global counters (see tests/test_medium_props.cc).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/ids.h"
+#include "util/time.h"
+
+namespace vifi::mac {
+
+using sim::NodeId;
+
+/// Who a node is in the deployment; lets snapshots split infrastructure
+/// from client airtime. The medium works fine with everything Unknown.
+enum class NodeRole { Unknown, Infrastructure, Vehicle };
+
+const char* to_string(NodeRole role);
+
+/// One node's row of the airtime ledger.
+struct NodeAirtime {
+  NodeRole role = NodeRole::Unknown;
+
+  // -- transmitter side ------------------------------------------------
+  Time tx_airtime;                     ///< Channel time held transmitting.
+  std::uint64_t frames_tx = 0;         ///< Transmissions originated here.
+  std::uint64_t frames_delivered = 0;  ///< (tx, rx) decodes that survived.
+  std::uint64_t frames_collided = 0;   ///< (tx, rx) decodes destroyed.
+
+  // -- receiver side ---------------------------------------------------
+  Time rx_airtime;        ///< Airtime of frames decoded intact here.
+  Time collided_airtime;  ///< Airtime of decodes destroyed here.
+  std::uint64_t decode_attempts = 0;  ///< One per transmission by others.
+  std::uint64_t frames_received = 0;  ///< Attempts decoded intact.
+  std::uint64_t collisions_seen = 0;  ///< Attempts destroyed by overlap.
+  std::uint64_t channel_losses = 0;   ///< Attempts lost to the channel.
+
+  // -- CSMA (charged by the Radio, not the medium) ----------------------
+  Time deferral_wait;  ///< Total carrier-sense deferral before sending.
+};
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative
+/// allocations: 1 when all shares are equal, 1/n when one node takes all.
+/// Empty input or an all-zero allocation (equal starvation) is 1.
+double jain_index(const std::vector<double>& xs);
+
+/// A consistent copy of the medium's accounting at one instant.
+struct MediumStats {
+  Time busy_airtime;  ///< Sum of every transmission's airtime.
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;       ///< Successful (tx, rx) decodes.
+  std::uint64_t collisions = 0;       ///< Decodes destroyed by overlap.
+  std::uint64_t channel_losses = 0;   ///< Decodes lost to the channel.
+  std::uint64_t decode_attempts = 0;  ///< deliveries+collisions+losses.
+
+  /// Ordered per-node rows (deterministic iteration for serialisation).
+  std::map<NodeId, NodeAirtime> nodes;
+
+  /// The node's row; a zero row if the node was never attached.
+  const NodeAirtime& node(NodeId id) const;
+
+  /// Attached nodes carrying \p role, in id order.
+  std::vector<NodeId> nodes_with_role(NodeRole role) const;
+
+  /// Total transmit airtime held by nodes of \p role — the infrastructure
+  /// vs client split of channel occupancy.
+  Time tx_airtime(NodeRole role) const;
+
+  /// Jain's index of transmit airtime across \p subset.
+  double jain_tx_airtime(const std::vector<NodeId>& subset) const;
+  /// Jain's index of intact receptions across \p subset — the "who is the
+  /// medium actually serving" view of fairness.
+  double jain_frames_received(const std::vector<NodeId>& subset) const;
+};
+
+}  // namespace vifi::mac

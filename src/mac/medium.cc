@@ -19,6 +19,20 @@ void Medium::attach(NodeId node, FrameSink* sink) {
   VIFI_EXPECTS(!sinks_.contains(node));
   sinks_[node] = sink;
   nodes_.push_back(node);
+  ledger_[node];  // materialise the row so snapshots list every node
+}
+
+void Medium::set_role(NodeId node, NodeRole role) {
+  const auto it = ledger_.find(node);
+  VIFI_EXPECTS(it != ledger_.end());
+  it->second.role = role;
+}
+
+void Medium::note_deferral(NodeId node, Time wait) {
+  VIFI_EXPECTS(!wait.is_negative());
+  const auto it = ledger_.find(node);
+  VIFI_EXPECTS(it != ledger_.end());
+  it->second.deferral_wait += wait;
 }
 
 Time Medium::airtime(int mac_bytes) const {
@@ -47,13 +61,25 @@ Time Medium::transmit(Frame frame) {
     if (rx == tx.tx) continue;
     const double p = loss_.reception_prob(tx.tx, rx, now);
     if (p >= params_.audibility_threshold) tx.audible_at.push_back(rx);
+    NodeAirtime& rx_row = ledger_.at(rx);
+    ++rx_row.decode_attempts;
+    ++decode_attempts_;
     // Decode sampling also advances burst state for sub-threshold links,
     // keeping the stochastic processes in sync with wall-clock time.
-    if (loss_.sample_delivery(tx.tx, rx, now)) tx.decoders.push_back(rx);
+    if (loss_.sample_delivery(tx.tx, rx, now)) {
+      tx.decoders.push_back(rx);
+    } else {
+      ++rx_row.channel_losses;
+      ++channel_losses_;
+    }
   }
 
   ++transmissions_;
-  ++tx_counts_[tx.tx];
+  const Time held = tx.end - tx.start;
+  busy_airtime_ += held;
+  NodeAirtime& tx_row = ledger_.at(tx.tx);
+  ++tx_row.frames_tx;
+  tx_row.tx_airtime += held;
   const std::uint64_t seq = tx.seq;
   const Time end = tx.end;
   active_.push_back(std::move(tx));
@@ -91,9 +117,18 @@ void Medium::finish(std::uint64_t seq) {
         }
       }
     }
+    const Time held = tx.end - tx.start;
     if (collided) {
       ++collisions_;
+      ++ledger_.at(tx.tx).frames_collided;
+      NodeAirtime& rx_row = ledger_.at(rx);
+      ++rx_row.collisions_seen;
+      rx_row.collided_airtime += held;
     } else {
+      ++ledger_.at(tx.tx).frames_delivered;
+      NodeAirtime& rx_row = ledger_.at(rx);
+      ++rx_row.frames_received;
+      rx_row.rx_airtime += held;
       deliver_scratch_.push_back(rx);
     }
   }
@@ -115,11 +150,18 @@ void Medium::prune(Time now) {
                 [keep_after](const ActiveTx& t) { return t.end < keep_after; });
 }
 
-bool Medium::busy_for(NodeId listener, Time now) const {
+bool Medium::busy_for(NodeId listener, Time now) {
   return busy_until(listener, now) > now;
 }
 
-Time Medium::busy_until(NodeId listener, Time now) const {
+Time Medium::busy_until(NodeId listener, Time now) {
+  // Prune here too: a node that only listens (never transmits) must not
+  // scan — or, worse, depend on — records whose eviction would otherwise
+  // wait for someone else's transmit(). The end-time check below keeps
+  // the answer right for records inside the keep window regardless.
+  // Clamped to the simulation clock: a query about a future instant must
+  // not evict a still-in-flight record out from under its finish() event.
+  prune(std::min(now, sim_.now()));
   Time until = now;
   for (const ActiveTx& t : active_) {
     if (t.end <= now) continue;
@@ -135,8 +177,20 @@ Time Medium::busy_until(NodeId listener, Time now) const {
 }
 
 std::uint64_t Medium::transmissions_from(NodeId node) const {
-  const auto it = tx_counts_.find(node);
-  return it == tx_counts_.end() ? 0 : it->second;
+  const auto it = ledger_.find(node);
+  return it == ledger_.end() ? 0 : it->second.frames_tx;
+}
+
+MediumStats Medium::snapshot() const {
+  MediumStats s;
+  s.busy_airtime = busy_airtime_;
+  s.transmissions = transmissions_;
+  s.deliveries = deliveries_;
+  s.collisions = collisions_;
+  s.channel_losses = channel_losses_;
+  s.decode_attempts = decode_attempts_;
+  s.nodes.insert(ledger_.begin(), ledger_.end());
+  return s;
 }
 
 }  // namespace vifi::mac

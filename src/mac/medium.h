@@ -6,13 +6,20 @@
 /// (1 Mbps, §5.1), and collisions — two overlapping transmissions audible at
 /// the same receiver destroy each other there (no capture). CSMA deferral
 /// lives in Radio; the medium answers "is the channel busy for me?".
+///
+/// Besides the global counters, the medium keeps an airtime ledger: one
+/// NodeAirtime row per attached node, reconciling exactly with the global
+/// counters (see airtime.h for the counting model) and snapshotted as
+/// MediumStats for fairness analysis.
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "channel/loss_model.h"
+#include "mac/airtime.h"
 #include "mac/frame.h"
 #include "sim/ids.h"
 #include "sim/simulator.h"
@@ -40,6 +47,14 @@ class Medium {
   /// Attaches a node; frames it successfully decodes arrive at \p sink.
   void attach(NodeId node, FrameSink* sink);
 
+  /// Tags an attached node's role so snapshots can split infrastructure
+  /// from client airtime. Untagged nodes stay Unknown.
+  void set_role(NodeId node, NodeRole role);
+
+  /// Charges CSMA deferral wait to an attached node's ledger row. Called
+  /// by the Radio, which owns carrier-sense timing.
+  void note_deferral(NodeId node, Time wait);
+
   /// Starts transmitting \p frame from node \p frame.tx immediately. The
   /// caller (Radio) is responsible for carrier-sense deferral; the medium
   /// will happily model the resulting collision otherwise. Returns the
@@ -50,16 +65,26 @@ class Medium {
   Time airtime(int mac_bytes) const;
 
   /// True if any in-progress transmission is audible at \p listener.
-  bool busy_for(NodeId listener, Time now) const;
+  /// Prunes long-finished records first, so the answer (and the scan cost)
+  /// never depends on when a transmit() last happened to prune.
+  bool busy_for(NodeId listener, Time now);
 
   /// Latest end time among transmissions audible at \p listener
-  /// (now if the channel is idle for them).
-  Time busy_until(NodeId listener, Time now) const;
+  /// (now if the channel is idle for them). Prunes like busy_for().
+  Time busy_until(NodeId listener, Time now);
 
   std::uint64_t transmissions() const { return transmissions_; }
   std::uint64_t transmissions_from(NodeId node) const;
   std::uint64_t collisions() const { return collisions_; }
   std::uint64_t deliveries() const { return deliveries_; }
+  std::uint64_t channel_losses() const { return channel_losses_; }
+  std::uint64_t decode_attempts() const { return decode_attempts_; }
+
+  /// Consistent copy of the global counters and the per-node ledger.
+  MediumStats snapshot() const;
+
+  /// Transmission records not yet pruned (tests pin prune behaviour).
+  std::size_t active_records() const { return active_.size(); }
 
   const MediumParams& params() const { return params_; }
 
@@ -94,7 +119,13 @@ class Medium {
   std::uint64_t transmissions_ = 0;
   std::uint64_t collisions_ = 0;
   std::uint64_t deliveries_ = 0;
-  std::unordered_map<NodeId, std::uint64_t> tx_counts_;
+  std::uint64_t channel_losses_ = 0;
+  std::uint64_t decode_attempts_ = 0;
+  Time busy_airtime_;
+  /// One row per attached node; the per-node side of the global counters.
+  /// Unordered — it sits on the per-frame hot path; snapshot() produces
+  /// the deterministic ordered view once per query.
+  std::unordered_map<NodeId, NodeAirtime> ledger_;
 };
 
 }  // namespace vifi::mac

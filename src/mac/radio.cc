@@ -20,12 +20,14 @@ void Radio::send(Frame frame) {
 void Radio::try_send() {
   if (queue_.empty() || transmitting_ || retry_scheduled_) return;
   const Time now = sim_.now();
-  if (medium_.busy_for(self_, now)) {
+  const Time until = medium_.busy_until(self_, now);
+  if (until > now) {
     // Defer until the audible transmission ends plus a random number of
     // slots; fixed window, no exponential growth (§4.8).
-    const Time wait = medium_.busy_until(self_, now) - now +
+    const Time wait = until - now +
                       params_.slot * static_cast<double>(rng_.uniform_int(
                                          1, params_.max_defer_slots));
+    medium_.note_deferral(self_, wait);
     retry_scheduled_ = true;
     sim_.schedule(wait, [this] {
       retry_scheduled_ = false;

@@ -3,7 +3,9 @@
 /// \file radio.h
 /// A node's radio: CSMA deferral (carrier sense, random slot backoff — but
 /// *no* exponential backoff, matching ViFi's broadcast-mode implementation,
-/// §4.8), a small FIFO of frames awaiting air, and receive dispatch.
+/// §4.8), a small FIFO of frames awaiting air, and receive dispatch. Each
+/// deferral's wait is charged to the node's row in the medium's airtime
+/// ledger, so fairness snapshots see who queues behind whom.
 
 #include <cstdint>
 #include <deque>

@@ -1,11 +1,14 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 
 #include "analysis/sessions.h"
 #include "apps/cbr.h"
 #include "apps/mos.h"
 #include "handoff/policies.h"
+#include "mac/airtime.h"
 #include "scenario/campaign.h"
 #include "scenario/live.h"
 #include "util/cdf.h"
@@ -83,12 +86,31 @@ void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
 
   // Fleet campaigns carry one trace per vehicle per trip; every vehicle's
   // log replays under the policy and aggregates into the point's metrics.
+  // Fleet points (V > 1) additionally split deliveries per logging vehicle
+  // for the fairness columns; fleet-1 points skip this entirely so their
+  // output stays byte-identical to the pre-fairness sweeps.
   MetricAccumulator acc;
-  for (const auto& trip : campaign.trips)
-    acc.add_trip(
-        outcomes_to_stream(replay_trip(trip, point.policy, campaign)),
-        point.session);
+  const bool fairness = bed.fleet_size() > 1;
+  std::map<sim::NodeId, double> per_vehicle;
+  for (const auto& trip : campaign.trips) {
+    const auto stream =
+        outcomes_to_stream(replay_trip(trip, point.policy, campaign));
+    if (fairness) {
+      double delivered = 0.0;
+      for (const int d : stream.delivered) delivered += d;
+      per_vehicle[trip.vehicle] += delivered;
+    }
+    acc.add_trip(stream, point.session);
+  }
   acc.finish(point.days, r);
+  if (fairness) {
+    std::vector<double> veh_delivered;
+    veh_delivered.reserve(bed.vehicle_ids().size());
+    for (const sim::NodeId v : bed.vehicle_ids())
+      veh_delivered.push_back(per_vehicle[v]);
+    r.metrics["fairness_jain_delivery"] = mac::jain_index(veh_delivered);
+    r.series["veh_delivered"] = std::move(veh_delivered);
+  }
 }
 
 void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
@@ -108,6 +130,16 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
 
   const int trips = point.days * point.trips_per_day;
   MetricAccumulator acc;
+  // Fleet points (V > 1) accumulate the per-vehicle fairness view on top
+  // of the shared metric set: delivered packets and airtime per vehicle
+  // (from the medium's ledger), plus the infrastructure/client occupancy
+  // split. Fleet-1 points skip all of it so their output bytes stay
+  // identical to the single-vehicle sweeps.
+  const std::size_t fleet = static_cast<std::size_t>(bed.fleet_size());
+  const bool fairness = fleet > 1;
+  std::vector<double> veh_delivered(fleet, 0.0), veh_sent(fleet, 0.0),
+      veh_airtime_s(fleet, 0.0);
+  double infra_airtime_s = 0.0, vehicle_airtime_s = 0.0;
   for (int trip = 0; trip < trips; ++trip) {
     scenario::LiveTrip live(
         bed, sys, mix_seed(point.point_seed, static_cast<std::uint64_t>(trip)));
@@ -125,8 +157,33 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
     for (auto& cbr : cbrs) cbr->start(end);
     live.run_until(end + Time::seconds(1.0));
     for (auto& cbr : cbrs) acc.add_trip(cbr->slot_stream(), point.session);
+    if (fairness) {
+      const mac::MediumStats ms = live.medium_stats();
+      for (std::size_t i = 0; i < fleet; ++i) {
+        veh_delivered[i] += static_cast<double>(cbrs[i]->delivered());
+        veh_sent[i] += static_cast<double>(cbrs[i]->sent());
+        const mac::NodeAirtime& row = ms.node(bed.vehicle_ids()[i]);
+        veh_airtime_s[i] += (row.tx_airtime + row.rx_airtime).to_seconds();
+      }
+      infra_airtime_s +=
+          ms.tx_airtime(mac::NodeRole::Infrastructure).to_seconds();
+      vehicle_airtime_s += ms.tx_airtime(mac::NodeRole::Vehicle).to_seconds();
+    }
   }
   acc.finish(point.days, r);
+  if (fairness) {
+    double min_rate = 1.0;
+    for (std::size_t i = 0; i < fleet; ++i)
+      min_rate = std::min(
+          min_rate, veh_sent[i] > 0.0 ? veh_delivered[i] / veh_sent[i] : 0.0);
+    r.metrics["airtime_infra_s"] = infra_airtime_s;
+    r.metrics["airtime_vehicle_s"] = vehicle_airtime_s;
+    r.metrics["fairness_jain_airtime"] = mac::jain_index(veh_airtime_s);
+    r.metrics["fairness_jain_delivery"] = mac::jain_index(veh_delivered);
+    r.metrics["per_vehicle_delivery_min"] = min_rate;
+    r.series["veh_airtime_s"] = std::move(veh_airtime_s);
+    r.series["veh_delivered"] = std::move(veh_delivered);
+  }
 
   // §5.3.2 call quality under the fixed delay budget, charging half the
   // wireless deadline to the wireless segment.

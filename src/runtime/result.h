@@ -19,6 +19,14 @@ namespace vifi::runtime {
 /// fixed-grid vectors (CDF quantiles, per-trip values, slot streams) go in
 /// `series`. Wall-clock timings are deliberately excluded — results must be
 /// a pure function of the point.
+///
+/// Fleet points (fleet > 1) additionally carry the per-vehicle fairness
+/// columns the executor computes from the medium's airtime ledger:
+/// `fairness_jain_delivery`/`fairness_jain_airtime` (Jain's index over the
+/// fleet), `airtime_infra_s`/`airtime_vehicle_s` (occupancy split),
+/// `per_vehicle_delivery_min`, and the per-vehicle `veh_delivered` /
+/// `veh_airtime_s` series. Fleet-1 points omit them all, keeping
+/// single-vehicle output byte-identical to pre-fairness sweeps.
 struct PointResult {
   std::size_t index = 0;
   std::string testbed;

@@ -58,6 +58,10 @@ class LiveTrip {
   }
   channel::LossModel& loss_model() { return *channel_; }
 
+  /// Snapshot of the trip's medium accounting (per-node airtime ledger,
+  /// role-tagged by VifiSystem) — the raw material for fairness metrics.
+  mac::MediumStats medium_stats() const { return system_->medium().snapshot(); }
+
   /// Starts the protocol stack and advances the clock to \p until.
   void run_until(Time until);
 

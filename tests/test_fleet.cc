@@ -143,5 +143,100 @@ TEST_F(FleetTest, UnknownVehicleIdThrows) {
   EXPECT_THROW(system_->vehicle(NodeId(99)), ContractViolation);
 }
 
+/// Contention-knee regression: V staggered clients camped on one BS. As V
+/// grows, the shared channel must serve more aggregate traffic (goodput is
+/// monotone non-decreasing) while each client keeps less of it (per-vehicle
+/// delivery is non-increasing), and the medium's fairness index over the
+/// fleet stays a valid Jain value in (0, 1]. This pins the shape the
+/// bench/fleet_contention knee study measures.
+class ContentionTest : public ::testing::Test {
+ protected:
+  struct Outcome {
+    double aggregate = 0.0;    ///< Total packets delivered across the fleet.
+    double per_vehicle = 0.0;  ///< aggregate / V.
+    double jain = 0.0;         ///< Jain over per-vehicle intact receptions.
+  };
+
+  /// One BS (id 0) anchoring V vehicles (ids 1..V); every node hears every
+  /// other, so CSMA serialises the fleet and contention shows up as queueing,
+  /// not hidden-terminal collapse. Vehicles start their downstream streams
+  /// staggered within the sending period, like buses phased on a schedule.
+  Outcome run_fleet(int vehicles) {
+    sim::Simulator sim;
+    testing::ScriptedLoss loss;
+    std::vector<NodeId> vehicle_ids;
+    for (int v = 1; v <= vehicles; ++v) vehicle_ids.push_back(NodeId(v));
+    const NodeId bs(0), gw(99);
+    for (const NodeId a : vehicle_ids) {
+      loss.set(bs, a, 0.95);
+      for (const NodeId b : vehicle_ids)
+        if (a != b) loss.set(a, b, 0.9);
+    }
+    core::SystemConfig config;
+    config.seed = 7;
+    core::VifiSystem system(sim, loss, {bs}, vehicle_ids, gw, config);
+    std::vector<int> got(static_cast<std::size_t>(vehicles), 0);
+    // Goodput is what arrives within the measurement window: once the
+    // channel saturates, packets queueing past the deadline don't count,
+    // which is exactly how contention starves clients in practice.
+    Time deadline = Time::max();
+    for (int v = 0; v < vehicles; ++v)
+      system.vehicle(vehicle_ids[static_cast<std::size_t>(v)])
+          .set_delivery_handler([&got, &deadline, &sim, v](
+                                    const net::PacketRef&) {
+            if (sim.now() <= deadline) ++got[v];
+          });
+    system.start();
+    sim.run_until(Time::seconds(3.0));
+
+    // Offered load: a 500-byte packet per vehicle every 12 ms (~350 kbps
+    // on air each, incl. ACKs and beacons): one vehicle uses about a third of
+    // the channel, two fit, four oversubscribe it by half — enough for the knee to bite without
+    // collapsing the senders.
+    const int rounds = 150;
+    for (int i = 0; i < rounds; ++i) {
+      for (int v = 0; v < vehicles; ++v) {
+        const Time at = sim.now() + Time::millis(12.0 * v / vehicles);
+        sim.schedule_at(at, [&system, &vehicle_ids, v, i] {
+          system.send_down(500, 0, static_cast<std::uint64_t>(i), {},
+                           vehicle_ids[static_cast<std::size_t>(v)]);
+        });
+      }
+      sim.run_until(sim.now() + Time::millis(12.0));
+    }
+    deadline = sim.now() + Time::millis(250.0);
+    sim.run_until(sim.now() + Time::seconds(3.0));
+
+    Outcome out;
+    for (const int g : got) out.aggregate += g;
+    out.per_vehicle = out.aggregate / vehicles;
+    out.jain = system.medium().snapshot().jain_frames_received(vehicle_ids);
+    return out;
+  }
+};
+
+TEST_F(ContentionTest, AggregateGrowsWhilePerVehicleDeliveryShrinks) {
+  const Outcome v1 = run_fleet(1);
+  const Outcome v2 = run_fleet(2);
+  const Outcome v4 = run_fleet(4);
+
+  // Aggregate goodput is monotone non-decreasing in V...
+  EXPECT_GE(v2.aggregate, v1.aggregate);
+  EXPECT_GE(v4.aggregate, v2.aggregate);
+  // ...while per-vehicle delivery is non-increasing: added clients cost
+  // contention, and by V=4 the knee has clearly bitten.
+  EXPECT_LE(v2.per_vehicle, v1.per_vehicle);
+  EXPECT_LE(v4.per_vehicle, v2.per_vehicle);
+  EXPECT_LT(v4.per_vehicle, 0.9 * v1.per_vehicle);
+
+  // Jain's index over the fleet is a valid fairness value throughout.
+  for (const Outcome& o : {v1, v2, v4}) {
+    EXPECT_GT(o.jain, 0.0);
+    EXPECT_LE(o.jain, 1.0 + 1e-12);
+  }
+  // One vehicle is perfectly fair by definition.
+  EXPECT_DOUBLE_EQ(v1.jain, 1.0);
+}
+
 }  // namespace
 }  // namespace vifi

@@ -230,6 +230,202 @@ TEST(Medium, BusyForAudibleListeners) {
   EXPECT_FALSE(medium.busy_for(NodeId(1), sim.now()));
 }
 
+TEST(Medium, LongFinishedTransmissionNeverReportsBusy) {
+  sim::Simulator sim;
+  FakeLoss loss;
+  Medium medium(sim, loss, {});
+  Collector a, b;
+  medium.attach(NodeId(0), &a);
+  medium.attach(NodeId(1), &b);
+  loss.set(NodeId(0), NodeId(1), 1.0);
+  net::PacketFactory factory;
+  Frame f = data_frame(factory, sim, 500);
+  f.tx = NodeId(0);
+  medium.transmit(f);
+  sim.run();
+  ASSERT_GE(medium.active_records(), 1u);
+  // No transmit() happens again, so nothing else ever prunes: the busy
+  // query itself must not depend on stale records. Advance the clock well
+  // past the lazy-prune keep window and probe.
+  sim.run_until(sim.now() + Time::seconds(30.0));
+  const Time later = sim.now();
+  EXPECT_FALSE(medium.busy_for(NodeId(1), later));
+  EXPECT_EQ(medium.busy_until(NodeId(1), later), later);
+  EXPECT_FALSE(medium.busy_for(NodeId(0), later));
+  // And the query itself evicted the long-finished record.
+  EXPECT_EQ(medium.active_records(), 0u);
+}
+
+TEST(Medium, FutureBusyQueryDoesNotEvictInFlightRecords) {
+  sim::Simulator sim;
+  FakeLoss loss;
+  Medium medium(sim, loss, {});
+  Collector a, b;
+  medium.attach(NodeId(0), &a);
+  medium.attach(NodeId(1), &b);
+  loss.set(NodeId(0), NodeId(1), 1.0);
+  net::PacketFactory factory;
+  Frame f = data_frame(factory, sim, 500);
+  f.tx = NodeId(0);
+  medium.transmit(f);
+  // Asking about an instant far past the frame's end while it is still in
+  // flight must not prune the record out from under its finish() event.
+  EXPECT_FALSE(medium.busy_for(NodeId(1), sim.now() + Time::seconds(30.0)));
+  EXPECT_EQ(medium.active_records(), 1u);
+  sim.run();  // finish() still finds its record and delivers
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST(Medium, LedgerTracksPerNodeAirtimeAndOutcomes) {
+  sim::Simulator sim;
+  FakeLoss loss;
+  Medium medium(sim, loss, {});
+  Collector a, b, c;
+  medium.attach(NodeId(0), &a);
+  medium.attach(NodeId(1), &b);
+  medium.attach(NodeId(2), &c);
+  loss.set(NodeId(0), NodeId(1), 0.9);  // decodes
+  loss.set(NodeId(0), NodeId(2), 0.1);  // channel loss
+
+  net::PacketFactory factory;
+  Frame f = data_frame(factory, sim, 500);
+  f.tx = NodeId(0);
+  const Time held = medium.transmit(f);
+  sim.run();
+
+  const MediumStats s = medium.snapshot();
+  EXPECT_EQ(s.busy_airtime, held);
+  EXPECT_EQ(s.node(NodeId(0)).frames_tx, 1u);
+  EXPECT_EQ(s.node(NodeId(0)).tx_airtime, held);
+  EXPECT_EQ(s.node(NodeId(0)).frames_delivered, 1u);
+  EXPECT_EQ(s.node(NodeId(0)).decode_attempts, 0u);  // nobody else sent
+  EXPECT_EQ(s.node(NodeId(1)).frames_received, 1u);
+  EXPECT_EQ(s.node(NodeId(1)).rx_airtime, held);
+  EXPECT_EQ(s.node(NodeId(1)).decode_attempts, 1u);
+  EXPECT_EQ(s.node(NodeId(2)).channel_losses, 1u);
+  EXPECT_EQ(s.node(NodeId(2)).frames_received, 0u);
+  EXPECT_EQ(s.decode_attempts, 2u);
+  EXPECT_EQ(s.channel_losses, 1u);
+  EXPECT_EQ(s.deliveries, 1u);
+  // Never-attached nodes read as a zero row.
+  EXPECT_EQ(s.node(NodeId(9)).frames_tx, 0u);
+}
+
+TEST(Medium, LedgerChargesCollidedAirtimeToTheReceiver) {
+  sim::Simulator sim;
+  FakeLoss loss;
+  Medium medium(sim, loss, {});
+  Collector a, b, r;
+  medium.attach(NodeId(0), &a);
+  medium.attach(NodeId(1), &b);
+  medium.attach(NodeId(2), &r);
+  loss.set(NodeId(0), NodeId(2), 1.0);
+  loss.set(NodeId(1), NodeId(2), 1.0);
+  loss.set(NodeId(0), NodeId(1), 0.0);  // hidden terminals
+
+  net::PacketFactory factory;
+  Frame f0 = data_frame(factory, sim, 200);
+  f0.tx = NodeId(0);
+  Frame f1 = data_frame(factory, sim, 200);
+  f1.tx = NodeId(1);
+  const Time held = medium.transmit(f0);
+  medium.transmit(f1);
+  sim.run();
+
+  const MediumStats s = medium.snapshot();
+  EXPECT_EQ(s.node(NodeId(2)).collisions_seen, 2u);
+  EXPECT_EQ(s.node(NodeId(2)).collided_airtime, held * 2.0);
+  EXPECT_EQ(s.node(NodeId(2)).frames_received, 0u);
+  EXPECT_EQ(s.node(NodeId(0)).frames_collided, 1u);
+  EXPECT_EQ(s.node(NodeId(1)).frames_collided, 1u);
+  EXPECT_EQ(s.collisions, 2u);
+}
+
+TEST(Medium, RolesSplitInfrastructureFromClientAirtime) {
+  sim::Simulator sim;
+  FakeLoss loss;
+  Medium medium(sim, loss, {});
+  Collector bs, veh;
+  medium.attach(NodeId(0), &bs);
+  medium.attach(NodeId(1), &veh);
+  medium.set_role(NodeId(0), NodeRole::Infrastructure);
+  medium.set_role(NodeId(1), NodeRole::Vehicle);
+  loss.set(NodeId(0), NodeId(1), 1.0);
+
+  net::PacketFactory factory;
+  Frame down = data_frame(factory, sim, 400);
+  down.tx = NodeId(0);
+  const Time down_held = medium.transmit(down);
+  sim.run();
+  Frame up = data_frame(factory, sim, 100);
+  up.tx = NodeId(1);
+  const Time up_held = medium.transmit(up);
+  sim.run();
+
+  const MediumStats s = medium.snapshot();
+  EXPECT_EQ(s.tx_airtime(NodeRole::Infrastructure), down_held);
+  EXPECT_EQ(s.tx_airtime(NodeRole::Vehicle), up_held);
+  EXPECT_EQ(s.tx_airtime(NodeRole::Unknown), Time::zero());
+  EXPECT_EQ(s.nodes_with_role(NodeRole::Vehicle),
+            std::vector<NodeId>{NodeId(1)});
+}
+
+TEST(Medium, JainIndexOverSubsets) {
+  // Hand-built allocations through the public helper.
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);  // equal starvation
+  EXPECT_DOUBLE_EQ(jain_index({3.0, 3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25);  // one-hot: 1/n
+
+  sim::Simulator sim;
+  FakeLoss loss;
+  Medium medium(sim, loss, {});
+  Collector a, b, c;
+  medium.attach(NodeId(0), &a);
+  medium.attach(NodeId(1), &b);
+  medium.attach(NodeId(2), &c);
+  loss.set(NodeId(0), NodeId(1), 1.0);
+  net::PacketFactory factory;
+  for (int i = 0; i < 2; ++i) {
+    Frame f = data_frame(factory, sim, 300);
+    f.tx = NodeId(0);
+    medium.transmit(f);
+    sim.run();
+  }
+  const MediumStats s = medium.snapshot();
+  // Only node 0 transmitted: Jain over {0,1,2} is 1/3; over {0} it is 1.
+  EXPECT_DOUBLE_EQ(
+      s.jain_tx_airtime({NodeId(0), NodeId(1), NodeId(2)}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.jain_tx_airtime({NodeId(0)}), 1.0);
+  // Only node 1 received: same shape on the rx side.
+  EXPECT_DOUBLE_EQ(
+      s.jain_frames_received({NodeId(1), NodeId(2)}), 0.5);
+}
+
+TEST(Radio, DeferralWaitIsChargedToTheLedger) {
+  sim::Simulator sim;
+  FakeLoss loss;
+  Medium medium(sim, loss, {});
+  Collector sink;
+  medium.attach(NodeId(2), &sink);
+  Radio r0(sim, medium, NodeId(0), Rng(21));
+  Radio r1(sim, medium, NodeId(1), Rng(22));
+  loss.set(NodeId(0), NodeId(1), 1.0);
+  loss.set(NodeId(0), NodeId(2), 1.0);
+  loss.set(NodeId(1), NodeId(2), 1.0);
+
+  net::PacketFactory factory;
+  Frame f0 = data_frame(factory, sim, 400);
+  Frame f1 = data_frame(factory, sim, 400);
+  r0.send(std::move(f0));
+  r1.send(std::move(f1));  // channel busy: must defer, and the wait is
+                           // charged to node 1's ledger row
+  sim.run();
+  const MediumStats s = medium.snapshot();
+  EXPECT_GT(s.node(NodeId(1)).deferral_wait, Time::zero());
+  EXPECT_EQ(s.node(NodeId(0)).deferral_wait, Time::zero());
+}
+
 TEST(Medium, TransmissionCounters) {
   sim::Simulator sim;
   FakeLoss loss;

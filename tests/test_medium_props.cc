@@ -1,0 +1,169 @@
+// Property tests for the medium's airtime ledger: randomized multi-node
+// transmission schedules must conserve airtime and decode outcomes exactly.
+// For every schedule, once the simulator drains:
+//   - per-node tx airtime sums to the medium's total busy airtime, which in
+//     turn equals the independently computed sum of frame airtimes;
+//   - every receiver-side decode attempt ends as exactly one of delivery,
+//     collision loss, or channel loss (per node and globally);
+//   - the ledger's totals reconcile with the pre-existing global
+//     transmissions()/collisions()/deliveries() counters.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "channel/loss_model.h"
+#include "mac/airtime.h"
+#include "mac/frame.h"
+#include "mac/medium.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace vifi::mac {
+namespace {
+
+using sim::NodeId;
+
+/// Loss model with random (but per-seed fixed) link probabilities and
+/// stochastic per-frame delivery sampling.
+class RandomLoss final : public channel::LossModel {
+ public:
+  RandomLoss(int nodes, Rng probs, Rng samples) : samples_(samples) {
+    for (int a = 0; a < nodes; ++a)
+      for (int b = 0; b < nodes; ++b)
+        if (a != b) probs_[{NodeId(a), NodeId(b)}] = probs.uniform01();
+  }
+
+  bool sample_delivery(NodeId tx, NodeId rx, Time) override {
+    return samples_.bernoulli(probs_.at({tx, rx}));
+  }
+  double reception_prob(NodeId tx, NodeId rx, Time) const override {
+    return probs_.at({tx, rx});
+  }
+
+ private:
+  std::map<sim::LinkKey, double> probs_;
+  Rng samples_;
+};
+
+class NullSink final : public FrameSink {
+ public:
+  void on_frame(const Frame&) override {}
+};
+
+Frame data_frame(net::PacketFactory& factory, NodeId tx, int bytes) {
+  Frame f;
+  f.type = FrameType::Data;
+  f.tx = tx;
+  f.packet = factory.make(net::Direction::Upstream, tx, NodeId(0), bytes,
+                          Time::zero());
+  f.data.packet_id = f.packet->id;
+  f.data.origin = tx;
+  f.data.hop_dst = NodeId(0);
+  return f;
+}
+
+// One random schedule per seed: 2-6 nodes, 1-12 transmissions at random
+// offsets (gaps short enough that overlaps are common), random sizes and
+// transmitters.
+TEST(MediumProperties, RandomSchedulesConserveAirtimeAndDecodes) {
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    Rng rng(seed);
+    sim::Simulator sim;
+    const int nodes = static_cast<int>(rng.uniform_int(2, 6));
+    RandomLoss loss(nodes, rng.fork("probs"), rng.fork("samples"));
+    Medium medium(sim, loss, {});
+    std::vector<NullSink> sinks(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n)
+      medium.attach(NodeId(n), &sinks[static_cast<std::size_t>(n)]);
+
+    net::PacketFactory factory;
+    const int transmissions = static_cast<int>(rng.uniform_int(1, 12));
+    Time expected_airtime;
+    Time at;
+    for (int i = 0; i < transmissions; ++i) {
+      const NodeId tx(static_cast<int>(rng.uniform_int(0, nodes - 1)));
+      const int bytes = static_cast<int>(rng.uniform_int(0, 800));
+      Frame f = data_frame(factory, tx, bytes);
+      expected_airtime += medium.airtime(f.bytes_on_air());
+      // Random gap: anywhere from simultaneous to comfortably past the
+      // previous frame, so schedules mix heavy overlap with clean air.
+      at += Time::micros(rng.uniform_int(0, 8000));
+      sim.schedule_at(at, [&medium, f = std::move(f)]() mutable {
+        medium.transmit(std::move(f));
+      });
+    }
+    sim.run();
+
+    const MediumStats s = medium.snapshot();
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    // --- airtime conservation (exact integer-microsecond equality) ------
+    EXPECT_EQ(s.busy_airtime, expected_airtime);
+    Time ledger_tx_airtime;
+    for (const auto& [id, row] : s.nodes) ledger_tx_airtime += row.tx_airtime;
+    EXPECT_EQ(ledger_tx_airtime, s.busy_airtime);
+
+    // --- decode attempts partition into the three outcomes --------------
+    EXPECT_EQ(s.decode_attempts,
+              s.deliveries + s.collisions + s.channel_losses);
+    EXPECT_EQ(s.decode_attempts,
+              s.transmissions * static_cast<std::uint64_t>(nodes - 1));
+    for (const auto& [id, row] : s.nodes) {
+      EXPECT_EQ(row.decode_attempts, row.frames_received +
+                                         row.collisions_seen +
+                                         row.channel_losses)
+          << "node " << id.to_string();
+      EXPECT_TRUE(row.frames_tx > 0 ||
+                  (row.frames_delivered == 0 && row.frames_collided == 0))
+          << "node " << id.to_string()
+          << " has tx outcomes without transmissions";
+    }
+
+    // --- ledger totals reconcile with the global counters ---------------
+    std::uint64_t tx = 0, delivered_tx = 0, collided_tx = 0, received = 0,
+                  collisions_seen = 0, losses = 0, attempts = 0;
+    Time rx_airtime, collided_airtime;
+    for (const auto& [id, row] : s.nodes) {
+      tx += row.frames_tx;
+      delivered_tx += row.frames_delivered;
+      collided_tx += row.frames_collided;
+      received += row.frames_received;
+      collisions_seen += row.collisions_seen;
+      losses += row.channel_losses;
+      attempts += row.decode_attempts;
+      rx_airtime += row.rx_airtime;
+      collided_airtime += row.collided_airtime;
+      EXPECT_EQ(medium.transmissions_from(id), row.frames_tx);
+    }
+    EXPECT_EQ(tx, medium.transmissions());
+    EXPECT_EQ(delivered_tx, medium.deliveries());
+    EXPECT_EQ(received, medium.deliveries());
+    EXPECT_EQ(collided_tx, medium.collisions());
+    EXPECT_EQ(collisions_seen, medium.collisions());
+    EXPECT_EQ(losses, medium.channel_losses());
+    EXPECT_EQ(attempts, medium.decode_attempts());
+    EXPECT_EQ(s.transmissions, medium.transmissions());
+
+    // Received/destroyed airtime can only come from decoded frames, and a
+    // decode's airtime equals its transmission's.
+    EXPECT_LE(rx_airtime + collided_airtime,
+              s.busy_airtime * static_cast<double>(nodes - 1));
+
+    // --- fairness index stays in (0, 1] over any subset -----------------
+    std::vector<NodeId> everyone;
+    for (const auto& [id, row] : s.nodes) everyone.push_back(id);
+    const double jain_tx = s.jain_tx_airtime(everyone);
+    const double jain_rx = s.jain_frames_received(everyone);
+    EXPECT_GT(jain_tx, 0.0);
+    EXPECT_LE(jain_tx, 1.0 + 1e-12);
+    EXPECT_GT(jain_rx, 0.0);
+    EXPECT_LE(jain_rx, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vifi::mac
