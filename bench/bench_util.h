@@ -4,6 +4,7 @@
 /// Shared plumbing for the per-figure bench binaries: scale knobs, standard
 /// campaign/live-run recipes, and session sweeps used by several figures.
 
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -23,6 +24,37 @@
 #include "util/table.h"
 
 namespace vifi::bench {
+
+/// A unitless quality metric for the bench_compare.py gate: emitted as a
+/// google-benchmark "value entry" (value + explicit good direction)
+/// rather than a cpu_time.
+struct ValueEntry {
+  std::string name;
+  double value = 0.0;
+  bool bigger_is_better = true;
+};
+
+/// Writes value entries in the google-benchmark JSON shape bench_compare
+/// understands (`--merge`s into BENCH.json next to the perf suite).
+/// Doubles are rendered shortest-round-trip, matching runtime::ResultSink.
+inline void write_value_entries(std::ostream& out,
+                                const std::string& executable,
+                                const std::vector<ValueEntry>& entries) {
+  auto fmt = [](double v) {
+    char buf[40];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    return ec == std::errc{} ? std::string(buf, end) : std::string("0");
+  };
+  out << "{\n  \"context\": {\n    \"executable\": \"" << executable
+      << "\"\n  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << (i == 0 ? "" : ",\n") << "    {\"name\": \"" << entries[i].name
+        << "\", \"run_type\": \"iteration\", \"value\": "
+        << fmt(entries[i].value) << ", \"bigger_is_better\": "
+        << (entries[i].bigger_is_better ? "true" : "false") << "}";
+  }
+  out << "\n  ]\n}\n";
+}
 
 /// VIFI_BENCH_SCALE multiplies trip counts; 1 is the quick default.
 inline int scale() {

@@ -46,13 +46,6 @@ struct Cell {
   }
 };
 
-/// Shortest-round-trip double rendering, matching runtime::ResultSink.
-std::string fmt(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,29 +155,19 @@ int main(int argc, char** argv) {
       std::cerr << "error: cannot write " << json_path << "\n";
       return 1;
     }
-    out << "{\n  \"context\": {\n    \"executable\": \"fleet_contention\",\n"
-        << "    \"fairness_curve\": true\n  },\n  \"benchmarks\": [\n";
-    bool first = true;
+    std::vector<ValueEntry> entries;
     for (const auto& bed : spec.grid.testbeds) {
       for (const int v : spec.grid.fleet_sizes) {
         const Cell& c = cells.at({bed, v});
         const std::string prefix =
             "FleetContention/" + bed + "/V" + std::to_string(v) + "/";
-        const std::pair<std::string, double> entries[] = {
-            {"jain_delivery", c.jain_delivery},
-            {"jain_airtime", c.jain_airtime},
-            {"per_vehicle_pkts_per_day", c.per_vehicle_per_day(v)},
-        };
-        for (const auto& [metric, value] : entries) {
-          out << (first ? "" : ",\n")
-              << "    {\"name\": \"" << prefix << metric
-              << "\", \"run_type\": \"iteration\", \"value\": " << fmt(value)
-              << ", \"bigger_is_better\": true}";
-          first = false;
-        }
+        entries.push_back({prefix + "jain_delivery", c.jain_delivery, true});
+        entries.push_back({prefix + "jain_airtime", c.jain_airtime, true});
+        entries.push_back({prefix + "per_vehicle_pkts_per_day",
+                           c.per_vehicle_per_day(v), true});
       }
     }
-    out << "\n  ]\n}\n";
+    write_value_entries(out, "fleet_contention", entries);
     std::cout << "wrote fairness curve to " << json_path << "\n";
   }
   return 0;

@@ -1,0 +1,217 @@
+// Multi-bus trace replay: the §5.x DieselNet benches, fleet-scale.
+//
+// The paper replays logged bus trips through the live ViFi stack (§5.1);
+// this bench does it for whole fleets, from both kinds of catalog
+// TraceForge can produce:
+//
+//  * real   — a recorded V-bus campaign written as a TraceCatalog;
+//  * synth  — V-bus traces synthesized from a model fitted on the
+//             recorded 16-bus campaign (tracegen::fit_model/synthesize).
+//
+// For V in {1, 2, 4, 8, 16}, every vehicle runs the §5.2 CBR probe
+// workload over the fleet loss schedule built straight from its catalog.
+// The sweep rides the parallel runtime's trace_sets axis and the bench
+// re-runs itself single-threaded to prove the output is byte-identical
+// for any thread count (the acceptance property of the replay layer).
+//
+// With --json PATH the delivery curve is written as value entries in the
+// google-benchmark shape; CI merges them into BENCH.json so the curve is
+// gated against bench/baseline.json. All values are deterministic
+// functions of the committed seeds — they transfer across machines.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/runner.h"
+#include "tracegen/catalog.h"
+#include "tracegen/fit.h"
+#include "tracegen/synth.h"
+
+using namespace vifi;
+using namespace vifi::bench;
+
+namespace {
+
+constexpr const char* kTestbed = "DieselNet-Ch1";
+const std::vector<int> kFleets{1, 2, 4, 8, 16};
+constexpr double kTripSeconds = 60.0;
+
+trace::Campaign record_fleet(int vehicles, std::uint64_t seed) {
+  const scenario::Testbed bed = runtime::make_testbed(kTestbed, vehicles);
+  scenario::CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 1;
+  cfg.trip_duration = Time::seconds(kTripSeconds);
+  cfg.seed = seed;
+  cfg.log_probes = false;  // DieselNet vehicles log beacons only (§2.2)
+  return scenario::generate_campaign(bed, cfg);
+}
+
+struct Cell {
+  double delivery_rate = 0.0;
+  double aggregate_per_day = 0.0;
+  double jain_delivery = 1.0;
+  double min_vehicle_rate = 0.0;
+  int replicates = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "Usage: " << argv[0] << " [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  // --- Build the catalog pairs: recorded V-bus trips, and V-bus trips
+  // synthesized from the model fitted on the recorded 16-bus campaign.
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "vifi_fleet_replay";
+  std::filesystem::remove_all(root);
+  const trace::Campaign recorded16 = record_fleet(16, 20080605);
+  const tracegen::TraceModel model = tracegen::fit_model(recorded16);
+
+  const std::vector<std::string> sources{"real", "synth"};
+  std::map<std::pair<int, std::string>, std::string> catalog_dirs;
+  for (const int v : kFleets) {
+    const std::string real_dir =
+        (root / ("real_v" + std::to_string(v))).string();
+    tracegen::write_catalog(real_dir, "real_v" + std::to_string(v),
+                            record_fleet(v, 20080605));
+    catalog_dirs[{v, "real"}] = real_dir;
+
+    tracegen::SynthesisSpec synth;
+    synth.vehicles = v;
+    synth.trip_duration = Time::seconds(kTripSeconds);
+    synth.seed = 606;
+    const std::string synth_dir =
+        (root / ("synth_v" + std::to_string(v))).string();
+    tracegen::write_catalog(synth_dir, "synth_v" + std::to_string(v),
+                            tracegen::synthesize_fleet(model, synth));
+    catalog_dirs[{v, "synth"}] = synth_dir;
+  }
+
+  // --- One replay point per (V, source, replicate seed), all sharded
+  // over one pool. Each (V, source) is its own mini-grid because the
+  // catalog must match the point's fleet size.
+  std::vector<runtime::ExperimentPoint> points;
+  for (const int v : kFleets) {
+    for (const std::string& source : sources) {
+      runtime::ExperimentSpec spec;
+      spec.name = "fleet_replay";
+      spec.grid.testbeds = {kTestbed};
+      spec.grid.fleet_sizes = {v};
+      spec.grid.trace_sets = {catalog_dirs.at({v, source})};
+      spec.grid.policies = {"ViFi"};
+      spec.grid.seeds = {1};
+      for (int s = 2; s <= scale(); ++s)
+        spec.grid.seeds.push_back(static_cast<std::uint64_t>(s));
+      spec.workload = "cbr";
+      for (runtime::ExperimentPoint p : spec.enumerate()) {
+        p.index = points.size();
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  const runtime::Runner pool({.threads = 0});
+  const runtime::ResultSink sink = pool.run(points, runtime::run_point);
+  if (sink.any_errors()) {
+    for (const auto& r : sink.ordered())
+      if (!r.error.empty())
+        std::cerr << r.testbed << " V=" << r.fleet << " " << r.trace_set
+                  << ": " << r.error << "\n";
+    std::filesystem::remove_all(root);
+    return 1;
+  }
+
+  // The acceptance property: the replay sweep is a pure function of its
+  // points — byte-identical for any thread count.
+  const runtime::ResultSink solo =
+      runtime::Runner({.threads = 1}).run(points, runtime::run_point);
+  const bool deterministic = sink.to_json() == solo.to_json() &&
+                             sink.to_csv() == solo.to_csv();
+
+  // Classify each point by exact catalog directory (substring matching on
+  // the path would misfire on e.g. a TMPDIR containing "synth").
+  std::map<std::string, std::string> source_of_dir;
+  for (const auto& [key, dir] : catalog_dirs) source_of_dir[dir] = key.second;
+  std::map<std::pair<int, std::string>, Cell> cells;
+  for (const auto& r : sink.ordered()) {
+    const std::string& source = source_of_dir.at(r.trace_set);
+    Cell& c = cells[{r.fleet, source}];
+    const int n = ++c.replicates;
+    auto fold = [n](double& mean, double x) { mean += (x - mean) / n; };
+    fold(c.delivery_rate, r.metrics.at("delivery_rate"));
+    fold(c.aggregate_per_day, r.metrics.at("packets_per_day"));
+    if (r.fleet > 1) {
+      fold(c.jain_delivery, r.metrics.at("fairness_jain_delivery"));
+      fold(c.min_vehicle_rate, r.metrics.at("per_vehicle_delivery_min"));
+    } else {
+      fold(c.jain_delivery, 1.0);
+      fold(c.min_vehicle_rate, r.metrics.at("delivery_rate"));
+    }
+  }
+
+  TextTable table("Fleet replay — " + std::string(kTestbed) +
+                  ", live ViFi over TraceCatalogs, 60 s trips");
+  table.set_header({"V", "catalog", "delivery", "pkts/day",
+                    "pkts/day per veh", "min veh delivery",
+                    "jain(delivery)"});
+  for (const int v : kFleets) {
+    for (const std::string& source : sources) {
+      const Cell& c = cells.at({v, source});
+      table.add_row({std::to_string(v), source,
+                     TextTable::pct(c.delivery_rate, 1),
+                     TextTable::num(c.aggregate_per_day, 0),
+                     TextTable::num(c.aggregate_per_day / v, 0),
+                     TextTable::pct(c.min_vehicle_rate, 1),
+                     TextTable::num(c.jain_delivery, 3)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nthread-count determinism: "
+            << (deterministic ? "OK — replay output is byte-identical for "
+                                "any worker count"
+                              : "FAILED — parallel and single-thread "
+                                "outputs differ")
+            << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      std::filesystem::remove_all(root);
+      return 1;
+    }
+    std::vector<ValueEntry> entries;
+    for (const int v : kFleets) {
+      for (const std::string& source : sources) {
+        const Cell& c = cells.at({v, source});
+        const std::string prefix = "FleetReplay/" + std::string(kTestbed) +
+                                   "/V" + std::to_string(v) + "/" + source +
+                                   "/";
+        entries.push_back({prefix + "delivery_rate", c.delivery_rate, true});
+        entries.push_back({prefix + "jain_delivery", c.jain_delivery, true});
+      }
+    }
+    write_value_entries(out, "fleet_replay", entries);
+    std::cout << "wrote replay curve to " << json_path << "\n";
+  }
+
+  std::filesystem::remove_all(root);
+  return deterministic ? 0 : 1;
+}

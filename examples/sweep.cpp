@@ -44,6 +44,9 @@ int usage(const char* argv0) {
       << "  --threads N         worker threads (default 4; 0 = hardware)\n"
       << "  --testbeds a,b      default VanLAN,DieselNet-Ch1\n"
       << "  --fleets a,b        vehicles per testbed, default 1\n"
+      << "  --trace-sets d1,d2  TraceCatalog directories to replay as an\n"
+         "                      extra axis (must match testbed + fleet);\n"
+         "                      default none (stochastic campaigns)\n"
       << "  --policies a,b,c    replay: AllBSes/BestBS/History/RSSI/BRR/"
          "Sticky\n"
       << "                      cbr (live): ViFi/BRR/Diversity\n"
@@ -94,6 +97,7 @@ int main(int argc, char** argv) {
       for (const auto& item : split_csv(value()))
         spec.grid.fleet_sizes.push_back(std::atoi(item.c_str()));
     }
+    else if (arg == "--trace-sets") spec.grid.trace_sets = split_csv(value());
     else if (arg == "--policies") spec.grid.policies = split_csv(value());
     else if (arg == "--seeds") spec.grid.seeds = split_csv_u64(value());
     else if (arg == "--days") spec.days = std::atoi(value().c_str());

@@ -34,6 +34,11 @@ class TwoStateProcess {
   /// Fraction of time spent ON in steady state.
   double stationary_on_fraction() const;
 
+  /// The Gilbert–Elliott sojourn means this process was built with —
+  /// exposed so fitted models (tracegen) can round-trip the parameters.
+  Time mean_on() const { return mean_on_; }
+  Time mean_off() const { return mean_off_; }
+
  private:
   void draw_next_transition();
 

@@ -4,6 +4,9 @@
 #include <map>
 #include <memory>
 
+#include <mutex>
+#include <stdexcept>
+
 #include "analysis/sessions.h"
 #include "apps/cbr.h"
 #include "apps/mos.h"
@@ -11,6 +14,7 @@
 #include "mac/airtime.h"
 #include "scenario/campaign.h"
 #include "scenario/live.h"
+#include "tracegen/catalog.h"
 #include "util/cdf.h"
 #include "util/contracts.h"
 
@@ -73,17 +77,67 @@ struct MetricAccumulator {
   }
 };
 
-void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
-                PointResult& r) {
-  scenario::CampaignConfig cfg;
-  cfg.days = point.days;
-  cfg.trips_per_day = point.trips_per_day;
-  cfg.trip_duration = point.trip_duration;
-  cfg.seed = point.campaign_seed;
-  cfg.log_probes = true;
-  cfg.log_bs_beacons = false;
-  const trace::Campaign campaign = scenario::generate_campaign(bed, cfg);
+/// Loads and validates the point's TraceCatalog (shared, immutable) —
+/// replay points must name a catalog recorded on their exact scenario.
+std::shared_ptr<const tracegen::TraceCatalog> resolve_catalog(
+    const ExperimentPoint& point, const scenario::Testbed& bed) {
+  auto catalog = tracegen::load_catalog_shared(point.trace_set);
+  if (catalog->testbed() != point.testbed)
+    throw std::runtime_error("trace set '" + point.trace_set +
+                             "' was recorded on testbed '" +
+                             catalog->testbed() + "', not '" + point.testbed +
+                             "'");
+  if (catalog->fleet_size() != point.fleet_size)
+    throw std::runtime_error(
+        "trace set '" + point.trace_set + "' carries " +
+        std::to_string(catalog->fleet_size()) +
+        " vehicles per trip but the point asks for fleet " +
+        std::to_string(point.fleet_size));
+  // Ids must match the testbed convention too, or the per-vehicle
+  // accounting would key foreign ids and report silently empty fairness.
+  for (const sim::NodeId v : catalog->vehicle_ids())
+    if (!bed.is_vehicle(v))
+      throw std::runtime_error(
+          "trace set '" + point.trace_set + "' was logged by vehicle " +
+          v.to_string() + ", which is not a vehicle of testbed " +
+          point.testbed + " at fleet " + std::to_string(point.fleet_size));
+  return catalog;
+}
 
+/// One Campaign copy per catalog (not per point): the §3.1 replay path
+/// needs trips by value (HistoryPolicy consumes a Campaign), and a
+/// policies x seeds sweep over one catalog must not deep-copy every
+/// trace per point. Lifetime mirrors the catalog cache's.
+std::shared_ptr<const trace::Campaign> catalog_campaign(
+    const std::shared_ptr<const tracegen::TraceCatalog>& catalog) {
+  struct Entry {
+    // Pins the catalog so its address cannot be recycled under this key
+    // even after tracegen::drop_catalog_cache().
+    std::shared_ptr<const tracegen::TraceCatalog> catalog;
+    std::shared_ptr<const trace::Campaign> campaign;
+  };
+  static std::mutex mu;
+  static std::map<const tracegen::TraceCatalog*, Entry> cache;
+  const std::lock_guard<std::mutex> lock(mu);
+  // Bounded: a sweep touches a handful of catalogs; once past the cap
+  // (someone iterating many catalogs in one process), drop the lot
+  // rather than pin every catalog's copy forever.
+  constexpr std::size_t kMaxCachedCatalogs = 8;
+  if (cache.size() >= kMaxCachedCatalogs &&
+      cache.find(catalog.get()) == cache.end())
+    cache.clear();
+  Entry& slot = cache[catalog.get()];
+  if (slot.campaign == nullptr) {
+    auto campaign = std::make_shared<trace::Campaign>();
+    campaign->testbed = catalog->testbed();
+    campaign->trips = catalog->traces();
+    slot = {catalog, std::move(campaign)};
+  }
+  return slot.campaign;
+}
+
+void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
+                const trace::Campaign& campaign, int days, PointResult& r) {
   // Fleet campaigns carry one trace per vehicle per trip; every vehicle's
   // log replays under the policy and aggregates into the point's metrics.
   // Fleet points (V > 1) additionally split deliveries per logging vehicle
@@ -102,7 +156,7 @@ void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
     }
     acc.add_trip(stream, point.session);
   }
-  acc.finish(point.days, r);
+  acc.finish(days, r);
   if (fairness) {
     std::vector<double> veh_delivered;
     veh_delivered.reserve(bed.vehicle_ids().size());
@@ -114,7 +168,7 @@ void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
 }
 
 void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
-             PointResult& r) {
+             const tracegen::TraceCatalog* catalog, PointResult& r) {
   core::SystemConfig sys;
   if (point.policy == "ViFi") {
     // Defaults: diversity + salvage on.
@@ -128,7 +182,12 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
   }
   sys.vifi.max_retx = 0;  // §5.2: link-layer retransmissions disabled.
 
-  const int trips = point.days * point.trips_per_day;
+  // Replay points run every trip group of their catalog exactly once; the
+  // point's days/trips knobs describe generated campaigns only.
+  const int trips = catalog != nullptr
+                        ? static_cast<int>(catalog->trip_groups())
+                        : point.days * point.trips_per_day;
+  const int days = catalog != nullptr ? catalog->days() : point.days;
   MetricAccumulator acc;
   // Fleet points (V > 1) accumulate the per-vehicle fairness view on top
   // of the shared metric set: delivered packets and airtime per vehicle
@@ -141,8 +200,17 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
       veh_airtime_s(fleet, 0.0);
   double infra_airtime_s = 0.0, vehicle_airtime_s = 0.0;
   for (int trip = 0; trip < trips; ++trip) {
-    scenario::LiveTrip live(
-        bed, sys, mix_seed(point.point_seed, static_cast<std::uint64_t>(trip)));
+    const std::uint64_t trip_seed =
+        mix_seed(point.point_seed, static_cast<std::uint64_t>(trip));
+    // Replay trips drive the fleet loss schedule straight from the
+    // catalog's traces; stochastic trips draw a fresh channel.
+    const auto live_ptr =
+        catalog != nullptr
+            ? std::make_unique<scenario::LiveTrip>(
+                  bed, *catalog, static_cast<std::size_t>(trip), sys,
+                  trip_seed)
+            : std::make_unique<scenario::LiveTrip>(bed, sys, trip_seed);
+    scenario::LiveTrip& live = *live_ptr;
     live.run_until(scenario::LiveTrip::warmup());
     // One CBR probe stream per vehicle, all sharing the trip's medium —
     // fleet points measure the stack under real multi-client contention.
@@ -150,10 +218,19 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
     for (const auto& transport : live.transports())
       cbrs.push_back(std::make_unique<apps::CbrWorkload>(live.simulator(),
                                                          *transport));
-    const Time duration = point.trip_duration.is_zero()
-                              ? bed.trip_duration()
-                              : point.trip_duration;
-    const Time end = live.simulator().now() + duration;
+    // Replay trips end at the trace's *absolute* horizon: the loss
+    // schedule covers seconds [0, duration) and reads 100% lossy beyond
+    // it, so measuring past the horizon would count dead air as loss.
+    // An explicit trip_duration is the caller's to overrun with.
+    const Time end =
+        !point.trip_duration.is_zero()
+            ? live.simulator().now() + point.trip_duration
+        : catalog != nullptr
+            ? std::max(live.simulator().now(),
+                       catalog->fleet_trip(static_cast<std::size_t>(trip))
+                           .front()
+                           ->duration)
+            : live.simulator().now() + bed.trip_duration();
     for (auto& cbr : cbrs) cbr->start(end);
     live.run_until(end + Time::seconds(1.0));
     for (auto& cbr : cbrs) acc.add_trip(cbr->slot_stream(), point.session);
@@ -170,7 +247,7 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
       vehicle_airtime_s += ms.tx_airtime(mac::NodeRole::Vehicle).to_seconds();
     }
   }
-  acc.finish(point.days, r);
+  acc.finish(days, r);
   if (fairness) {
     double min_rate = 1.0;
     for (std::size_t i = 0; i < fleet; ++i)
@@ -237,13 +314,42 @@ PointResult run_point(const ExperimentPoint& point) {
   r.index = point.index;
   r.testbed = point.testbed;
   r.fleet = point.fleet_size;
+  r.trace_set = point.trace_set;
   r.policy = point.policy;
   r.seed = point.seed;
   const scenario::Testbed bed = make_testbed(point.testbed, point.fleet_size);
+  std::shared_ptr<const tracegen::TraceCatalog> catalog;
+  if (!point.trace_set.empty()) catalog = resolve_catalog(point, bed);
   if (point.workload == "replay") {
-    run_replay(bed, point, r);
+    if (catalog == nullptr) {
+      scenario::CampaignConfig cfg;
+      cfg.days = point.days;
+      cfg.trips_per_day = point.trips_per_day;
+      cfg.trip_duration = point.trip_duration;
+      cfg.seed = point.campaign_seed;
+      cfg.log_probes = true;
+      cfg.log_bs_beacons = false;
+      run_replay(bed, point, scenario::generate_campaign(bed, cfg),
+                 point.days, r);
+    } else {
+      // §3.1 policy replay consumes 100 ms probe slots; beacon-only
+      // catalogs (everything traceforge record/synth produces) would
+      // replay to silent all-zero metrics — fail loudly instead.
+      const bool any_slots = std::any_of(
+          catalog->traces().begin(), catalog->traces().end(),
+          [](const trace::MeasurementTrace& t) { return !t.slots.empty(); });
+      if (!any_slots)
+        throw std::runtime_error(
+            "trace set '" + point.trace_set +
+            "' carries no probe slots (beacon-only traces); the §3.1 "
+            "replay workload needs log_probes campaigns — replay this "
+            "catalog with the cbr workload instead");
+      // The History policy needs a whole Campaign by value, assembled
+      // once per catalog and shared across every point that replays it.
+      run_replay(bed, point, *catalog_campaign(catalog), catalog->days(), r);
+    }
   } else if (point.workload == "cbr") {
-    run_cbr(bed, point, r);
+    run_cbr(bed, point, catalog.get(), r);
   } else {
     VIFI_EXPECTS(!"unknown workload (expected replay/cbr)");
   }

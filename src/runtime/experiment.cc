@@ -1,5 +1,7 @@
 #include "runtime/experiment.h"
 
+#include <filesystem>
+
 #include "util/contracts.h"
 
 namespace vifi::runtime {
@@ -29,32 +31,55 @@ std::uint64_t mix_seed(std::uint64_t seed, std::string_view label) {
 std::vector<ExperimentPoint> ExperimentSpec::enumerate() const {
   std::vector<ExperimentPoint> points;
   points.reserve(grid.size());
+  // An empty trace_sets axis enumerates one pass with no trace set — the
+  // historical stochastic-campaign sweep, bit-for-bit.
+  const std::vector<std::string> trace_sets =
+      grid.trace_sets.empty() ? std::vector<std::string>{""}
+                              : grid.trace_sets;
   std::size_t index = 0;
   for (const auto& bed : grid.testbeds) {
     for (const int fleet : grid.fleet_sizes) {
       VIFI_EXPECTS(fleet > 0);
-      for (const auto& policy : grid.policies) {
-        for (const std::uint64_t seed : grid.seeds) {
-          ExperimentPoint p;
-          p.index = index++;
-          p.testbed = bed;
-          p.fleet_size = fleet;
-          p.policy = policy;
-          p.seed = seed;
-          p.days = days;
-          p.trips_per_day = trips_per_day;
-          p.trip_duration = trip_duration;
-          p.workload = workload;
-          p.session = session;
-          p.campaign_seed = mix_seed(mix_seed(base_seed, bed), seed);
-          // Fleet size 1 mixes nothing in: single-vehicle sweeps keep the
-          // pre-fleet seed derivation, so their output bytes are stable.
-          if (fleet > 1)
-            p.campaign_seed =
-                mix_seed(p.campaign_seed,
-                         "fleet" + std::to_string(fleet));
-          p.point_seed = mix_seed(p.campaign_seed, policy);
-          points.push_back(std::move(p));
+      for (const auto& trace_set : trace_sets) {
+        for (const auto& policy : grid.policies) {
+          for (const std::uint64_t seed : grid.seeds) {
+            ExperimentPoint p;
+            p.index = index++;
+            p.testbed = bed;
+            p.fleet_size = fleet;
+            p.trace_set = trace_set;
+            p.policy = policy;
+            p.seed = seed;
+            p.days = days;
+            p.trips_per_day = trips_per_day;
+            p.trip_duration = trip_duration;
+            p.workload = workload;
+            p.session = session;
+            p.campaign_seed = mix_seed(mix_seed(base_seed, bed), seed);
+            // Fleet size 1 mixes nothing in: single-vehicle sweeps keep the
+            // pre-fleet seed derivation, so their output bytes are stable.
+            if (fleet > 1)
+              p.campaign_seed =
+                  mix_seed(p.campaign_seed,
+                           "fleet" + std::to_string(fleet));
+            // Same rule for the replay axis: stochastic points (empty
+            // trace set) keep their pre-tracegen derivation. Only the
+            // catalog directory's *name* is mixed in — the same catalog
+            // reached via ./cat, /abs/cat or cat/ must replay
+            // identically (the gated benches rely on this holding
+            // across machines with different temp roots).
+            if (!trace_set.empty()) {
+              std::filesystem::path dir =
+                  std::filesystem::path(trace_set).lexically_normal();
+              if (!dir.has_filename()) dir = dir.parent_path();
+              const std::string id = dir.filename().string();
+              p.campaign_seed = mix_seed(p.campaign_seed,
+                                         "trace_set:" +
+                                             (id.empty() ? trace_set : id));
+            }
+            p.point_seed = mix_seed(p.campaign_seed, policy);
+            points.push_back(std::move(p));
+          }
         }
       }
     }

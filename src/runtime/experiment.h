@@ -9,6 +9,7 @@
 /// sweep's results are bit-identical regardless of execution order or
 /// worker count.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -30,11 +31,19 @@ struct ParamGrid {
   /// Vehicles riding each testbed (VanLAN ran two shuttles, DieselNet is a
   /// bus system); 1 is the paper's single instrumented vehicle.
   std::vector<int> fleet_sizes{1};
+  /// TraceCatalog directories to replay (tracegen). Empty — the default —
+  /// means the sweep generates its campaigns stochastically as before; a
+  /// non-empty list makes replay scenarios one more enumerated axis: each
+  /// point loads its catalog (shared, immutable, process-wide cache) and
+  /// replays its trips instead of generating them. A catalog must match
+  /// the point's testbed and fleet size.
+  std::vector<std::string> trace_sets{};
   std::vector<std::string> policies{"BRR"};
   std::vector<std::uint64_t> seeds{1};
 
   std::size_t size() const {
-    return testbeds.size() * fleet_sizes.size() * policies.size() *
+    return testbeds.size() * fleet_sizes.size() *
+           std::max<std::size_t>(1, trace_sets.size()) * policies.size() *
            seeds.size();
   }
 };
@@ -46,6 +55,9 @@ struct ExperimentPoint {
   std::size_t index = 0;  ///< Row-major position in the grid.
   std::string testbed;    ///< "VanLAN", "DieselNet-Ch1", "DieselNet-Ch6".
   int fleet_size = 1;     ///< Vehicles riding the testbed.
+  /// TraceCatalog directory this point replays; empty = generate the
+  /// campaign stochastically from campaign_seed (the historical path).
+  std::string trace_set;
   std::string policy;     ///< §3.1 replay policy, or "ViFi"/"BRR" live.
   std::uint64_t seed = 1; ///< Replicate seed (the grid's seeds axis).
   int days = 1;

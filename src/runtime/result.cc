@@ -103,6 +103,11 @@ std::vector<PointResult> ResultSink::ordered() const {
 
 std::string ResultSink::to_json() const {
   const auto results = ordered();
+  // Replay sweeps carry the trace_set field; sweeps without one keep
+  // their historical byte layout.
+  const bool any_trace_set =
+      std::any_of(results.begin(), results.end(),
+                  [](const PointResult& r) { return !r.trace_set.empty(); });
   std::ostringstream os;
   os << "{\n  \"points\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -110,8 +115,10 @@ std::string ResultSink::to_json() const {
     os << "    {\n"
        << "      \"index\": " << r.index << ",\n"
        << "      \"testbed\": \"" << json_escape(r.testbed) << "\",\n"
-       << "      \"fleet\": " << r.fleet << ",\n"
-       << "      \"policy\": \"" << json_escape(r.policy) << "\",\n"
+       << "      \"fleet\": " << r.fleet << ",\n";
+    if (any_trace_set)
+      os << "      \"trace_set\": \"" << json_escape(r.trace_set) << "\",\n";
+    os << "      \"policy\": \"" << json_escape(r.policy) << "\",\n"
        << "      \"seed\": " << r.seed << ",\n";
     if (!r.error.empty())
       os << "      \"error\": \"" << json_escape(r.error) << "\",\n";
@@ -147,13 +154,19 @@ std::string ResultSink::to_csv() const {
       (void)value;
       keys.insert(key);
     }
+  const bool any_trace_set =
+      std::any_of(results.begin(), results.end(),
+                  [](const PointResult& r) { return !r.trace_set.empty(); });
   std::ostringstream os;
-  os << "index,testbed,fleet,policy,seed";
+  os << "index,testbed,fleet";
+  if (any_trace_set) os << ",trace_set";
+  os << ",policy,seed";
   for (const auto& key : keys) os << "," << csv_escape(key);
   os << ",error\n";
   for (const auto& r : results) {
-    os << r.index << "," << csv_escape(r.testbed) << "," << r.fleet << ","
-       << csv_escape(r.policy) << "," << r.seed;
+    os << r.index << "," << csv_escape(r.testbed) << "," << r.fleet;
+    if (any_trace_set) os << "," << csv_escape(r.trace_set);
+    os << "," << csv_escape(r.policy) << "," << r.seed;
     for (const auto& key : keys) {
       os << ",";
       const auto it = r.metrics.find(key);

@@ -31,6 +31,10 @@ struct PointResult {
   std::size_t index = 0;
   std::string testbed;
   int fleet = 1;  ///< Vehicles riding the testbed at this point.
+  /// TraceCatalog directory the point replayed; empty for stochastic
+  /// points. Serialised (JSON field, CSV column) only when some point in
+  /// the sweep carries one, so non-replay output bytes stay unchanged.
+  std::string trace_set;
   std::string policy;
   std::uint64_t seed = 0;
   std::map<std::string, double> metrics;

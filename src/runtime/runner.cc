@@ -52,8 +52,26 @@ ResultSink Runner::run_indexed(std::size_t n, const IndexFn& fn) const {
 
 ResultSink Runner::run(const std::vector<ExperimentPoint>& points,
                        const PointFn& fn) const {
-  return run_indexed(points.size(),
-                     [&](std::size_t i) { return fn(points[i]); });
+  return run_indexed(points.size(), [&](std::size_t i) {
+    try {
+      return fn(points[i]);
+    } catch (const std::exception& e) {
+      // Keep the point's identity columns in the serialised error row —
+      // a bare index is useless for telling which grid point failed.
+      // (run_indexed's own catch remains the backstop for failures
+      // outside a known point.)
+      const ExperimentPoint& p = points[i];
+      PointResult r;
+      r.index = p.index;
+      r.testbed = p.testbed;
+      r.fleet = p.fleet_size;
+      r.trace_set = p.trace_set;
+      r.policy = p.policy;
+      r.seed = p.seed;
+      r.error = e.what();
+      return r;
+    }
+  });
 }
 
 ResultSink Runner::run(const ExperimentSpec& spec) const {

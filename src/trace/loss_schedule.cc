@@ -58,11 +58,43 @@ std::unique_ptr<channel::TraceLossModel> build_fleet_loss_schedule(
     const std::vector<const MeasurementTrace*>& trips,
     bool use_bs_beacon_logs, Rng rng) {
   VIFI_EXPECTS(!trips.empty());
-  auto model = std::make_unique<channel::TraceLossModel>(rng.fork("draws"));
+  // Validate the fleet before touching the model: a duplicate or foreign
+  // trace would register schedules under the wrong ids and leave part of
+  // the fleet silently deaf.
+  std::set<NodeId> vehicles;
   for (const MeasurementTrace* trip : trips) {
     VIFI_EXPECTS(trip != nullptr);
-    add_vehicle_links(*model, *trip, trip->vehicle);
+    if (!trip->vehicle.valid())
+      throw std::runtime_error(
+          "build_fleet_loss_schedule: trace (day " +
+          std::to_string(trip->day) + ", trip " + std::to_string(trip->trip) +
+          ") names no logging vehicle; fleet schedules need one trace per "
+          "vehicle");
+    if (!vehicles.insert(trip->vehicle).second)
+      throw std::runtime_error(
+          "build_fleet_loss_schedule: duplicate trace for vehicle " +
+          trip->vehicle.to_string());
+    if (trip->testbed != trips.front()->testbed)
+      throw std::runtime_error(
+          "build_fleet_loss_schedule: foreign trace — testbed '" +
+          trip->testbed + "' does not match '" + trips.front()->testbed +
+          "'");
+    // Compare as sets: the trace format puts no ordering contract on its
+    // `bs` lines (real logs may record BSes in first-heard order).
+    auto sorted_bs = [](const MeasurementTrace& t) {
+      std::vector<NodeId> ids = t.bs_ids;
+      std::sort(ids.begin(), ids.end());
+      return ids;
+    };
+    if (sorted_bs(*trip) != sorted_bs(*trips.front()))
+      throw std::runtime_error(
+          "build_fleet_loss_schedule: foreign trace — vehicle " +
+          trip->vehicle.to_string() +
+          "'s log names a different BS set than the first trace");
   }
+  auto model = std::make_unique<channel::TraceLossModel>(rng.fork("draws"));
+  for (const MeasurementTrace* trip : trips)
+    add_vehicle_links(*model, *trip, trip->vehicle);
   add_interbs_links(*model, *trips.front(), use_bs_beacon_logs, rng);
   return model;
 }

@@ -10,9 +10,11 @@ namespace vifi::trace {
 
 namespace {
 constexpr const char* kMagic = "# vifi-trace v1";
+constexpr const char* kMagicPrefix = "# vifi-trace v";
 
-void fail(const std::string& why) {
-  throw std::runtime_error("trace parse error: " + why);
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line_no) + ": " + why);
 }
 }  // namespace
 
@@ -51,9 +53,20 @@ void save_trace_file(const MeasurementTrace& t, const std::string& path) {
 MeasurementTrace load_trace(std::istream& is) {
   MeasurementTrace t;
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) fail("bad magic");
+  int line_no = 1;
+  if (!std::getline(is, line)) fail(line_no, "empty input");
+  if (line != kMagic) {
+    // Distinguish "a vifi trace from a different format revision" from
+    // "not a vifi trace at all" — the fixes differ (upgrade vs wrong file).
+    if (line.rfind(kMagicPrefix, 0) == 0)
+      fail(line_no, "unsupported trace version '" + line.substr(2) +
+                        "' (this build reads vifi-trace v1)");
+    fail(line_no, "not a vifi-trace file (expected '" + std::string(kMagic) +
+                      "')");
+  }
   bool have_header = false;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string tag;
@@ -63,43 +76,60 @@ MeasurementTrace load_trace(std::istream& is) {
       std::int64_t dur_us = 0;
       ls >> t.testbed >> kw >> t.day >> kw >> t.trip >> kw >> dur_us >> kw >>
           t.beacons_per_second;
-      if (!ls) fail("bad trace header");
+      if (!ls) fail(line_no, "bad or truncated trace header: '" + line + "'");
+      if (t.beacons_per_second <= 0)
+        fail(line_no, "beacons_per_second must be positive");
+      if (dur_us < 0) fail(line_no, "negative trip duration");
       t.duration = Time::micros(dur_us);
       have_header = true;
     } else if (tag == "vehicle") {
       int id = -1;
       ls >> id;
-      if (!ls || id < 0) fail("bad vehicle line");
+      if (!ls || id < 0) fail(line_no, "bad vehicle line: '" + line + "'");
       t.vehicle = NodeId(id);
     } else if (tag == "bs") {
       int id = -1;
       ls >> id;
-      if (!ls || id < 0) fail("bad bs line");
+      if (!ls || id < 0) fail(line_no, "bad bs line: '" + line + "'");
       t.bs_ids.push_back(NodeId(id));
     } else if (tag == "slot") {
       ProbeSlot s;
       std::int64_t us = 0;
       std::string kw;
       ls >> us >> s.vehicle_pos.x >> s.vehicle_pos.y >> kw;
-      if (!ls || kw != "down") fail("bad slot line");
+      if (!ls || kw != "down")
+        fail(line_no, "bad or truncated slot line: '" + line + "'");
       s.t = Time::micros(us);
       std::string tok;
       bool in_down = true;
+      bool saw_up = false;
       while (ls >> tok) {
         if (tok == "up") {
+          if (saw_up) fail(line_no, "slot line has two 'up' markers");
           in_down = false;
+          saw_up = true;
           continue;
         }
-        const int id = std::stoi(tok);
+        int id = -1;
+        try {
+          id = std::stoi(tok);
+        } catch (const std::exception&) {
+          fail(line_no, "bad node id '" + tok + "' in slot line");
+        }
+        if (id < 0) fail(line_no, "negative node id in slot line");
         (in_down ? s.down_heard : s.up_heard_by).push_back(NodeId(id));
       }
+      if (!saw_up)
+        fail(line_no, "truncated slot line (missing 'up' marker): '" + line +
+                          "'");
       t.slots.push_back(std::move(s));
     } else if (tag == "beacon") {
       BeaconObs b;
       std::int64_t us = 0;
       int id = -1;
       ls >> us >> id >> b.rssi_dbm;
-      if (!ls || id < 0) fail("bad beacon line");
+      if (!ls || id < 0)
+        fail(line_no, "bad or truncated beacon line: '" + line + "'");
       b.t = Time::micros(us);
       b.bs = NodeId(id);
       t.vehicle_beacons.push_back(b);
@@ -108,16 +138,18 @@ MeasurementTrace load_trace(std::istream& is) {
       std::int64_t us = 0;
       int txid = -1, rxid = -1;
       ls >> us >> txid >> rxid;
-      if (!ls || txid < 0 || rxid < 0) fail("bad bsbeacon line");
+      if (!ls || txid < 0 || rxid < 0)
+        fail(line_no, "bad or truncated bsbeacon line: '" + line + "'");
       b.t = Time::micros(us);
       b.tx = NodeId(txid);
       b.rx = NodeId(rxid);
       t.bs_beacons.push_back(b);
     } else {
-      fail("unknown tag: " + tag);
+      fail(line_no, "unknown tag: " + tag);
     }
   }
-  if (!have_header) fail("missing trace header");
+  if (!have_header)
+    fail(line_no, "missing trace header (truncated or empty trace?)");
   return t;
 }
 

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file catalog.h
+/// The TraceCatalog: a manifest-backed directory of `vifi-trace v1` files
+/// describing a fleet's replayable trips. The manifest (`manifest.txt`,
+/// `vifi-catalog v1`) names the testbed, the fleet, and one trace file per
+/// (day, trip, vehicle); the loader parses everything once into immutable
+/// traces and groups them into per-trip fleets ready for
+/// `LiveTrip` / `build_fleet_loss_schedule`.
+///
+/// `load_catalog_shared` adds a process-wide cache keyed by directory:
+/// runtime workers sweeping a `trace_sets` axis all share one parsed,
+/// immutable catalog instead of re-reading files per point.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/observations.h"
+
+namespace vifi::tracegen {
+
+using sim::NodeId;
+
+class TraceCatalog {
+ public:
+  /// Parses `dir/manifest.txt` and every trace it names. Throws
+  /// std::runtime_error with a crisp message on missing/malformed
+  /// manifests, unreadable traces, duplicate (day, trip, vehicle) entries,
+  /// traces whose header contradicts the manifest, or trip groups whose
+  /// vehicle sets differ.
+  static TraceCatalog load(const std::string& dir);
+
+  const std::string& name() const { return name_; }
+  const std::string& testbed() const { return testbed_; }
+  const std::string& dir() const { return dir_; }
+  int fleet_size() const { return fleet_size_; }
+  /// The fleet's vehicle ids (every trip group carries exactly this set),
+  /// in id order.
+  const std::vector<NodeId>& vehicle_ids() const { return vehicle_ids_; }
+  /// Distinct campaign days the catalog covers (>= 1).
+  int days() const { return days_; }
+
+  /// All traces, ordered by (day, trip, vehicle).
+  const std::vector<trace::MeasurementTrace>& traces() const {
+    return traces_;
+  }
+
+  /// Number of (day, trip) fleet groups.
+  std::size_t trip_groups() const { return groups_.size(); }
+
+  /// One trip's fleet, in vehicle-id order — the exact shape
+  /// `trace::build_fleet_loss_schedule` and the fleet `LiveTrip` take.
+  /// The pointers stay valid for the catalog's lifetime.
+  std::vector<const trace::MeasurementTrace*> fleet_trip(
+      std::size_t group) const;
+
+ private:
+  std::string name_;
+  std::string testbed_;
+  std::string dir_;
+  int fleet_size_ = 0;
+  int days_ = 1;
+  std::vector<NodeId> vehicle_ids_;
+  std::vector<trace::MeasurementTrace> traces_;
+  std::vector<std::vector<std::size_t>> groups_;  ///< Indices into traces_.
+};
+
+/// Writes \p campaign as a catalog: one `vifi-trace v1` file per trace plus
+/// the manifest. Creates \p dir (and parents) if needed; overwrites an
+/// existing manifest. Every trace must name its logging vehicle, and every
+/// (day, trip) must carry the same vehicle set.
+void write_catalog(const std::string& dir, const std::string& catalog_name,
+                   const trace::Campaign& campaign);
+
+/// Loads through the process-wide cache: repeated calls for the same
+/// directory return the *same* immutable instance, so concurrent runtime
+/// workers share one parsed copy. Thread-safe.
+std::shared_ptr<const TraceCatalog> load_catalog_shared(
+    const std::string& dir);
+
+/// Drops the cache (tests; also lets a CLI re-read a rewritten catalog).
+void drop_catalog_cache();
+
+}  // namespace vifi::tracegen

@@ -1,0 +1,303 @@
+#include "tracegen/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/contracts.h"
+
+namespace vifi::tracegen {
+
+namespace {
+
+/// Mean of a sample, or \p fallback when empty.
+double mean_or(const std::vector<double>& xs, double fallback) {
+  if (xs.empty()) return fallback;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+void check_same_environment(
+    const std::vector<const trace::MeasurementTrace*>& trips,
+    const char* who) {
+  if (trips.empty())
+    throw std::runtime_error(std::string(who) + ": no traces given");
+  for (const trace::MeasurementTrace* t : trips) {
+    VIFI_EXPECTS(t != nullptr);
+    if (t->testbed != trips.front()->testbed)
+      throw std::runtime_error(
+          std::string(who) + ": traces from different testbeds ('" +
+          trips.front()->testbed + "' vs '" + t->testbed + "')");
+    if (t->beacons_per_second != trips.front()->beacons_per_second)
+      throw std::runtime_error(std::string(who) +
+                               ": traces with different beacon rates");
+  }
+}
+
+/// The extraction core, over a precomputed per-second count map — lets
+/// fit_model reuse one beacon_counts_per_second pass for both contact
+/// extraction and the Gilbert–Elliott run scan.
+std::vector<Contact> contacts_from_counts(
+    const std::map<NodeId, std::vector<int>>& counts, int beacons_per_second,
+    const FitOptions& opts) {
+  VIFI_EXPECTS(opts.gap_tolerance_s >= 0);
+  VIFI_EXPECTS(beacons_per_second > 0);
+  std::vector<Contact> out;
+  const double sent_per_sec = static_cast<double>(beacons_per_second);
+  for (const auto& [bs, per_sec] : counts) {
+    int start = -1, last_active = -1;
+    std::int64_t heard = 0;
+    auto close = [&] {
+      if (start < 0) return;
+      Contact c;
+      c.bs = bs;
+      c.start_sec = start;
+      c.duration_s = last_active - start + 1;
+      const double sent = sent_per_sec * c.duration_s;
+      c.mean_loss =
+          std::clamp(1.0 - static_cast<double>(heard) / sent, 0.0, 1.0);
+      out.push_back(c);
+      start = -1;
+      last_active = -1;
+      heard = 0;
+    };
+    for (int s = 0; s < static_cast<int>(per_sec.size()); ++s) {
+      if (per_sec[static_cast<std::size_t>(s)] <= 0) continue;
+      if (start >= 0 && s - last_active - 1 > opts.gap_tolerance_s) close();
+      if (start < 0) start = s;
+      last_active = s;
+      heard += per_sec[static_cast<std::size_t>(s)];
+    }
+    close();
+  }
+  // counts iterates a std::map, so contacts already come out in
+  // (bs, start_sec) order.
+  return out;
+}
+
+}  // namespace
+
+std::vector<Contact> extract_contacts(const trace::MeasurementTrace& trip,
+                                      const FitOptions& opts) {
+  return contacts_from_counts(trace::beacon_counts_per_second(trip),
+                              trip.beacons_per_second, opts);
+}
+
+const LinkModel* TraceModel::link(NodeId bs) const {
+  for (const LinkModel& l : links)
+    if (l.bs == bs) return &l;
+  return nullptr;
+}
+
+std::vector<NodeId> TraceModel::bs_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(links.size());
+  for (const LinkModel& l : links) ids.push_back(l.bs);
+  return ids;
+}
+
+TraceModel fit_model(const std::vector<const trace::MeasurementTrace*>& trips,
+                     const FitOptions& opts) {
+  check_same_environment(trips, "fit_model");
+
+  TraceModel model;
+  model.testbed = trips.front()->testbed;
+  model.beacons_per_second = trips.front()->beacons_per_second;
+  model.source_trips = static_cast<int>(trips.size());
+  model.fit = opts;
+  for (const trace::MeasurementTrace* t : trips)
+    model.trip_duration = std::max(model.trip_duration, t->duration);
+
+  struct LinkAcc {
+    int contacts = 0;
+    double seconds_observed = 0.0;  ///< Total trip time this BS was logged.
+    std::vector<double> durations;
+    std::vector<double> losses;
+    std::vector<double> good_runs;
+    std::vector<double> bad_runs;
+    int rssi_n = 0;
+    double rssi_sum = 0.0, rssi_sumsq = 0.0;
+  };
+  std::map<NodeId, LinkAcc> accs;
+  // Register every BS any trace names, so links with zero contacts still
+  // appear (rate 0) and synthesized traces keep the full bs_ids list.
+  for (const trace::MeasurementTrace* t : trips)
+    for (const NodeId bs : t->bs_ids) accs[bs];
+
+  for (const trace::MeasurementTrace* t : trips) {
+    const double dur_s = t->duration.to_seconds();
+    for (const NodeId bs : t->bs_ids) accs[bs].seconds_observed += dur_s;
+
+    const auto counts = trace::beacon_counts_per_second(*t);
+    const std::vector<Contact> contacts =
+        contacts_from_counts(counts, t->beacons_per_second, opts);
+    for (const Contact& c : contacts) {
+      LinkAcc& acc = accs[c.bs];
+      ++acc.contacts;
+      acc.durations.push_back(static_cast<double>(c.duration_s));
+      acc.losses.push_back(c.mean_loss);
+    }
+
+    // Gilbert–Elliott runs: good/bad seconds within each contact.
+    for (const Contact& c : contacts) {
+      const auto it = counts.find(c.bs);
+      if (it == counts.end()) continue;
+      LinkAcc& acc = accs[c.bs];
+      int run = 0;
+      bool good = true;
+      auto flush = [&] {
+        if (run == 0) return;
+        (good ? acc.good_runs : acc.bad_runs)
+            .push_back(static_cast<double>(run));
+        run = 0;
+      };
+      for (int s = c.start_sec; s < c.start_sec + c.duration_s; ++s) {
+        const bool g = it->second[static_cast<std::size_t>(s)] > 0;
+        if (run > 0 && g != good) flush();
+        good = g;
+        ++run;
+      }
+      flush();
+    }
+
+    for (const trace::BeaconObs& b : t->vehicle_beacons) {
+      LinkAcc& acc = accs[b.bs];
+      ++acc.rssi_n;
+      acc.rssi_sum += b.rssi_dbm;
+      acc.rssi_sumsq += b.rssi_dbm * b.rssi_dbm;
+    }
+  }
+
+  for (const auto& [bs, acc] : accs) {
+    LinkModel link;
+    link.bs = bs;
+    if (acc.seconds_observed > 0.0)
+      link.contact_rate_hz = acc.contacts / acc.seconds_observed;
+    link.duration_s = acc.durations;  // parallel with loss_level: one
+    link.loss_level = acc.losses;     // fitted contact per index
+    link.mean_on = Time::seconds(std::max(1.0, mean_or(acc.good_runs, 1.0)));
+    link.mean_off = acc.bad_runs.empty()
+                        ? Time::zero()
+                        : Time::seconds(mean_or(acc.bad_runs, 1.0));
+    if (acc.rssi_n > 0) {
+      link.rssi_mean_dbm = acc.rssi_sum / acc.rssi_n;
+      const double var =
+          acc.rssi_sumsq / acc.rssi_n - link.rssi_mean_dbm * link.rssi_mean_dbm;
+      link.rssi_stddev_dbm = std::sqrt(std::max(0.0, var));
+    }
+    model.links.push_back(std::move(link));
+  }
+  return model;
+}
+
+TraceModel fit_model(const trace::Campaign& campaign, const FitOptions& opts) {
+  std::vector<const trace::MeasurementTrace*> trips;
+  trips.reserve(campaign.trips.size());
+  for (const trace::MeasurementTrace& t : campaign.trips) trips.push_back(&t);
+  return fit_model(trips, opts);
+}
+
+BurstinessStats measure_burstiness(
+    const std::vector<const trace::MeasurementTrace*>& trips,
+    const FitOptions& opts) {
+  check_same_environment(trips, "measure_burstiness");
+  std::int64_t slots = 0, losses = 0;
+  std::int64_t pairs_after_loss = 0, losses_after_loss = 0;
+  for (const trace::MeasurementTrace* t : trips) {
+    const int bps = t->beacons_per_second;
+    // Beacons land on a fixed grid (campaign.cc emits them at a constant
+    // offset inside each slot), so "beacon i" is a grid slot and a loss is
+    // an empty slot during a contact.
+    std::map<NodeId, std::vector<char>> heard;  // per-bs grid occupancy
+    const auto n_slots = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, t->seconds()) * bps);
+    for (const NodeId bs : t->bs_ids) heard[bs].assign(n_slots, 0);
+    for (const trace::BeaconObs& b : t->vehicle_beacons) {
+      const auto slot = static_cast<std::size_t>(
+          b.t.to_micros() / (1'000'000 / bps));
+      auto it = heard.find(b.bs);
+      if (it != heard.end() && slot < n_slots) it->second[slot] = 1;
+    }
+    for (const Contact& c : extract_contacts(*t, opts)) {
+      const std::vector<char>& grid = heard.at(c.bs);
+      const auto lo = static_cast<std::size_t>(c.start_sec) *
+                      static_cast<std::size_t>(bps);
+      const auto hi = std::min(
+          grid.size(), lo + static_cast<std::size_t>(c.duration_s) *
+                                static_cast<std::size_t>(bps));
+      for (std::size_t i = lo; i < hi; ++i) {
+        ++slots;
+        const bool lost = grid[i] == 0;
+        if (lost) ++losses;
+        if (i + 1 < hi) {
+          if (lost) {
+            ++pairs_after_loss;
+            if (grid[i + 1] == 0) ++losses_after_loss;
+          }
+        }
+      }
+    }
+  }
+  BurstinessStats out;
+  out.slots = slots;
+  if (slots > 0)
+    out.unconditional_loss =
+        static_cast<double>(losses) / static_cast<double>(slots);
+  if (pairs_after_loss > 0)
+    out.conditional_loss = static_cast<double>(losses_after_loss) /
+                           static_cast<double>(pairs_after_loss);
+  return out;
+}
+
+std::vector<double> pooled_contact_durations(
+    const std::vector<const trace::MeasurementTrace*>& trips,
+    const FitOptions& opts) {
+  std::vector<double> out;
+  for (const trace::MeasurementTrace* t : trips) {
+    VIFI_EXPECTS(t != nullptr);
+    for (const Contact& c : extract_contacts(*t, opts))
+      out.push_back(static_cast<double>(c.duration_s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double pooled_contact_loss(
+    const std::vector<const trace::MeasurementTrace*>& trips,
+    const FitOptions& opts) {
+  double loss_weighted = 0.0, seconds = 0.0;
+  for (const trace::MeasurementTrace* t : trips) {
+    VIFI_EXPECTS(t != nullptr);
+    for (const Contact& c : extract_contacts(*t, opts)) {
+      loss_weighted += c.mean_loss * c.duration_s;
+      seconds += c.duration_s;
+    }
+  }
+  return seconds > 0.0 ? loss_weighted / seconds : 0.0;
+}
+
+double ks_distance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty() ? 0.0 : 1.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (i < a.size() || j < b.size()) {
+    // Step both CDFs past the next value (ties advance together, or the
+    // distance at a shared jump would be overcounted).
+    const double x = (i < a.size() && (j >= b.size() || a[i] <= b[j]))
+                         ? a[i]
+                         : b[j];
+    while (i < a.size() && a[i] == x) ++i;
+    while (j < b.size() && b[j] == x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+}  // namespace vifi::tracegen

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file model_io.h
+/// Text serialisation of fitted `TraceModel`s (`vifi-tracemodel v1`),
+/// line-oriented and diff-friendly like the trace format, so fit and
+/// synthesis can run as separate CLI steps (traceforge fit | synth).
+
+#include <iosfwd>
+#include <string>
+
+#include "tracegen/fit.h"
+
+namespace vifi::tracegen {
+
+void save_model(const TraceModel& model, std::ostream& os);
+void save_model_file(const TraceModel& model, const std::string& path);
+
+/// Throws std::runtime_error with a crisp message on malformed, truncated
+/// or foreign-version input.
+TraceModel load_model(std::istream& is);
+TraceModel load_model_file(const std::string& path);
+
+}  // namespace vifi::tracegen

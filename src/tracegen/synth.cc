@@ -1,0 +1,153 @@
+#include "tracegen/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "channel/markov.h"
+#include "util/contracts.h"
+
+namespace vifi::tracegen {
+
+namespace {
+
+double mean_of(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+/// Synthesizes one link's beacons over [0, dur_s) seconds into \p out.
+void synthesize_link(const LinkModel& link, int bps, int gap_tolerance_s,
+                     std::int64_t dur_s, Rng rng,
+                     std::vector<trace::BeaconObs>& out) {
+  VIFI_EXPECTS(link.duration_s.size() == link.loss_level.size());
+  if (link.contact_rate_hz <= 0.0 || link.duration_s.empty()) return;
+  const double mean_cycle_s = 1.0 / link.contact_rate_hz;
+  const double mean_duration_s = mean_of(link.duration_s);
+  // Gaps must exceed the fit's tolerance, or re-extraction would merge
+  // adjacent contacts; the exponential part keeps the fitted arrival rate.
+  const double min_gap_s = static_cast<double>(gap_tolerance_s + 1);
+  const double mean_gap_s =
+      std::max(1.0, mean_cycle_s - mean_duration_s - min_gap_s);
+  const std::int64_t spacing_us = 1'000'000 / bps;
+
+  double t = rng.exponential(mean_gap_s);
+  int contact_idx = 0;
+  while (true) {
+    const auto start = static_cast<std::int64_t>(std::llround(t));
+    if (start >= dur_s) break;
+    // Bootstrap a whole fitted contact: one index draws duration AND loss,
+    // preserving their correlation (long contacts lose less).
+    const auto sample = std::min(
+        link.duration_s.size() - 1,
+        static_cast<std::size_t>(rng.uniform01() *
+                                 static_cast<double>(link.duration_s.size())));
+    const auto len = std::max<std::int64_t>(
+        1, std::llround(link.duration_s[sample]));
+    const std::int64_t end = std::min(dur_s, start + len);
+    const double p = std::clamp(link.loss_level[sample], 0.0, 1.0);
+
+    // Gilbert–Elliott: split the contact's loss level across the two
+    // states with maximum contrast, keeping the mean exact — bad-state
+    // seconds lose everything when the drawn level allows it, and
+    // otherwise carry p scaled up by the bad-time share.
+    const bool has_bad = link.mean_off > Time::zero();
+    double p_good = p, p_bad = p;
+    // A contact starts at a decoded beacon by definition (extraction opens
+    // on an active second), so the chain starts in the good state.
+    channel::TwoStateProcess ge(
+        link.mean_on, has_bad ? link.mean_off : Time::seconds(1.0),
+        /*start_on=*/true, rng.fork("ge" + std::to_string(contact_idx)));
+    if (has_bad) {
+      const double f_off = 1.0 - ge.stationary_on_fraction();
+      if (f_off <= p) {
+        p_bad = 1.0;
+        p_good = (p - f_off) / (1.0 - f_off);
+      } else {
+        p_bad = p / f_off;
+        p_good = 0.0;
+      }
+    }
+
+    for (std::int64_t sec = start; sec < end; ++sec) {
+      const bool good =
+          !has_bad || ge.on_at(Time::seconds(static_cast<double>(sec - start)));
+      const double p_state = good ? p_good : p_bad;
+      for (int b = 0; b < bps; ++b) {
+        if (!rng.bernoulli(1.0 - p_state)) continue;
+        // The campaign generator beacons at a fixed 37 ms offset inside
+        // each slot; mirror its grid so fit <-> synth slots line up.
+        const std::int64_t offset_us =
+            std::min<std::int64_t>(b * spacing_us + 37'000, 999'999);
+        out.push_back({Time::micros(sec * 1'000'000 + offset_us), link.bs,
+                       rng.normal(link.rssi_mean_dbm, link.rssi_stddev_dbm)});
+      }
+    }
+    t = static_cast<double>(end) + min_gap_s + rng.exponential(mean_gap_s);
+    ++contact_idx;
+  }
+}
+
+}  // namespace
+
+trace::MeasurementTrace synthesize_trace(const TraceModel& model,
+                                         NodeId vehicle, int day, int trip,
+                                         Time duration, Rng rng) {
+  VIFI_EXPECTS(vehicle.valid());
+  VIFI_EXPECTS(duration > Time::zero());
+  VIFI_EXPECTS(model.beacons_per_second > 0);
+  trace::MeasurementTrace t;
+  t.testbed = model.testbed;
+  t.day = day;
+  t.trip = trip;
+  t.vehicle = vehicle;
+  t.duration = duration;
+  t.beacons_per_second = model.beacons_per_second;
+  t.bs_ids = model.bs_ids();
+  const auto dur_s = static_cast<std::int64_t>(t.seconds());
+  for (const LinkModel& link : model.links)
+    synthesize_link(link, model.beacons_per_second, model.fit.gap_tolerance_s,
+                    dur_s, rng.fork("bs" + std::to_string(link.bs.value())),
+                    t.vehicle_beacons);
+  std::sort(t.vehicle_beacons.begin(), t.vehicle_beacons.end(),
+            [](const trace::BeaconObs& a, const trace::BeaconObs& b) {
+              return a.t != b.t ? a.t < b.t : a.bs < b.bs;
+            });
+  return t;
+}
+
+trace::Campaign synthesize_fleet(const TraceModel& model,
+                                 const SynthesisSpec& spec) {
+  VIFI_EXPECTS(spec.vehicles > 0);
+  VIFI_EXPECTS(spec.days > 0 && spec.trips_per_day > 0);
+  const Time duration =
+      spec.trip_duration.is_zero() ? model.trip_duration : spec.trip_duration;
+  if (duration <= Time::zero())
+    throw std::runtime_error(
+        "synthesize_fleet: model has no trip duration and the spec names "
+        "none");
+
+  // Testbed id convention: BSes 0..n-1, vehicles n..n+V-1.
+  int first_vehicle = 0;
+  for (const LinkModel& l : model.links)
+    first_vehicle = std::max(first_vehicle, l.bs.value() + 1);
+
+  trace::Campaign campaign;
+  campaign.testbed = model.testbed;
+  Rng root(spec.seed);
+  for (int day = 0; day < spec.days; ++day) {
+    for (int trip = 0; trip < spec.trips_per_day; ++trip) {
+      Rng trip_rng = root.fork("day" + std::to_string(day) + "/trip" +
+                               std::to_string(trip));
+      for (int v = 0; v < spec.vehicles; ++v) {
+        campaign.trips.push_back(synthesize_trace(
+            model, NodeId(first_vehicle + v), day, trip, duration,
+            trip_rng.fork("veh" + std::to_string(v))));
+      }
+    }
+  }
+  return campaign;
+}
+
+}  // namespace vifi::tracegen

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file synth.h
+/// TraceForge synthesis: generates statistically-matched `MeasurementTrace`
+/// fleets from a fitted `TraceModel`. Each vehicle<->BS link is an
+/// alternating renewal process — exponential inter-contact gaps at the
+/// fitted arrival rate, contact lengths and loss levels drawn from the
+/// fitted empirical CDFs — and losses *within* a contact cluster through a
+/// `channel::TwoStateProcess` carrying the fitted Gilbert–Elliott sojourn
+/// means, so synthetic traces reproduce Fig. 6's conditional-loss decay.
+///
+/// Output is a deterministic function of (model, spec): every random draw
+/// comes from named Rng streams forked per (day, trip, vehicle, BS).
+
+#include "tracegen/fit.h"
+#include "trace/observations.h"
+#include "util/rng.h"
+
+namespace vifi::tracegen {
+
+struct SynthesisSpec {
+  int vehicles = 1;
+  int days = 1;
+  int trips_per_day = 1;
+  /// Zero means the model's fitted trip duration.
+  Time trip_duration = Time::zero();
+  std::uint64_t seed = 1;
+};
+
+/// One synthetic trip log for \p vehicle (beacon-only, the DieselNet
+/// methodology — exactly what the §5.1 loss schedule consumes).
+trace::MeasurementTrace synthesize_trace(const TraceModel& model,
+                                         NodeId vehicle, int day, int trip,
+                                         Time duration, Rng rng);
+
+/// A whole synthetic campaign: days x trips_per_day trips, one trace per
+/// vehicle per trip, ordered by (day, trip, vehicle). Vehicle ids follow
+/// the testbed convention (BSes 0..n-1, vehicles n..n+V-1), so the traces
+/// replay directly on `make_testbed(model.testbed, spec.vehicles)`.
+trace::Campaign synthesize_fleet(const TraceModel& model,
+                                 const SynthesisSpec& spec);
+
+}  // namespace vifi::tracegen

@@ -137,6 +137,61 @@ TEST_F(FleetTest, SalvageIsScopedToTheRightVehicle) {
   EXPECT_GT(got_a_.size(), 20u);
 }
 
+TEST_F(FleetTest, OneSidedPlacementDoesNotStarveTheFarVehicle) {
+  // Relay-starvation regression (PR 4 follow-up): a one-sided BS layout —
+  // both BSes clustered on vehicle A's side, so A enjoys full relay
+  // diversity while B clings to BS0 through a lossy long-range link. With
+  // opportunistic relaying on (diversity + salvage), A's auxiliary
+  // retransmissions share B's only channel; B must degrade, not starve.
+  loss_.set(NodeId(kBs0), NodeId(kVehA), 0.95);
+  loss_.set(NodeId(kBs1), NodeId(kVehA), 0.9);
+  loss_.set(NodeId(kBs0), NodeId(kBs1), 0.95);
+  loss_.set(NodeId(kVehA), NodeId(kVehB), 0.6);
+  // B's single lossy path: in range, dropping every 3rd frame each way.
+  loss_.set(NodeId(kBs0), NodeId(kVehB), 0.55);
+  loss_.set_period_drop(NodeId(kBs0), NodeId(kVehB), 3);
+  loss_.set_period_drop(NodeId(kVehB), NodeId(kBs0), 3);
+  build();  // defaults: diversity + salvage on — full ViFi relaying
+  run_for(Time::seconds(3.0));
+  // A may anchor at either of its two strong BSes; B has only BS0.
+  ASSERT_TRUE(system_->vehicle(NodeId(kVehA)).anchor().valid());
+  ASSERT_EQ(system_->vehicle(NodeId(kVehB)).anchor(), NodeId(kBs0));
+
+  const int rounds = 200;
+  for (int i = 0; i < rounds; ++i) {
+    system_->send_down(500, 0, static_cast<std::uint64_t>(i), {},
+                       NodeId(kVehA));
+    system_->send_down(500, 0, static_cast<std::uint64_t>(i), {},
+                       NodeId(kVehB));
+    run_for(Time::millis(20.0));
+  }
+  run_for(Time::seconds(1.0));
+
+  // The quantities the executor's fairness columns report, computed from
+  // the same sources (delivery counts + the medium's airtime ledger).
+  const double rate_a = static_cast<double>(got_a_.size()) / rounds;
+  const double rate_b = static_cast<double>(got_b_.size()) / rounds;
+  const double per_vehicle_delivery_min = std::min(rate_a, rate_b);
+  // The layout is genuinely asymmetric...
+  EXPECT_GT(rate_a, rate_b);
+  // ...but relaying must not starve the far vehicle to zero.
+  EXPECT_GT(per_vehicle_delivery_min, 0.1);
+  EXPECT_GT(got_b_.size(), 0u);
+
+  const mac::MediumStats ms = system_->medium().snapshot();
+  const mac::NodeAirtime& row_b = ms.node(NodeId(kVehB));
+  EXPECT_GT(row_b.frames_received, 0u);
+  // Deferral column: B waits its turn on the shared channel (relaying
+  // really does contend) without being locked out of the whole run.
+  const double trip_s = (Time::millis(20.0) * rounds).to_seconds() + 4.0;
+  EXPECT_LT(row_b.deferral_wait.to_seconds(), trip_s / 2.0);
+  // Jain over intact receptions stays a valid, non-collapsed index.
+  const double jain =
+      ms.jain_frames_received({NodeId(kVehA), NodeId(kVehB)});
+  EXPECT_GT(jain, 0.5);
+  EXPECT_LE(jain, 1.0 + 1e-12);
+}
+
 TEST_F(FleetTest, UnknownVehicleIdThrows) {
   connect_disjoint();
   build();

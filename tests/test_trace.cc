@@ -128,6 +128,60 @@ TEST(TraceIo, EmptySlotListsRoundTrip) {
 
 TEST(TraceIo, RejectsBadMagic) {
   std::stringstream ss("not a trace\n");
+  try {
+    load_trace(ss);
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not a vifi-trace file"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIo, ForeignVersionGetsItsOwnMessage) {
+  std::stringstream ss("# vifi-trace v7\n");
+  try {
+    load_trace(ss);
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported trace version"), std::string::npos);
+    EXPECT_NE(what.find("vifi-trace v7"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, TruncatedLinesReportTheLineNumber) {
+  std::stringstream ss;
+  ss << "# vifi-trace v1\n"
+     << "trace X day 0 trip 0 duration_us 1000000 bps 10\n"
+     << "beacon 1000 0\n";  // rssi missing
+  try {
+    load_trace(ss);
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("at line 3"), std::string::npos);
+    EXPECT_NE(what.find("truncated beacon line"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, SlotLineWithoutUpMarkerIsTruncation) {
+  std::stringstream ss;
+  ss << "# vifi-trace v1\n"
+     << "trace X day 0 trip 0 duration_us 1000000 bps 10\n"
+     << "slot 0 1.5 2.5 down 0 1\n";  // cut before " up"
+  try {
+    load_trace(ss);
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing 'up' marker"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsNonPositiveBeaconRate) {
+  std::stringstream ss;
+  ss << "# vifi-trace v1\n"
+     << "trace X day 0 trip 0 duration_us 1000000 bps 0\n";
   EXPECT_THROW(load_trace(ss), std::runtime_error);
 }
 
@@ -205,6 +259,62 @@ TEST(LossSchedule, BsBeaconLogsGiveInterBsSchedule) {
   const auto model = build_loss_schedule(t, opts, Rng(3));
   EXPECT_NEAR(model->loss_rate(NodeId(0), NodeId(1), Time::millis(500.0)),
               0.0, 1e-9);
+}
+
+TEST(FleetLossSchedule, RejectsDuplicateAndForeignTraces) {
+  MeasurementTrace a;
+  a.testbed = "Bed";
+  a.duration = Time::seconds(2.0);
+  a.beacons_per_second = 10;
+  a.bs_ids = {NodeId(0)};
+  a.vehicle = NodeId(1);
+  a.vehicle_beacons.push_back({Time::millis(100.0), NodeId(0), -60.0});
+  MeasurementTrace b = a;
+  b.vehicle = NodeId(2);
+
+  // A valid two-vehicle fleet builds.
+  EXPECT_NE(build_fleet_loss_schedule({&a, &b}, false, Rng(1)), nullptr);
+
+  // Duplicate logger.
+  try {
+    build_fleet_loss_schedule({&a, &a}, false, Rng(1));
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate trace for vehicle n1"),
+              std::string::npos);
+  }
+
+  // Legacy trace without a logging vehicle.
+  MeasurementTrace legacy = a;
+  legacy.vehicle = NodeId();
+  try {
+    build_fleet_loss_schedule({&legacy, &b}, false, Rng(1));
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("names no logging vehicle"),
+              std::string::npos);
+  }
+
+  // Foreign testbed.
+  MeasurementTrace foreign = b;
+  foreign.testbed = "OtherBed";
+  try {
+    build_fleet_loss_schedule({&a, &foreign}, false, Rng(1));
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("foreign trace"), std::string::npos);
+  }
+
+  // Same testbed name but a different BS layout is just as foreign.
+  MeasurementTrace rewired = b;
+  rewired.bs_ids = {NodeId(0), NodeId(5)};
+  try {
+    build_fleet_loss_schedule({&a, &rewired}, false, Rng(1));
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different BS set"),
+              std::string::npos);
+  }
 }
 
 TEST(LossSchedule, DeterministicInterBsDraws) {

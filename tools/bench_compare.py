@@ -261,6 +261,19 @@ def self_test():
     _, regressions, _ = compare(
         {"jain": val(0.90)}, {"jain": val(0.85)}, 0.15)
     assert not regressions, "within-threshold drop must pass"
+    # Value entries with bigger_is_better=False (fidelity distances like
+    # validation_synth's): the bad direction is UP, a drop is IMPROVED.
+    sval = lambda v: {"value": v, "bigger": False}  # noqa: E731
+    _, regressions, _ = compare(
+        {"ks": sval(0.10)}, {"ks": sval(0.20)}, 0.15)
+    assert [n for n, _ in regressions] == ["ks"], \
+        "smaller-is-better rise must fail"
+    _, regressions, _ = compare(
+        {"ks": sval(0.10)}, {"ks": sval(0.05)}, 0.15)
+    assert not regressions, "smaller-is-better drop must not fail"
+    _, regressions, _ = compare(
+        {"ks": sval(0.10)}, {"ks": sval(0.11)}, 0.15)
+    assert not regressions, "within-threshold rise must pass"
     # Mixed time + value dicts compare independently.
     _, regressions, missing = compare(
         {"BM_a": 100.0, "jain": val(1.0)},
@@ -327,6 +340,19 @@ def self_test():
             "fairness collapse must trip the gate"
         assert main([bad_fair, fair]) == 0, \
             "fairness improvement must pass"
+        # Smaller-is-better entries round-trip through files too: a
+        # fidelity distance growing past the threshold fails, shrinking
+        # passes.
+        ks_ok = _write_result(tmp, "ks_ok.json", [
+            {"name": "VS/ks", "run_type": "iteration", "value": 0.10,
+             "bigger_is_better": False}])
+        ks_bad = _write_result(tmp, "ks_bad.json", [
+            {"name": "VS/ks", "run_type": "iteration", "value": 0.20,
+             "bigger_is_better": False}])
+        assert main([ks_ok, ks_bad]) == 1, \
+            "fidelity-distance growth must trip the gate"
+        assert main([ks_bad, ks_ok]) == 0, \
+            "fidelity-distance shrink must pass"
     print("bench_compare self-test: OK")
     return 0
 
