@@ -26,6 +26,8 @@
 #include "mac/medium.h"
 #include "mac/radio.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "scenario/live.h"
 #include "scenario/testbed.h"
 #include "sim/simulator.h"
@@ -303,6 +305,70 @@ void BM_FleetEndToEnd(benchmark::State& state) {
                           static_cast<std::int64_t>(kSimSeconds * 20.0));
 }
 BENCHMARK(BM_FleetEndToEnd)->Arg(1)->Arg(4)->Arg(16);
+
+// ---------------------------------------------------------------------------
+// TripScope observability
+// ---------------------------------------------------------------------------
+
+void BM_TraceRecordEnabled(benchmark::State& state) {
+  // Cost of the recording path itself: thread-local load + ring push.
+  // The tracing-OFF cost (load + branch, no recorder installed) is what
+  // BM_EndToEndPacketPath / BM_FleetEndToEnd measure — they run without a
+  // scope, so any regression there is regression of the disabled path.
+  obs::TraceRecorder recorder;
+  obs::TraceScope scope(recorder);
+  const NodeId node(3);
+  const NodeId peer(10);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    obs::TraceRecorder* rec = obs::current_recorder();
+    if (rec)
+      rec->record(obs::EventKind::FrameTx, Time::micros(i), node, peer, i,
+                  0.002, 1.0, 0);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordEnabled);
+
+void BM_EndToEndTraceOn(benchmark::State& state) {
+  // BM_EndToEndPacketPath with a recorder + registry installed: the price
+  // of a fully-traced point. Compare against BM_EndToEndPacketPath to read
+  // the enabled-tracing overhead; the gate holds both within +-15%.
+  constexpr int kPackets = 100;
+  constexpr double kSimSeconds = 2.0;
+  for (auto _ : state) {
+    obs::TraceRecorder recorder;
+    obs::MetricsRegistry metrics;
+    obs::TraceScope trace_scope(recorder);
+    obs::MetricsScope metrics_scope(metrics);
+    sim::Simulator sim;
+    channel::VehicularChannelParams cparams;
+    channel::VehicularChannel loss(
+        cparams,
+        [](NodeId id, Time t) {
+          if (id.value() == 1)  // the vehicle, driving along x
+            return mobility::Vec2{10.0 * t.to_seconds(), 0.0};
+          return mobility::Vec2{(id.value() - 10) * 40.0, 30.0};
+        },
+        Rng(7));
+    core::SystemConfig config;
+    config.seed = 42;
+    core::VifiSystem system(sim, loss, {NodeId(10), NodeId(11), NodeId(12)},
+                            NodeId(1), NodeId(100), config);
+    system.start();
+    for (int i = 0; i < kPackets; ++i) {
+      sim.schedule_at(Time::seconds(kSimSeconds * i / kPackets),
+                      [&system] { system.send_up(500); });
+    }
+    sim.run_until(Time::seconds(kSimSeconds + 1.0));
+    benchmark::DoNotOptimize(recorder.recorded());
+    benchmark::DoNotOptimize(system.stats());
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+}
+BENCHMARK(BM_EndToEndTraceOn);
 
 }  // namespace
 

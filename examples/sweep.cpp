@@ -57,6 +57,12 @@ int usage(const char* argv0) {
       << "  --trip-seconds S    trip length; 0 = one full route lap\n"
       << "  --workload W        replay (default) or cbr\n"
       << "  --base-seed N       default 20080817\n"
+      << "  --trace DIR         TripScope: dump per-point timelines into\n"
+         "                      DIR (point_NNNN.trace.json Chrome/Perfetto\n"
+         "                      format, .jsonl event stream, .metrics.json)\n"
+      << "  --metrics a,b       TripScope: emit registered metrics as result\n"
+         "                      columns (exact key or name summed over\n"
+         "                      labels), e.g. mac.transmissions\n"
       << "  --json PATH         write JSON here instead of stdout\n"
       << "  --csv PATH          also write CSV here\n"
       << "  --summary           print a per-point summary table to stderr\n"
@@ -106,6 +112,8 @@ int main(int argc, char** argv) {
       spec.trip_duration = Time::seconds(std::atof(value().c_str()));
     else if (arg == "--workload") spec.workload = value();
     else if (arg == "--base-seed") spec.base_seed = std::stoull(value());
+    else if (arg == "--trace") spec.trace_dir = value();
+    else if (arg == "--metrics") spec.metric_columns = split_csv(value());
     else if (arg == "--json") json_path = value();
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--summary") summary = true;

@@ -1,0 +1,303 @@
+// TripScope CLI: replay one experiment point under full observability and
+// show what the protocol actually did — a per-node timeline summary of
+// typed protocol events (beacons, anchor switches, relay decisions,
+// salvage hand-offs, the frame lifecycle), the unified metrics registry,
+// and a reconciliation of timeline events against the point's delivery
+// counters. Optionally exports the timeline as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing), a JSONL event stream, and a
+// metrics JSON document.
+//
+// Examples:
+//   tripscope --testbed VanLAN --workload cbr --policy ViFi
+//   tripscope --testbed DieselNet-Ch1 --fleet 4 --workload cbr --out /tmp/ts
+//   tripscope --catalog ./catalog_dir --workload cbr --policy ViFi
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "runtime/executor.h"
+#include "runtime/experiment.h"
+#include "util/table.h"
+
+using namespace vifi;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "Usage: " << argv0 << " [options]\n"
+      << "  --testbed NAME     VanLAN (default), DieselNet-Ch1, "
+         "DieselNet-Ch6\n"
+      << "  --fleet N          vehicles riding the testbed (default 1)\n"
+      << "  --policy P         replay: AllBSes/BestBS/History/RSSI/BRR/"
+         "Sticky\n"
+      << "                     cbr (live): ViFi/BRR/Diversity (default "
+         "ViFi)\n"
+      << "  --workload W       cbr (default) or replay\n"
+      << "  --seed N           replicate seed (default 1)\n"
+      << "  --days N           campaign days (default 1)\n"
+      << "  --trips N          trips per day (default 1)\n"
+      << "  --trip-seconds S   trip length; 0 = one full route lap\n"
+      << "  --catalog DIR      TraceCatalog directory to replay instead of\n"
+         "                     generating the campaign\n"
+      << "  --events N         print the first N merged timeline events\n"
+         "                     (default 0)\n"
+      << "  --out DIR          export trip.trace.json (Chrome/Perfetto),\n"
+         "                     trip.jsonl and trip.metrics.json into DIR\n";
+  return 2;
+}
+
+std::string node_name(const obs::TraceRecorder& rec, sim::NodeId node) {
+  if (!node.valid()) return "-";
+  std::string name = node.to_string();
+  const std::string& label = rec.node_label(node);
+  if (!label.empty()) name += "(" + label + ")";
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::ExperimentPoint point;
+  point.testbed = "VanLAN";
+  point.policy = "ViFi";
+  point.workload = "cbr";
+  point.days = 1;
+  point.trips_per_day = 1;
+  std::string out_dir;
+  std::size_t print_events = 0;
+  std::uint64_t base_seed = 20080817;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--testbed") point.testbed = value();
+    else if (arg == "--fleet") point.fleet_size = std::atoi(value().c_str());
+    else if (arg == "--policy") point.policy = value();
+    else if (arg == "--workload") point.workload = value();
+    else if (arg == "--seed") point.seed = std::stoull(value());
+    else if (arg == "--days") point.days = std::atoi(value().c_str());
+    else if (arg == "--trips") point.trips_per_day = std::atoi(value().c_str());
+    else if (arg == "--trip-seconds")
+      point.trip_duration = Time::seconds(std::atof(value().c_str()));
+    else if (arg == "--catalog") point.trace_set = value();
+    else if (arg == "--events")
+      print_events = static_cast<std::size_t>(std::atoll(value().c_str()));
+    else if (arg == "--out") out_dir = value();
+    else return usage(argv[0]);
+  }
+  if (!runtime::known_testbed(point.testbed)) {
+    std::cerr << "unknown testbed: " << point.testbed << "\n";
+    return usage(argv[0]);
+  }
+  if (point.fleet_size < 1) {
+    std::cerr << "--fleet must be >= 1\n";
+    return usage(argv[0]);
+  }
+  // Derive the point's seeds the same way ExperimentSpec::enumerate does,
+  // so a tripscope replay of a sweep point sees the same campaign.
+  point.campaign_seed =
+      runtime::mix_seed(runtime::mix_seed(base_seed, point.testbed),
+                        point.seed);
+  if (point.fleet_size > 1)
+    point.campaign_seed = runtime::mix_seed(
+        point.campaign_seed, "fleet" + std::to_string(point.fleet_size));
+  if (!point.trace_set.empty()) {
+    std::filesystem::path dir =
+        std::filesystem::path(point.trace_set).lexically_normal();
+    if (!dir.has_filename()) dir = dir.parent_path();
+    const std::string id = dir.filename().string();
+    point.campaign_seed = runtime::mix_seed(
+        point.campaign_seed, "trace_set:" + (id.empty() ? point.trace_set : id));
+  }
+  point.point_seed = runtime::mix_seed(point.campaign_seed, point.policy);
+
+  // Install the observability session ourselves: run_point records into it
+  // and we own the printing/export afterwards.
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  runtime::PointResult result;
+  {
+    obs::TraceScope trace_scope(recorder);
+    obs::MetricsScope metrics_scope(metrics);
+    try {
+      result = runtime::run_point(point);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "TripScope: " << point.testbed << " fleet="
+            << point.fleet_size << " policy=" << point.policy
+            << " workload=" << point.workload << " seed=" << point.seed
+            << "\n\n";
+
+  // --- timeline summary: events per node per category ---------------------
+  {
+    TextTable table("Timeline summary (events per node)");
+    table.set_header({"node", "events", "beacon", "designation", "relay",
+                      "salvage", "mac", "app", "handoff"});
+    for (const sim::NodeId node : recorder.nodes()) {
+      std::map<std::string, std::uint64_t> per_cat;
+      const auto events = recorder.ring(node).snapshot();
+      for (const obs::TraceEvent& e : events) {
+        switch (e.kind) {
+          case obs::EventKind::BeaconTx:
+          case obs::EventKind::BeaconRx:
+            ++per_cat["beacon"];
+            break;
+          case obs::EventKind::AnchorChange:
+          case obs::EventKind::AuxSetChange:
+            ++per_cat["designation"];
+            break;
+          case obs::EventKind::RelayEval:
+          case obs::EventKind::RelayTx:
+            ++per_cat["relay"];
+            break;
+          case obs::EventKind::SalvageRequest:
+          case obs::EventKind::SalvageHandoff:
+          case obs::EventKind::SalvageDeliver:
+            ++per_cat["salvage"];
+            break;
+          case obs::EventKind::AppDeliver:
+            ++per_cat["app"];
+            break;
+          case obs::EventKind::Handoff:
+            ++per_cat["handoff"];
+            break;
+          default:
+            ++per_cat["mac"];
+        }
+      }
+      table.add_row({node_name(recorder, node), std::to_string(events.size()),
+                     std::to_string(per_cat["beacon"]),
+                     std::to_string(per_cat["designation"]),
+                     std::to_string(per_cat["relay"]),
+                     std::to_string(per_cat["salvage"]),
+                     std::to_string(per_cat["mac"]),
+                     std::to_string(per_cat["app"]),
+                     std::to_string(per_cat["handoff"])});
+    }
+    table.print(std::cout);
+    std::cout << recorder.recorded() << " events recorded";
+    if (recorder.dropped() > 0)
+      std::cout << " (" << recorder.dropped()
+                << " oldest dropped by ring wrap; exact per-kind counts "
+                   "below survive)";
+    std::cout << "\n\n";
+  }
+
+  // --- per-kind exact counts ----------------------------------------------
+  {
+    TextTable table("Protocol event counts (exact)");
+    table.set_header({"event", "count"});
+    for (int k = 0; k < obs::kEventKindCount; ++k) {
+      const auto kind = static_cast<obs::EventKind>(k);
+      if (recorder.count(kind) == 0) continue;
+      table.add_row({obs::to_string(kind),
+                     std::to_string(recorder.count(kind))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  if (print_events > 0) {
+    std::cout << "First " << print_events << " timeline events:\n";
+    std::size_t shown = 0;
+    for (const obs::TraceEvent& e : recorder.merged()) {
+      if (shown++ >= print_events) break;
+      std::cout << "  t=" << e.at.to_micros() << "us " << obs::to_string(e.kind)
+                << " node=" << node_name(recorder, e.node)
+                << " peer=" << node_name(recorder, e.peer) << " id=" << e.id
+                << " a=" << e.a << " b=" << e.b << " c=" << e.c << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  // --- point metrics + registry -------------------------------------------
+  {
+    TextTable table("Point metrics");
+    table.set_header({"metric", "value"});
+    for (const auto& [name, v] : result.metrics)
+      table.add_row({name, TextTable::num(v, 4)});
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  {
+    TextTable table("Metrics registry (totals by name)");
+    table.set_header({"name", "total"});
+    std::map<std::string, double> totals;
+    for (const auto& [key, v] : metrics.flatten()) {
+      const std::string name = key.substr(0, key.find('{'));
+      totals[name] += v;
+    }
+    for (const auto& [name, v] : totals)
+      table.add_row({name, TextTable::num(v, 4)});
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- reconciliation: timeline vs delivery counters ----------------------
+  {
+    const double app_delivered =
+        static_cast<double>(recorder.count(obs::EventKind::AppDeliver));
+    const auto it = result.metrics.find("packets_delivered");
+    std::cout << "Reconciliation: " << app_delivered
+              << " AppDeliver timeline events";
+    if (it != result.metrics.end()) {
+      // The timeline counts unique end-to-end deliveries; the workload
+      // counters count deliveries within the slot deadline, so the
+      // timeline reads >= the counter.
+      std::cout << " vs packets_delivered=" << it->second
+                << (app_delivered + 0.5 >= it->second ? "  [ok]"
+                                                      : "  [MISMATCH]");
+    }
+    std::cout << "\n";
+    std::cout << "  relay: " << recorder.count(obs::EventKind::RelayEval)
+              << " evaluations, " << recorder.count(obs::EventKind::RelayTx)
+              << " relays sent; salvage: "
+              << recorder.count(obs::EventKind::SalvageRequest)
+              << " requests, "
+              << recorder.count(obs::EventKind::SalvageHandoff)
+              << " packets handed off, "
+              << recorder.count(obs::EventKind::SalvageDeliver)
+              << " delivered to the new anchor\n\n";
+  }
+
+  if (!out_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(out_dir);
+    const fs::path base = fs::path(out_dir);
+    {
+      std::ofstream os((base / "trip.trace.json").string());
+      obs::write_chrome_trace(recorder, os);
+    }
+    {
+      std::ofstream os((base / "trip.jsonl").string());
+      obs::write_jsonl(recorder, os);
+    }
+    {
+      std::ofstream os((base / "trip.metrics.json").string());
+      os << metrics.to_json();
+    }
+    std::cout << "wrote " << (base / "trip.trace.json").string()
+              << " (load in Perfetto), trip.jsonl, trip.metrics.json\n";
+  }
+  return result.error.empty() ? 0 : 1;
+}

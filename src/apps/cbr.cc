@@ -1,5 +1,6 @@
 #include "apps/cbr.h"
 
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace vifi::apps {
@@ -52,6 +53,12 @@ std::int64_t CbrWorkload::delivered() const {
   std::int64_t n = 0;
   for (int d : delivered_per_slot_) n += d;
   return n;
+}
+
+void CbrWorkload::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("app.cbr_sent").add(static_cast<double>(sent()));
+  registry.counter("app.cbr_delivered").add(static_cast<double>(delivered()));
+  registry.counter("app.cbr_slots").add(static_cast<double>(slots_));
 }
 
 }  // namespace vifi::apps

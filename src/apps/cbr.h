@@ -11,6 +11,10 @@
 #include "apps/transport.h"
 #include "sim/simulator.h"
 
+namespace vifi::obs {
+class MetricsRegistry;
+}
+
 namespace vifi::apps {
 
 struct CbrParams {
@@ -36,6 +40,10 @@ class CbrWorkload {
 
   std::int64_t sent() const { return 2 * static_cast<std::int64_t>(slots_); }
   std::int64_t delivered() const;
+
+  /// Compatibility shim: workload-level sent/delivered counters under the
+  /// `app.*` namespace (additive across trips).
+  void publish(obs::MetricsRegistry& registry) const;
 
  private:
   void on_tick();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/relay_policy.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "util/contracts.h"
 
 namespace vifi::core {
@@ -36,6 +38,11 @@ VifiBasestation::VifiBasestation(sim::Simulator& sim, mac::Radio& radio,
   beaconing_.set_payload_provider([this] { return beacon_payload(); });
   backplane_.attach(self(),
                     [this](const net::WireMessage& m) { on_wire(m); });
+  if (obs::MetricsRegistry* metrics = obs::current_metrics())
+    relay_prob_hist_ = &metrics->histogram(
+        "core.relay_probability",
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+        {{"node", self().to_string()}});
 }
 
 VifiSender& VifiBasestation::sender_for(NodeId vehicle) {
@@ -110,6 +117,9 @@ void VifiBasestation::on_frame(const mac::Frame& f) {
   const Time now = sim_.now();
   switch (f.type) {
     case mac::FrameType::Beacon:
+      if (obs::TraceRecorder* rec = obs::current_recorder())
+        rec->record(obs::EventKind::BeaconRx, now, self(), f.tx, 0, 0.0, 0.0,
+                    f.beacon.from_vehicle ? 1 : 0);
       pab_.note_beacon(f.tx, now);
       pab_.fold_reports(f.beacon.prob_reports, now);
       if (f.beacon.from_vehicle) on_vehicle_beacon(f);
@@ -155,6 +165,9 @@ void VifiBasestation::become_anchor(NodeId vehicle, NodeId prev_anchor) {
     backplane_.send(std::move(reg));
   }
   if (config_.salvage && prev_anchor.valid() && prev_anchor != self()) {
+    if (obs::TraceRecorder* rec = obs::current_recorder())
+      rec->record(obs::EventKind::SalvageRequest, sim_.now(), self(),
+                  prev_anchor, 0, 0.0, 0.0, vehicle.value());
     net::WireMessage req;
     req.kind = net::WireMessage::Kind::SalvageRequest;
     req.from = self();
@@ -241,6 +254,9 @@ void VifiBasestation::accept_upstream(const net::PacketRef& packet,
     while (recent_rx_order_.size() >
            static_cast<std::size_t>(config_.piggyback_depth))
       recent_rx_order_.pop_front();
+    if (obs::TraceRecorder* rec = obs::current_recorder())
+      rec->record(obs::EventKind::AppDeliver, sim_.now(), self(), relayer, id,
+                  0.0, 0.0, 0);
     if (config_.inorder_delivery && link_seq != 0) {
       auto it = sequencers_.find(packet->src);
       if (it == sequencers_.end()) {
@@ -289,6 +305,7 @@ void VifiBasestation::on_wire(const net::WireMessage& msg) {
     case net::WireMessage::Kind::SalvageRequest: {
       // Hand over unacknowledged recent Internet packets destined for the
       // vehicle in question (§4.5).
+      obs::TraceRecorder* rec = obs::current_recorder();
       const Time cutoff = sim_.now() - config_.salvage_window;
       std::vector<std::uint64_t> moved;
       for (const auto& [id, entry] : salvage_buffer_) {
@@ -301,6 +318,9 @@ void VifiBasestation::on_wire(const net::WireMessage& msg) {
         reply.packet = entry.packet;
         reply.bytes = entry.packet->bytes + kWireHeaderBytes;
         backplane_.send(std::move(reply));
+        if (rec)
+          rec->record(obs::EventKind::SalvageHandoff, sim_.now(), self(),
+                      msg.from, id, 0.0, 0.0, msg.about.value());
         moved.push_back(id);
         ++salvaged_out_;
       }
@@ -310,6 +330,10 @@ void VifiBasestation::on_wire(const net::WireMessage& msg) {
     case net::WireMessage::Kind::SalvageReply:
       VIFI_EXPECTS(msg.packet != nullptr);
       if (stats_) stats_->on_salvaged();
+      if (obs::TraceRecorder* rec = obs::current_recorder())
+        rec->record(obs::EventKind::SalvageDeliver, sim_.now(), self(),
+                    msg.from, msg.packet->id, 0.0, 0.0,
+                    msg.packet->dst.value());
       // Treat as if it arrived from the Internet (§4.5).
       enqueue_downstream(msg.packet);
       break;
@@ -320,6 +344,7 @@ void VifiBasestation::on_wire(const net::WireMessage& msg) {
 
 void VifiBasestation::on_relay_tick() {
   const Time now = sim_.now();
+  obs::TraceRecorder* rec = obs::current_recorder();
   std::vector<OverheardEntry> pending;
   pending.reserve(overheard_.size());
   for (OverheardEntry& e : overheard_) {
@@ -350,12 +375,20 @@ void VifiBasestation::on_relay_tick() {
     ctx.pab = &pab_;
     ctx.now = now;
     const double p = relay_probability(ctx, config_.variant);
-    if (!rng_.bernoulli(p)) continue;
+    if (relay_prob_hist_) relay_prob_hist_->observe(p);
+    const bool chose_relay = rng_.bernoulli(p);
+    if (rec)
+      rec->record(obs::EventKind::RelayEval, now, self(), dst, id, p,
+                  chose_relay ? 1.0 : 0.0,
+                  static_cast<std::int32_t>(st.auxiliaries.size()));
+    if (!chose_relay) continue;
 
     ++relays_sent_;
     if (stats_) stats_->on_aux_relay(id, e.frame.data.attempt, self());
     if (dir == Direction::Upstream) {
       // Relay over the inter-BS backplane (§4.3).
+      if (rec)
+        rec->record(obs::EventKind::RelayTx, now, self(), dst, id, p, 0.0, 0);
       net::WireMessage relay;
       relay.kind = net::WireMessage::Kind::RelayedData;
       relay.from = self();
@@ -367,6 +400,8 @@ void VifiBasestation::on_relay_tick() {
       backplane_.send(std::move(relay));
     } else {
       // Relay on the vehicle-BS channel.
+      if (rec)
+        rec->record(obs::EventKind::RelayTx, now, self(), dst, id, p, 0.0, 1);
       mac::Frame relay = e.frame;
       relay.data.is_relay = true;
       relay.data.relayer = self();

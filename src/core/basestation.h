@@ -33,6 +33,10 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 
+namespace vifi::obs {
+class Histogram;
+}
+
 namespace vifi::core {
 
 class VifiBasestation {
@@ -131,6 +135,9 @@ class VifiBasestation {
   std::map<std::uint64_t, SalvageEntry> salvage_buffer_;
   std::uint64_t relays_sent_ = 0;
   std::uint64_t salvaged_out_ = 0;
+  /// Live relay-probability histogram, registered at construction when a
+  /// MetricsRegistry is installed on this thread (nullptr otherwise).
+  obs::Histogram* relay_prob_hist_ = nullptr;
   /// In-order forwarding buffers per vehicle (§4.7 extension).
   std::map<NodeId, std::unique_ptr<Sequencer>> sequencers_;
 };

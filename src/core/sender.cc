@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "util/contracts.h"
 #include "util/stats.h"
 
@@ -15,6 +17,12 @@ VifiSender::VifiSender(sim::Simulator& sim, mac::Radio& radio,
                        const VifiConfig& config, NodeId self, Direction dir)
     : sim_(sim), radio_(radio), config_(config), self_(self), dir_(dir) {
   VIFI_EXPECTS(self.valid());
+  if (obs::MetricsRegistry* metrics = obs::current_metrics())
+    retx_interval_hist_ = &metrics->histogram(
+        "core.retx_interval_s",
+        {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0},
+        {{"node", self.to_string()},
+         {"dir", dir == Direction::Upstream ? "up" : "down"}});
 }
 
 void VifiSender::set_hop_dst_provider(std::function<NodeId()> provider) {
@@ -133,12 +141,20 @@ void VifiSender::transmit(Entry& e) {
     // No more attempts: the entry leaves the queue once the frame is out.
     const net::PacketRef packet = e.packet;
     const std::uint64_t order = e.order;
+    const int attempts = e.attempts;
     entries_.remove_if([order](const Entry& x) { return x.order == order; });
     ++dropped_;
     radio_.send(std::move(f));
+    if (obs::TraceRecorder* rec = obs::current_recorder())
+      rec->record(obs::EventKind::FrameDrop, now, self_,
+                  hop_dst_ ? hop_dst_() : NodeId{}, packet->id,
+                  static_cast<double>(attempts), 0.0,
+                  dir_ == Direction::Downstream ? 1 : 0);
     if (on_drop_) on_drop_(packet);
   } else {
-    e.next_ready = now + retx_interval();
+    const Time interval = retx_interval();
+    if (retx_interval_hist_) retx_interval_hist_->observe(interval.to_seconds());
+    e.next_ready = now + interval;
     radio_.send(std::move(f));
   }
 }

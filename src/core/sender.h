@@ -22,6 +22,10 @@
 #include "net/packet.h"
 #include "sim/simulator.h"
 
+namespace vifi::obs {
+class Histogram;
+}
+
 namespace vifi::core {
 
 class VifiSender {
@@ -93,6 +97,9 @@ class VifiSender {
   Time wake_at_ = Time::max();
   std::uint64_t acked_ = 0;
   std::uint64_t dropped_ = 0;
+  /// Live §4.7 retransmission-interval histogram (seconds), registered at
+  /// construction when a MetricsRegistry is installed on this thread.
+  obs::Histogram* retx_interval_hist_ = nullptr;
 };
 
 }  // namespace vifi::core

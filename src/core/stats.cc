@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/contracts.h"
 #include "util/stats.h"
 
@@ -128,6 +129,35 @@ CoordinationSummary VifiStats::coordination(Direction dir) const {
   s.frac_relays_reached_dst =
       relays > 0 ? static_cast<double>(relays_ok) / relays : 0.0;
   return s;
+}
+
+void VifiStats::publish(obs::MetricsRegistry& registry) const {
+  const auto dir_labels = [](Direction dir) {
+    return obs::Labels{{"dir", dir == Direction::Upstream ? "up" : "down"}};
+  };
+  for (const Direction dir : {Direction::Upstream, Direction::Downstream}) {
+    const obs::Labels labels = dir_labels(dir);
+    registry.counter("core.app_delivered", labels)
+        .add(static_cast<double>(app_delivered(dir)));
+    registry.counter("core.wireless_data_tx", labels)
+        .add(static_cast<double>(wireless_data_tx(dir)));
+    registry.counter("core.source_attempts", labels)
+        .add(static_cast<double>(source_attempts(dir)));
+    const CoordinationSummary c = coordination(dir);
+    registry.gauge("core.frac_src_tx_reached_dst", labels)
+        .set(c.frac_src_tx_reached_dst);
+    registry.gauge("core.false_positive_rate", labels)
+        .set(c.false_positive_rate);
+    registry.gauge("core.false_negative_rate", labels)
+        .set(c.false_negative_rate);
+    registry.gauge("core.frac_relays_reached_dst", labels)
+        .set(c.frac_relays_reached_dst);
+  }
+  registry.counter("core.salvaged").add(static_cast<double>(salvaged_));
+  const EfficiencySummary e = efficiency();
+  registry.gauge("core.efficiency", dir_labels(Direction::Upstream)).set(e.up);
+  registry.gauge("core.efficiency", dir_labels(Direction::Downstream))
+      .set(e.down);
 }
 
 EfficiencySummary VifiStats::efficiency() const {

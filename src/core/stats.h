@@ -15,6 +15,10 @@
 #include "sim/ids.h"
 #include "util/time.h"
 
+namespace vifi::obs {
+class MetricsRegistry;
+}
+
 namespace vifi::core {
 
 using net::Direction;
@@ -85,6 +89,11 @@ class VifiStats {
   // --- summaries ----------------------------------------------------------
   CoordinationSummary coordination(Direction dir) const;
   EfficiencySummary efficiency() const;
+
+  /// Compatibility shim onto the unified metrics registry: delivery/tx/
+  /// salvage tallies as counters (additive across trips) and the Table 1 /
+  /// Fig. 12 summaries as gauges under the `core.*` namespace.
+  void publish(obs::MetricsRegistry& registry) const;
 
   std::int64_t app_delivered(Direction dir) const;
   std::int64_t wireless_data_tx(Direction dir) const;

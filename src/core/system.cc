@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/recorder.h"
 #include "util/contracts.h"
 
 namespace vifi::core {
@@ -60,6 +61,12 @@ VifiSystem::VifiSystem(sim::Simulator& sim, channel::LossModel& loss,
     vehicles_.push_back(std::move(agent));
   }
   host_ = std::make_unique<WiredHost>(*backplane_, gateway_id_, &stats_);
+
+  if (obs::TraceRecorder* rec = obs::current_recorder()) {
+    for (NodeId bs : bs_ids_) rec->set_node_label(bs, "bs");
+    for (NodeId v : vehicle_ids_) rec->set_node_label(v, "vehicle");
+    rec->set_node_label(gateway_id_, "host");
+  }
 }
 
 void VifiSystem::start() {

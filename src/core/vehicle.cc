@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "util/contracts.h"
 
 namespace vifi::core {
@@ -66,6 +67,14 @@ std::vector<NodeId> VifiVehicle::auxiliaries() const {
 void VifiVehicle::on_second_tick() {
   pab_.tick_second(sim_.now());
   select_anchor();
+  if (obs::TraceRecorder* rec = obs::current_recorder()) {
+    const int aux_count = static_cast<int>(auxiliaries().size());
+    if (aux_count != last_aux_count_) {
+      rec->record(obs::EventKind::AuxSetChange, sim_.now(), self(), anchor_, 0,
+                  0.0, 0.0, aux_count);
+      last_aux_count_ = aux_count;
+    }
+  }
   sender_.pump();
 }
 
@@ -83,6 +92,7 @@ void VifiVehicle::select_anchor() {
       best = bs;
     }
   }
+  obs::TraceRecorder* rec = obs::current_recorder();
   if (!best.valid()) {
     if (anchor_.valid()) {
       // Current anchor has gone stale with no replacement in sight.
@@ -92,6 +102,9 @@ void VifiVehicle::select_anchor() {
       if (anchor_stale) {
         prev_anchor_ = anchor_;
         anchor_ = NodeId{};
+        if (rec)
+          rec->record(obs::EventKind::AnchorChange, now, self(), NodeId{},
+                      anchor_switches_);
       }
     }
     return;
@@ -100,6 +113,9 @@ void VifiVehicle::select_anchor() {
     prev_anchor_ = anchor_;
     anchor_ = best;
     ++anchor_switches_;
+    if (rec)
+      rec->record(obs::EventKind::AnchorChange, now, self(), anchor_,
+                  anchor_switches_, best_score);
     return;
   }
   if (best == anchor_) return;
@@ -112,6 +128,9 @@ void VifiVehicle::select_anchor() {
     prev_anchor_ = anchor_;
     anchor_ = best;
     ++anchor_switches_;
+    if (rec)
+      rec->record(obs::EventKind::AnchorChange, now, self(), anchor_,
+                  anchor_switches_, best_score);
   }
 }
 
@@ -144,6 +163,9 @@ void VifiVehicle::on_frame(const mac::Frame& f) {
       // neighbor set anchor/auxiliary selection draws from (§4.3). With a
       // fleet on one medium a vehicle would otherwise anchor on a passing
       // vehicle and starve. Its gossiped reports still fold.
+      if (obs::TraceRecorder* rec = obs::current_recorder())
+        rec->record(obs::EventKind::BeaconRx, now, self(), f.tx, 0, 0.0, 0.0,
+                    f.beacon.from_vehicle ? 1 : 0);
       if (!f.beacon.from_vehicle) pab_.note_beacon(f.tx, now);
       pab_.fold_reports(f.beacon.prob_reports, now);
       break;
@@ -183,6 +205,9 @@ void VifiVehicle::on_data(const mac::Frame& f) {
            static_cast<std::size_t>(config_.piggyback_depth))
       recent_rx_order_.pop_front();
     if (stats_) stats_->on_app_delivered(Direction::Downstream);
+    if (obs::TraceRecorder* rec = obs::current_recorder())
+      rec->record(obs::EventKind::AppDeliver, sim_.now(), self(), f.tx, id,
+                  0.0, 0.0, 1);
     if (f.packet)
       deliver_up_the_stack(f.data.origin, f.data.link_seq, f.packet);
   }

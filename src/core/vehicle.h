@@ -79,6 +79,7 @@ class VifiVehicle {
   NodeId anchor_{};
   NodeId prev_anchor_{};
   std::uint64_t anchor_switches_ = 0;
+  int last_aux_count_ = 0;  ///< Last auxiliary-set size traced.
 
   RecentIdSet received_;
   RecentIdSet acked_once_;  ///< Ids acked in response to a *relayed* copy.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "util/contracts.h"
 
 namespace vifi::handoff {
@@ -9,12 +10,27 @@ namespace vifi::handoff {
 std::vector<SlotOutcome> replay_hard_handoff(const MeasurementTrace& trip,
                                              HandoffPolicy& policy) {
   policy.begin_trip(trip);
+  obs::TraceRecorder* rec = obs::current_recorder();
+  NodeId last_bs{};
   std::vector<SlotOutcome> outcomes(trip.slots.size());
   for (std::size_t i = 0; i < trip.slots.size(); ++i) {
     const NodeId bs = policy.associate(i);
+    if (rec && bs != last_bs) {
+      rec->record(obs::EventKind::Handoff, trip.slots[i].t, trip.vehicle, bs,
+                  i);
+      last_bs = bs;
+    }
     if (!bs.valid()) continue;
     outcomes[i].up = trip.slots[i].up_to(bs);
     outcomes[i].down = trip.slots[i].down_from(bs);
+    if (rec) {
+      if (outcomes[i].up)
+        rec->record(obs::EventKind::AppDeliver, trip.slots[i].t, bs,
+                    trip.vehicle, i, 0.0, 0.0, 0);
+      if (outcomes[i].down)
+        rec->record(obs::EventKind::AppDeliver, trip.slots[i].t, trip.vehicle,
+                    bs, i, 0.0, 0.0, 1);
+    }
   }
   return outcomes;
 }

@@ -1,5 +1,6 @@
 #include "mac/beaconing.h"
 
+#include "obs/recorder.h"
 #include "util/contracts.h"
 
 namespace vifi::mac {
@@ -42,6 +43,9 @@ void Beaconing::fire() {
   Frame f;
   f.type = FrameType::Beacon;
   if (provider_) f.beacon = provider_();
+  if (obs::TraceRecorder* rec = obs::current_recorder())
+    rec->record(obs::EventKind::BeaconTx, sim_.now(), radio_.self(), {}, sent_,
+                0.0, 0.0, f.beacon.from_vehicle ? 1 : 0);
   ++sent_;
   radio_.send(std::move(f));
 }

@@ -1,7 +1,10 @@
 #include "mac/medium.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "util/contracts.h"
 
 namespace vifi::mac {
@@ -55,6 +58,13 @@ Time Medium::transmit(Frame frame) {
   tx.end = now + airtime(frame.bytes_on_air());
   tx.frame = std::move(frame);
 
+  obs::TraceRecorder* rec = obs::current_recorder();
+  if (rec)
+    rec->record(obs::EventKind::FrameTx, now, tx.tx, tx.frame.data.hop_dst,
+                tx.frame.data.packet_id, (tx.end - tx.start).to_seconds(),
+                static_cast<double>(tx.frame.data.attempt),
+                static_cast<std::int32_t>(tx.frame.type));
+
   // Sample decode + audibility per receiver at start-of-frame. Channel
   // coherence over one frame (< 5 ms) is reasonable at vehicular speeds.
   for (NodeId rx : nodes_) {
@@ -68,6 +78,10 @@ Time Medium::transmit(Frame frame) {
     // keeping the stochastic processes in sync with wall-clock time.
     if (loss_.sample_delivery(tx.tx, rx, now)) {
       tx.decoders.push_back(rx);
+      if (rec)
+        rec->record(obs::EventKind::FrameDecode, now, rx, tx.tx,
+                    tx.frame.data.packet_id, p, 0.0,
+                    static_cast<std::int32_t>(tx.frame.type));
     } else {
       ++rx_row.channel_losses;
       ++channel_losses_;
@@ -100,6 +114,7 @@ void Medium::finish(std::uint64_t seq) {
 
   // Resolve collisions against the snapshot of overlapping transmissions
   // before dispatching anything.
+  obs::TraceRecorder* rec = obs::current_recorder();
   deliver_scratch_.clear();
   for (NodeId rx : tx.decoders) {
     bool collided = false;
@@ -124,6 +139,10 @@ void Medium::finish(std::uint64_t seq) {
       NodeAirtime& rx_row = ledger_.at(rx);
       ++rx_row.collisions_seen;
       rx_row.collided_airtime += held;
+      if (rec)
+        rec->record(obs::EventKind::FrameCollide, sim_.now(), rx, tx.tx,
+                    tx.frame.data.packet_id, 0.0, 0.0,
+                    static_cast<std::int32_t>(tx.frame.type));
     } else {
       ++ledger_.at(tx.tx).frames_delivered;
       NodeAirtime& rx_row = ledger_.at(rx);
@@ -135,6 +154,10 @@ void Medium::finish(std::uint64_t seq) {
   delivering_ = true;
   for (NodeId rx : deliver_scratch_) {
     ++deliveries_;
+    if (rec)
+      rec->record(obs::EventKind::FrameDeliver, sim_.now(), rx, tx.tx,
+                  tx.frame.data.packet_id, 0.0, 0.0,
+                  static_cast<std::int32_t>(tx.frame.type));
     sinks_.at(rx)->on_frame(tx.frame);
   }
   delivering_ = false;
@@ -191,6 +214,39 @@ MediumStats Medium::snapshot() const {
   s.decode_attempts = decode_attempts_;
   s.nodes.insert(ledger_.begin(), ledger_.end());
   return s;
+}
+
+void Medium::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("mac.transmissions").add(static_cast<double>(transmissions_));
+  registry.counter("mac.deliveries").add(static_cast<double>(deliveries_));
+  registry.counter("mac.collisions").add(static_cast<double>(collisions_));
+  registry.counter("mac.channel_losses")
+      .add(static_cast<double>(channel_losses_));
+  registry.counter("mac.decode_attempts")
+      .add(static_cast<double>(decode_attempts_));
+  registry.counter("mac.busy_airtime_s").add(busy_airtime_.to_seconds());
+
+  // Per-node rows through the ordered snapshot so key insertion order (and
+  // with it first-registration cost) is deterministic.
+  const MediumStats s = snapshot();
+  for (const auto& [node, row] : s.nodes) {
+    const obs::Labels labels = {{"node", node.to_string()},
+                                {"role", to_string(row.role)}};
+    const auto add = [&](const char* name, double v) {
+      registry.counter(name, labels).add(v);
+    };
+    add("mac.frames_tx", static_cast<double>(row.frames_tx));
+    add("mac.tx_airtime_s", row.tx_airtime.to_seconds());
+    add("mac.frames_delivered", static_cast<double>(row.frames_delivered));
+    add("mac.frames_collided", static_cast<double>(row.frames_collided));
+    add("mac.frames_received", static_cast<double>(row.frames_received));
+    add("mac.rx_airtime_s", row.rx_airtime.to_seconds());
+    add("mac.collided_airtime_s", row.collided_airtime.to_seconds());
+    add("mac.node_decode_attempts", static_cast<double>(row.decode_attempts));
+    add("mac.collisions_seen", static_cast<double>(row.collisions_seen));
+    add("mac.node_channel_losses", static_cast<double>(row.channel_losses));
+    add("mac.deferral_wait_s", row.deferral_wait.to_seconds());
+  }
 }
 
 }  // namespace vifi::mac

@@ -25,6 +25,10 @@
 #include "sim/simulator.h"
 #include "util/time.h"
 
+namespace vifi::obs {
+class MetricsRegistry;
+}
+
 namespace vifi::mac {
 
 struct MediumParams {
@@ -82,6 +86,12 @@ class Medium {
 
   /// Consistent copy of the global counters and the per-node ledger.
   MediumStats snapshot() const;
+
+  /// Compatibility shim onto the unified metrics registry: adds the global
+  /// counters and the per-node ledger rows (labeled node/role) under the
+  /// `mac.*` namespace. Counters *add*, so publishing once per trip
+  /// accumulates a whole point's totals.
+  void publish(obs::MetricsRegistry& registry) const;
 
   /// Transmission records not yet pruned (tests pin prune behaviour).
   std::size_t active_records() const { return active_.size(); }

@@ -1,5 +1,6 @@
 #include "mac/radio.h"
 
+#include "obs/recorder.h"
 #include "util/contracts.h"
 
 namespace vifi::mac {
@@ -13,6 +14,12 @@ Radio::Radio(sim::Simulator& sim, Medium& medium, NodeId self, Rng rng,
 
 void Radio::send(Frame frame) {
   frame.tx = self_;
+  if (obs::TraceRecorder* rec = obs::current_recorder())
+    rec->record(obs::EventKind::FrameEnqueue, sim_.now(), self_,
+                frame.data.hop_dst, frame.data.packet_id,
+                static_cast<double>(queue_.size()),
+                static_cast<double>(frame.data.attempt),
+                static_cast<std::int32_t>(frame.type));
   queue_.push_back(std::move(frame));
   try_send();
 }

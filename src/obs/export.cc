@@ -1,0 +1,186 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace vifi::obs {
+
+namespace {
+
+/// Track id for nodes that have none (invalid NodeId) and for the log
+/// track — well clear of any simulated node id.
+constexpr int kNoNodeTid = 1000000;
+constexpr int kLogTid = 1000001;
+
+int tid_of(sim::NodeId node) {
+  return node.valid() ? node.value() : kNoNodeTid;
+}
+
+const char* category(EventKind kind) {
+  switch (kind) {
+    case EventKind::BeaconTx:
+    case EventKind::BeaconRx:
+      return "beacon";
+    case EventKind::AnchorChange:
+    case EventKind::AuxSetChange:
+      return "designation";
+    case EventKind::RelayEval:
+    case EventKind::RelayTx:
+      return "relay";
+    case EventKind::SalvageRequest:
+    case EventKind::SalvageHandoff:
+    case EventKind::SalvageDeliver:
+      return "salvage";
+    case EventKind::FrameEnqueue:
+    case EventKind::FrameTx:
+    case EventKind::FrameDecode:
+    case EventKind::FrameCollide:
+    case EventKind::FrameDeliver:
+    case EventKind::FrameDrop:
+      return "mac";
+    case EventKind::AppDeliver:
+      return "app";
+    case EventKind::Handoff:
+      return "handoff";
+    case EventKind::Log:
+      return "log";
+  }
+  return "?";
+}
+
+std::string render_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// The typed argument object shared by both exporters.
+std::string args_json(const TraceEvent& e) {
+  std::string out = "{";
+  out += "\"peer\":\"" + (e.peer.valid() ? e.peer.to_string() : "-") + "\"";
+  out += ",\"id\":" + std::to_string(e.id);
+  out += ",\"a\":" + render_double(e.a);
+  out += ",\"b\":" + render_double(e.b);
+  out += ",\"c\":" + std::to_string(e.c);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&os, &first](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  };
+
+  // One named thread track per node (metadata events).
+  for (const sim::NodeId node : recorder.nodes()) {
+    const std::string& label = recorder.node_label(node);
+    std::string name = node.valid() ? node.to_string() : std::string("(none)");
+    if (!label.empty()) name += " " + label;
+    emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(tid_of(node)) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         json_escape(name) + "\"}}");
+  }
+  if (!recorder.log_records().empty())
+    emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(kLogTid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"log\"}}");
+
+  for (const TraceEvent& e : recorder.merged()) {
+    std::string line = "{\"name\":\"";
+    line += to_string(e.kind);
+    line += "\",\"cat\":\"";
+    line += category(e.kind);
+    line += "\",\"pid\":0,\"tid\":" + std::to_string(tid_of(e.node));
+    line += ",\"ts\":" + std::to_string(e.at.to_micros());
+    if (e.kind == EventKind::FrameTx) {
+      // Frame transmissions are duration slices: `a` carries the airtime.
+      line += ",\"ph\":\"X\",\"dur\":" +
+              std::to_string(static_cast<std::int64_t>(e.a * 1e6 + 0.5));
+    } else {
+      line += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    line += ",\"args\":" + args_json(e) + "}";
+    emit(line);
+  }
+
+  for (const LogRecord& rec : recorder.log_records()) {
+    emit("{\"name\":\"" + json_escape(rec.message) +
+         "\",\"cat\":\"log\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" +
+         std::to_string(kLogTid) + ",\"ts\":" +
+         std::to_string(rec.at.to_micros()) + ",\"args\":{\"level\":" +
+         std::to_string(static_cast<int>(rec.level)) + "}}");
+  }
+
+  os << "\n]}\n";
+}
+
+std::string chrome_trace_json(const TraceRecorder& recorder) {
+  std::ostringstream os;
+  write_chrome_trace(recorder, os);
+  return os.str();
+}
+
+void write_jsonl(const TraceRecorder& recorder, std::ostream& os) {
+  for (const TraceEvent& e : recorder.merged()) {
+    os << "{\"seq\":" << e.seq << ",\"t_us\":" << e.at.to_micros()
+       << ",\"kind\":\"" << to_string(e.kind) << "\",\"node\":\""
+       << (e.node.valid() ? e.node.to_string() : std::string("-"))
+       << "\",\"peer\":\""
+       << (e.peer.valid() ? e.peer.to_string() : std::string("-"))
+       << "\",\"id\":" << e.id << ",\"a\":" << render_double(e.a)
+       << ",\"b\":" << render_double(e.b) << ",\"c\":" << e.c << "}\n";
+  }
+  for (const LogRecord& rec : recorder.log_records()) {
+    os << "{\"seq\":" << rec.seq << ",\"t_us\":" << rec.at.to_micros()
+       << ",\"kind\":\"log\",\"level\":" << static_cast<int>(rec.level)
+       << ",\"message\":\"" << json_escape(rec.message) << "\"}\n";
+  }
+}
+
+std::string events_jsonl(const TraceRecorder& recorder) {
+  std::ostringstream os;
+  write_jsonl(recorder, os);
+  return os.str();
+}
+
+}  // namespace vifi::obs

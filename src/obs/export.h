@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file export.h
+/// Timeline exporters for TripScope recordings.
+///
+/// Two formats:
+///  * Chrome trace-event JSON (`{"traceEvents": [...]}`), loadable in
+///    Perfetto / chrome://tracing: one track (tid) per simulated node,
+///    frame transmissions as duration ("X") slices, everything else as
+///    instant ("i") events with the typed arguments in `args`.
+///  * JSONL: one event object per line in deterministic recording order —
+///    the grep/jq-friendly stream, byte-identical across runner thread
+///    counts for the same point.
+///
+/// Both renderings are pure functions of the recorder's contents.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/recorder.h"
+
+namespace vifi::obs {
+
+/// Escapes a string for embedding inside a JSON string literal
+/// (quotes, backslashes, control characters as \uXXXX).
+std::string json_escape(std::string_view s);
+
+/// Chrome trace-event JSON. `pid` 0 carries the whole deployment; each
+/// node is a named thread track; routed log lines ride a "log" track.
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os);
+std::string chrome_trace_json(const TraceRecorder& recorder);
+
+/// One JSON object per line: events in seq order, then log records.
+void write_jsonl(const TraceRecorder& recorder, std::ostream& os);
+std::string events_jsonl(const TraceRecorder& recorder);
+
+}  // namespace vifi::obs

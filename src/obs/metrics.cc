@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace vifi::obs {
+
+namespace {
+
+thread_local MetricsRegistry* t_current = nullptr;
+
+/// %.17g matches runtime/result.cc's serialisation: shortest round-trip
+/// rendering, so byte-identity across thread counts carries over here.
+std::string render_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  VIFI_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += sample;
+}
+
+std::string MetricsRegistry::key(const std::string& name,
+                                 const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string k = name;
+  k += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) k += ',';
+    k += sorted[i].first;
+    k += '=';
+    k += sorted[i].second;
+  }
+  k += '}';
+  return k;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return counters_[key(name, labels)];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[key(name, labels)];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  const std::string k = key(name, labels);
+  auto it = histograms_.find(k);
+  if (it == histograms_.end())
+    it = histograms_.emplace(k, Histogram(std::move(bounds))).first;
+  else
+    VIFI_EXPECTS(it->second.bounds() == bounds);
+  return it->second;
+}
+
+std::map<std::string, double> MetricsRegistry::flatten() const {
+  std::map<std::string, double> out;
+  for (const auto& [k, c] : counters_) out[k] = c.value;
+  for (const auto& [k, g] : gauges_) out[k] = g.value;
+  for (const auto& [k, h] : histograms_) {
+    out[k + ".count"] = static_cast<double>(h.count());
+    out[k + ".sum"] = h.sum();
+  }
+  return out;
+}
+
+double MetricsRegistry::total(const std::string& name) const {
+  double sum = 0.0;
+  const auto name_matches = [&name](const std::string& k) {
+    const std::size_t brace = k.find('{');
+    return (brace == std::string::npos ? k : k.substr(0, brace)) == name;
+  };
+  for (const auto& [k, c] : counters_)
+    if (name_matches(k)) sum += c.value;
+  for (const auto& [k, g] : gauges_)
+    if (name_matches(k)) sum += g.value;
+  return sum;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + k + "\": " + render_double(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [k, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + k + "\": " + render_double(g.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + k + "\": {\"count\": " +
+           std::to_string(h.count()) + ", \"sum\": " + render_double(h.sum()) +
+           ", \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += render_double(h.bounds()[i]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.buckets()[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+MetricsRegistry* current_metrics() { return t_current; }
+
+MetricsScope::MetricsScope(MetricsRegistry& registry) : prev_(t_current) {
+  t_current = &registry;
+}
+
+MetricsScope::~MetricsScope() { t_current = prev_; }
+
+}  // namespace vifi::obs

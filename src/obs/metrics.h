@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file metrics.h
+/// TripScope's unified MetricsRegistry: counters, gauges, and fixed-bucket
+/// histograms, labeled by node/role/direction/whatever the subsystem needs.
+///
+/// Naming convention (documented in README "Observability"):
+///   <subsystem>.<metric>{label=value,label2=value2}
+/// with labels sorted by key, e.g. `mac.frames_tx{node=n3,role=vehicle}`.
+/// Subsystems either register live instruments once (cache the returned
+/// reference; registration is a map lookup, updates are a bare add) or
+/// publish their legacy snapshot structs through the thin shims
+/// (`mac::Medium::publish`, `core::VifiStats::publish`), which keep the
+/// hot-path counters exactly where they were.
+///
+/// Like the TraceRecorder, a registry is installed per thread with
+/// `MetricsScope`; `current_metrics()` is nullptr when observability is
+/// off, so instrumented constructors pay one thread-local load.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vifi::obs {
+
+/// Label set. Keys are sorted into the canonical key string on lookup.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter.
+struct Counter {
+  double value = 0.0;
+  void add(double delta) { value += delta; }
+  void inc() { value += 1.0; }
+};
+
+/// Point-in-time value; publishing overwrites.
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
+/// overflow bucket counts the rest. Bounds are fixed at registration so
+/// merged output is deterministic and exporters never re-bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double sample);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// The registry. Instrument references remain valid for the registry's
+/// lifetime (node-based map storage).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Canonical key: name{k=v,...} with labels sorted by key.
+  static std::string key(const std::string& name, const Labels& labels);
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// Registering the same histogram twice must agree on bounds.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {});
+
+  /// Every scalar the registry knows, in key order: counters and gauges
+  /// verbatim, histograms flattened to `<key>.count` and `<key>.sum`.
+  /// This is what the executor draws result columns from.
+  std::map<std::string, double> flatten() const;
+
+  /// Sum of all counters/gauges whose name part (before '{') equals
+  /// \p name. Lets callers ask for "mac.frames_tx" across all nodes.
+  double total(const std::string& name) const;
+
+  /// Deterministic JSON document ({"counters":{...},"gauges":{...},
+  /// "histograms":{...}}), for the per-point metrics export.
+  std::string to_json() const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The registry installed on this thread, or nullptr.
+MetricsRegistry* current_metrics();
+
+/// RAII thread-local installation, nesting like TraceScope.
+class MetricsScope {
+ public:
+  explicit MetricsScope(MetricsRegistry& registry);
+  ~MetricsScope();
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+}  // namespace vifi::obs

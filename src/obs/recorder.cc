@@ -1,0 +1,178 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace vifi::obs {
+
+namespace {
+thread_local TraceRecorder* t_current = nullptr;
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::BeaconTx:
+      return "beacon_tx";
+    case EventKind::BeaconRx:
+      return "beacon_rx";
+    case EventKind::AnchorChange:
+      return "anchor_change";
+    case EventKind::AuxSetChange:
+      return "aux_set_change";
+    case EventKind::RelayEval:
+      return "relay_eval";
+    case EventKind::RelayTx:
+      return "relay_tx";
+    case EventKind::SalvageRequest:
+      return "salvage_request";
+    case EventKind::SalvageHandoff:
+      return "salvage_handoff";
+    case EventKind::SalvageDeliver:
+      return "salvage_deliver";
+    case EventKind::FrameEnqueue:
+      return "frame_enqueue";
+    case EventKind::FrameTx:
+      return "frame_tx";
+    case EventKind::FrameDecode:
+      return "frame_decode";
+    case EventKind::FrameCollide:
+      return "frame_collide";
+    case EventKind::FrameDeliver:
+      return "frame_deliver";
+    case EventKind::FrameDrop:
+      return "frame_drop";
+    case EventKind::AppDeliver:
+      return "app_deliver";
+    case EventKind::Handoff:
+      return "handoff";
+    case EventKind::Log:
+      return "log";
+  }
+  return "?";
+}
+
+EventRing::EventRing(std::size_t capacity) : capacity_(capacity) {
+  VIFI_EXPECTS(capacity > 0);
+}
+
+void EventRing::push(const TraceEvent& e) {
+  if (events_.size() < capacity_) {
+    events_.push_back(e);
+    return;
+  }
+  events_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> EventRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(head_),
+             events_.end());
+  out.insert(out.end(), events_.begin(),
+             events_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+TraceRecorder::TraceRecorder(std::size_t per_node_capacity)
+    : per_node_capacity_(per_node_capacity) {
+  VIFI_EXPECTS(per_node_capacity > 0);
+}
+
+void TraceRecorder::record(EventKind kind, Time at, sim::NodeId node,
+                           sim::NodeId peer, std::uint64_t id, double a,
+                           double b, std::int32_t c) {
+  TraceEvent e;
+  e.at = base_ + at;
+  e.seq = next_seq_++;
+  e.id = id;
+  e.node = node;
+  e.peer = peer;
+  e.kind = kind;
+  e.c = c;
+  e.a = a;
+  e.b = b;
+  last_local_ = at;
+  ++recorded_;
+  ++kind_counts_[static_cast<int>(kind)];
+  auto it = rings_.find(node);
+  if (it == rings_.end())
+    it = rings_.emplace(node, EventRing(per_node_capacity_)).first;
+  it->second.push(e);
+}
+
+void TraceRecorder::log(LogLevel level, std::string message) {
+  LogRecord rec;
+  rec.at = base_ + last_local_;
+  rec.seq = next_seq_++;
+  rec.level = level;
+  rec.message = std::move(message);
+  ++kind_counts_[static_cast<int>(EventKind::Log)];
+  logs_.push_back(std::move(rec));
+  if (logs_.size() > kMaxLogRecords) logs_.pop_front();
+}
+
+void TraceRecorder::set_node_label(sim::NodeId node, std::string label) {
+  labels_[node] = std::move(label);
+}
+
+const std::string& TraceRecorder::node_label(sim::NodeId node) const {
+  static const std::string kEmpty;
+  const auto it = labels_.find(node);
+  return it == labels_.end() ? kEmpty : it->second;
+}
+
+std::vector<sim::NodeId> TraceRecorder::nodes() const {
+  std::vector<sim::NodeId> out;
+  for (const auto& [node, ring] : rings_) {
+    (void)ring;
+    out.push_back(node);
+  }
+  for (const auto& [node, label] : labels_) {
+    (void)label;
+    if (!rings_.contains(node)) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const EventRing& TraceRecorder::ring(sim::NodeId node) const {
+  static const EventRing kEmpty{1};
+  const auto it = rings_.find(node);
+  return it == rings_.end() ? kEmpty : it->second;
+}
+
+std::vector<TraceEvent> TraceRecorder::merged() const {
+  std::vector<TraceEvent> out;
+  for (const auto& [node, ring] : rings_) {
+    (void)node;
+    const auto events = ring.snapshot();
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, ring] : rings_) {
+    (void)node;
+    n += ring.dropped();
+  }
+  return n;
+}
+
+TraceRecorder* current_recorder() { return t_current; }
+
+TraceScope::TraceScope(TraceRecorder& recorder) : prev_(t_current) {
+  t_current = &recorder;
+}
+
+TraceScope::~TraceScope() { t_current = prev_; }
+
+}  // namespace vifi::obs

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file recorder.h
+/// TripScope's TraceRecorder: per-node ring buffers of typed protocol
+/// events (event.h) plus a bounded side channel for routed log lines.
+///
+/// Recording is *pull-free and allocation-free on the steady state*: each
+/// node's events land in a fixed-capacity ring that overwrites its oldest
+/// entries on wrap (the newest window is what a timeline wants), and a
+/// recorder-wide sequence number makes the merged stream deterministic.
+///
+/// Enabling/disabling is a thread-local pointer: `current_recorder()`
+/// returns the recorder installed by the innermost `TraceScope` on this
+/// thread, or nullptr. Call sites are written as
+///
+///     obs::TraceRecorder* rec = obs::current_recorder();
+///     if (rec) rec->record(...);
+///
+/// so with tracing off the whole observability layer costs one
+/// thread-local load and a branch per instrumented site (perf-gated by
+/// bench/perf_suite). Runtime workers each install their own recorder, so
+/// concurrent points never share one.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "sim/ids.h"
+#include "util/logging.h"
+#include "util/time.h"
+
+namespace vifi::obs {
+
+/// Fixed-capacity event ring. Overwrites the oldest entry once full;
+/// `dropped()` counts overwritten events so exporters can say so.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+
+  void push(const TraceEvent& e);
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Events oldest-to-newest (unwraps the ring).
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< Next write position once the ring is full.
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// A routed log line (the VIFI_WARN+ channel, satellite of ISSUE 6).
+struct LogRecord {
+  Time at;
+  std::uint64_t seq = 0;
+  LogLevel level = LogLevel::Warn;
+  std::string message;
+};
+
+class TraceRecorder {
+ public:
+  /// \p per_node_capacity bounds each node's ring (64 B per slot).
+  explicit TraceRecorder(std::size_t per_node_capacity = 1 << 14);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Records one event at time base() + \p at (the caller passes its
+  /// simulator-local clock; the base stitches successive trips onto one
+  /// timeline).
+  void record(EventKind kind, Time at, sim::NodeId node,
+              sim::NodeId peer = {}, std::uint64_t id = 0, double a = 0.0,
+              double b = 0.0, std::int32_t c = 0);
+
+  /// Records a routed log line (bounded; oldest dropped first). The
+  /// timestamp is base() + the last recorded event's local time — logging
+  /// has no clock of its own.
+  void log(LogLevel level, std::string message);
+
+  /// Timeline offset added to every recorded time. The runtime sets this
+  /// to the accumulated horizon before each trip of a point, so one
+  /// recorder holds the whole point's timeline.
+  void set_time_base(Time base) { base_ = base; }
+  Time time_base() const { return base_; }
+
+  /// Human-readable track label for a node ("bs", "vehicle", "host").
+  void set_node_label(sim::NodeId node, std::string label);
+  const std::string& node_label(sim::NodeId node) const;
+
+  // --- queries (exporters, tests, the tripscope CLI) ---------------------
+  /// Nodes with at least one event or a label, ascending id.
+  std::vector<sim::NodeId> nodes() const;
+  /// A node's ring; creates an empty one for unseen nodes.
+  const EventRing& ring(sim::NodeId node) const;
+  /// All retained events merged in recording order (seq ascending).
+  std::vector<TraceEvent> merged() const;
+  const std::deque<LogRecord>& log_records() const { return logs_; }
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const;
+  /// Total events recorded of one kind (counted even when the ring has
+  /// since overwritten them — reconciliation wants exact counts).
+  std::uint64_t count(EventKind kind) const {
+    return kind_counts_[static_cast<int>(kind)];
+  }
+
+ private:
+  std::size_t per_node_capacity_;
+  Time base_;
+  Time last_local_;  ///< Last record()'s local time, for log timestamps.
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t kind_counts_[kEventKindCount] = {};
+  /// Ordered map: node iteration order is deterministic and references
+  /// stay stable while rings grow elsewhere.
+  std::map<sim::NodeId, EventRing> rings_;
+  std::map<sim::NodeId, std::string> labels_;
+  std::deque<LogRecord> logs_;
+  static constexpr std::size_t kMaxLogRecords = 4096;
+};
+
+/// The recorder installed on this thread, or nullptr when tracing is off.
+TraceRecorder* current_recorder();
+
+/// RAII installation of a recorder into the thread-local slot. Nests;
+/// restores the previous recorder on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceRecorder& recorder);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+}  // namespace vifi::obs

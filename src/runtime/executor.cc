@@ -1,8 +1,12 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include <mutex>
 #include <stdexcept>
@@ -12,6 +16,9 @@
 #include "apps/mos.h"
 #include "handoff/policies.h"
 #include "mac/airtime.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "scenario/campaign.h"
 #include "scenario/live.h"
 #include "tracegen/catalog.h"
@@ -146,7 +153,15 @@ void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
   MetricAccumulator acc;
   const bool fairness = bed.fleet_size() > 1;
   std::map<sim::NodeId, double> per_vehicle;
+  // One timeline per point: each trip's slot-relative event times land
+  // after the previous trip's horizon.
+  obs::TraceRecorder* rec = obs::current_recorder();
+  Time trace_base = rec ? rec->time_base() : Time::zero();
   for (const auto& trip : campaign.trips) {
+    if (rec) {
+      rec->set_time_base(trace_base);
+      trace_base = trace_base + std::max(trip.duration, Time::seconds(1.0));
+    }
     const auto stream =
         outcomes_to_stream(replay_trip(trip, point.policy, campaign));
     if (fairness) {
@@ -157,6 +172,7 @@ void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
     acc.add_trip(stream, point.session);
   }
   acc.finish(days, r);
+  if (rec) rec->set_time_base(trace_base);
   if (fairness) {
     std::vector<double> veh_delivered;
     veh_delivered.reserve(bed.vehicle_ids().size());
@@ -199,7 +215,12 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
   std::vector<double> veh_delivered(fleet, 0.0), veh_sent(fleet, 0.0),
       veh_airtime_s(fleet, 0.0);
   double infra_airtime_s = 0.0, vehicle_airtime_s = 0.0;
+  // One timeline per point: each trip's simulator restarts at zero, so the
+  // recorder's base advances by the previous trip's horizon.
+  obs::TraceRecorder* rec = obs::current_recorder();
+  Time trace_base = rec ? rec->time_base() : Time::zero();
   for (int trip = 0; trip < trips; ++trip) {
+    if (rec) rec->set_time_base(trace_base);
     const std::uint64_t trip_seed =
         mix_seed(point.point_seed, static_cast<std::uint64_t>(trip));
     // Replay trips drive the fleet loss schedule straight from the
@@ -233,6 +254,12 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
             : live.simulator().now() + bed.trip_duration();
     for (auto& cbr : cbrs) cbr->start(end);
     live.run_until(end + Time::seconds(1.0));
+    if (rec) trace_base = trace_base + live.simulator().now();
+    if (obs::MetricsRegistry* metrics = obs::current_metrics()) {
+      live.system().medium().publish(*metrics);
+      live.system().stats().publish(*metrics);
+      for (const auto& cbr : cbrs) cbr->publish(*metrics);
+    }
     for (auto& cbr : cbrs) acc.add_trip(cbr->slot_stream(), point.session);
     if (fairness) {
       const mac::MediumStats ms = live.medium_stats();
@@ -248,6 +275,7 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
     }
   }
   acc.finish(days, r);
+  if (rec) rec->set_time_base(trace_base);
   if (fairness) {
     double min_rate = 1.0;
     for (std::size_t i = 0; i < fleet; ++i)
@@ -317,6 +345,28 @@ PointResult run_point(const ExperimentPoint& point) {
   r.trace_set = point.trace_set;
   r.policy = point.policy;
   r.seed = point.seed;
+
+  // TripScope session. A caller (e.g. examples/tripscope) may have
+  // installed a recorder/registry on this thread already — the point then
+  // records into those and the caller owns the export. Otherwise, when the
+  // point asks for a trace dump or metric columns, the point runs inside
+  // its own session; content is a pure function of the point, so sweep
+  // trace files are byte-identical for any worker count.
+  std::unique_ptr<obs::TraceRecorder> own_recorder;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics;
+  std::optional<obs::TraceScope> trace_scope;
+  std::optional<obs::MetricsScope> metrics_scope;
+  if (!point.trace_dir.empty() || !point.metric_columns.empty()) {
+    if (obs::current_recorder() == nullptr) {
+      own_recorder = std::make_unique<obs::TraceRecorder>();
+      trace_scope.emplace(*own_recorder);
+    }
+    if (obs::current_metrics() == nullptr) {
+      own_metrics = std::make_unique<obs::MetricsRegistry>();
+      metrics_scope.emplace(*own_metrics);
+    }
+  }
+
   const scenario::Testbed bed = make_testbed(point.testbed, point.fleet_size);
   std::shared_ptr<const tracegen::TraceCatalog> catalog;
   if (!point.trace_set.empty()) catalog = resolve_catalog(point, bed);
@@ -352,6 +402,34 @@ PointResult run_point(const ExperimentPoint& point) {
     run_cbr(bed, point, catalog.get(), r);
   } else {
     VIFI_EXPECTS(!"unknown workload (expected replay/cbr)");
+  }
+
+  if (const obs::MetricsRegistry* metrics = obs::current_metrics();
+      metrics != nullptr && !point.metric_columns.empty()) {
+    // Exact flattened key first (`mac.frames_tx{node=n3,role=vehicle}`),
+    // else the bare name summed across its label variants.
+    const auto flat = metrics->flatten();
+    for (const std::string& name : point.metric_columns) {
+      const auto it = flat.find(name);
+      r.metrics["obs." + name] =
+          it != flat.end() ? it->second : metrics->total(name);
+    }
+  }
+  if (own_recorder != nullptr && !point.trace_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(point.trace_dir);
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "point_%04zu",
+                  static_cast<std::size_t>(point.index));
+    const std::string base = (fs::path(point.trace_dir) / tag).string();
+    std::ofstream chrome(base + ".trace.json");
+    obs::write_chrome_trace(*own_recorder, chrome);
+    std::ofstream jsonl(base + ".jsonl");
+    obs::write_jsonl(*own_recorder, jsonl);
+    if (own_metrics != nullptr) {
+      std::ofstream mjson(base + ".metrics.json");
+      mjson << own_metrics->to_json();
+    }
   }
   return r;
 }

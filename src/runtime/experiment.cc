@@ -55,6 +55,8 @@ std::vector<ExperimentPoint> ExperimentSpec::enumerate() const {
             p.trip_duration = trip_duration;
             p.workload = workload;
             p.session = session;
+            p.trace_dir = trace_dir;
+            p.metric_columns = metric_columns;
             p.campaign_seed = mix_seed(mix_seed(base_seed, bed), seed);
             // Fleet size 1 mixes nothing in: single-vehicle sweeps keep the
             // pre-fleet seed derivation, so their output bytes are stable.

@@ -66,6 +66,16 @@ struct ExperimentPoint {
   std::string workload = "replay";    ///< "replay" (§3.1) or "cbr" (§5.2).
   analysis::SessionDef session;
 
+  /// TripScope: directory for per-point timeline exports. Non-empty makes
+  /// run_point() record the whole point into a TraceRecorder (unless one is
+  /// already installed on the thread) and write
+  /// `point_<index>.trace.json` / `.jsonl` / `.metrics.json` there.
+  std::string trace_dir;
+  /// TripScope: registered metric names (exact flattened keys, or bare
+  /// names summed across label variants) to surface as result columns
+  /// (`obs.<name>` in the point's metrics map).
+  std::vector<std::string> metric_columns;
+
   /// Campaign realisation seed — a function of (base seed, testbed, fleet
   /// size, replicate seed) only. Points that differ only in policy replay
   /// the *same* traces, as in the paper's policy comparisons. (Fleet size
@@ -88,6 +98,10 @@ struct ExperimentSpec {
   std::string workload = "replay";
   analysis::SessionDef session;
   std::uint64_t base_seed = 20080817;
+  /// TripScope knobs, copied verbatim onto every point (see
+  /// ExperimentPoint::trace_dir / metric_columns).
+  std::string trace_dir;
+  std::vector<std::string> metric_columns;
 
   /// Row-major (testbed, fleet size, policy, seed) enumeration with
   /// derived seeds.

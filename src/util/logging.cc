@@ -1,11 +1,14 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+
+#include "obs/recorder.h"
 
 namespace vifi {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,13 +27,24 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  // Route warnings and errors onto the active trace timeline, if any —
+  // a misbehaving point's warnings then sit next to the protocol events
+  // that provoked them.
+  if (level >= LogLevel::Warn && level < LogLevel::Off) {
+    if (obs::TraceRecorder* rec = obs::current_recorder())
+      rec->log(level, msg);
+  }
 }
 }  // namespace detail
 

@@ -3,6 +3,9 @@
 /// \file logging.h
 /// Minimal leveled logging to stderr. Disabled (Warn) by default so tests
 /// and benches stay quiet; examples turn on Info to narrate what they do.
+/// When a TripScope TraceRecorder is installed on the calling thread
+/// (obs/recorder.h), Warn and Error lines are additionally routed into its
+/// log channel so they land on the exported timeline.
 
 #include <sstream>
 #include <string>
@@ -11,8 +14,9 @@ namespace vifi {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Global log threshold. Not thread-safe by design: the simulator is
-/// single-threaded and benches set this once at startup.
+/// Global log threshold. Thread-safe (atomic): runtime workers run
+/// concurrently and any of them may consult — or a test may flip — the
+/// threshold while others log.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

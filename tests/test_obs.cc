@@ -1,0 +1,361 @@
+// Tests for TripScope: TraceRecorder ring semantics, scope nesting, the
+// MetricsRegistry (key canonicalisation, histogram bucketing, flatten /
+// total), JSON escaping in the exporters, and — the observability
+// determinism contract — byte-identical per-point trace exports for any
+// runner thread count.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "runtime/runner.h"
+#include "util/contracts.h"
+#include "util/logging.h"
+
+namespace vifi::obs {
+namespace {
+
+TraceEvent event_at(double t_s, std::uint64_t id) {
+  TraceEvent e;
+  e.at = Time::seconds(t_s);
+  e.id = id;
+  e.kind = EventKind::BeaconTx;
+  e.node = sim::NodeId{1};
+  return e;
+}
+
+TEST(EventRing, FillsToCapacityWithoutDropping) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 4; ++i) ring.push(event_at(0.1, i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].id, i);
+}
+
+TEST(EventRing, WrapsByOverwritingTheOldest) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.push(event_at(0.1, i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // snapshot() unwraps: the newest window, oldest-to-newest.
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].id, 6 + i);
+}
+
+TEST(EventRing, ZeroCapacityIsAContractViolation) {
+  EXPECT_THROW(EventRing ring(0), ContractViolation);
+}
+
+TEST(TraceRecorder, CountsStayExactAcrossRingWrap) {
+  TraceRecorder rec(8);
+  const sim::NodeId node{3};
+  for (int i = 0; i < 20; ++i)
+    rec.record(EventKind::FrameTx, Time::seconds(0.01 * i), node);
+  rec.record(EventKind::AnchorChange, Time::seconds(1.0), node);
+  EXPECT_EQ(rec.recorded(), 21u);
+  EXPECT_EQ(rec.dropped(), 13u);  // 21 records into an 8-slot ring
+  EXPECT_EQ(rec.ring(node).size(), 8u);
+  // Per-kind counters survive the overwrites — reconciliation relies on it.
+  EXPECT_EQ(rec.count(EventKind::FrameTx), 20u);
+  EXPECT_EQ(rec.count(EventKind::AnchorChange), 1u);
+  EXPECT_EQ(rec.count(EventKind::SalvageRequest), 0u);
+}
+
+TEST(TraceRecorder, TimeBaseStitchesTripsOntoOneTimeline) {
+  TraceRecorder rec;
+  const sim::NodeId node{1};
+  rec.record(EventKind::BeaconTx, Time::seconds(2.0), node);
+  rec.set_time_base(Time::seconds(100.0));
+  rec.record(EventKind::BeaconTx, Time::seconds(2.0), node);
+  const auto events = rec.ring(node).snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, Time::seconds(2.0));
+  EXPECT_EQ(events[1].at, Time::seconds(102.0));
+}
+
+TEST(TraceRecorder, MergedIsSeqOrderedAcrossNodes) {
+  TraceRecorder rec;
+  rec.record(EventKind::BeaconTx, Time::seconds(1.0), sim::NodeId{2});
+  rec.record(EventKind::BeaconRx, Time::seconds(1.0), sim::NodeId{7});
+  rec.record(EventKind::BeaconRx, Time::seconds(1.1), sim::NodeId{2});
+  const auto merged = rec.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_LT(merged[0].seq, merged[1].seq);
+  EXPECT_LT(merged[1].seq, merged[2].seq);
+  EXPECT_EQ(merged[1].node, sim::NodeId{7});
+}
+
+TEST(TraceRecorder, UnseenNodeHasEmptyRingAndLabelsListNodes) {
+  TraceRecorder rec;
+  EXPECT_EQ(rec.ring(sim::NodeId{42}).size(), 0u);
+  rec.set_node_label(sim::NodeId{5}, "bs");
+  rec.record(EventKind::BeaconTx, Time::seconds(0.0), sim::NodeId{9});
+  const auto nodes = rec.nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], sim::NodeId{5});
+  EXPECT_EQ(nodes[1], sim::NodeId{9});
+  EXPECT_EQ(rec.node_label(sim::NodeId{5}), "bs");
+  EXPECT_EQ(rec.node_label(sim::NodeId{9}), "");
+}
+
+TEST(TraceScope, NestsAndRestoresThePreviousRecorder) {
+  EXPECT_EQ(current_recorder(), nullptr);
+  TraceRecorder outer;
+  {
+    TraceScope a(outer);
+    EXPECT_EQ(current_recorder(), &outer);
+    TraceRecorder inner;
+    {
+      TraceScope b(inner);
+      EXPECT_EQ(current_recorder(), &inner);
+    }
+    EXPECT_EQ(current_recorder(), &outer);
+  }
+  EXPECT_EQ(current_recorder(), nullptr);
+}
+
+TEST(MetricsScope, NestsAndRestoresThePreviousRegistry) {
+  EXPECT_EQ(current_metrics(), nullptr);
+  MetricsRegistry outer;
+  {
+    MetricsScope a(outer);
+    EXPECT_EQ(current_metrics(), &outer);
+    MetricsRegistry inner;
+    {
+      MetricsScope b(inner);
+      EXPECT_EQ(current_metrics(), &inner);
+    }
+    EXPECT_EQ(current_metrics(), &outer);
+  }
+  EXPECT_EQ(current_metrics(), nullptr);
+}
+
+TEST(WarnRouting, WarnAndErrorLandOnTheInstalledRecorder) {
+  TraceRecorder rec;
+  {
+    TraceScope scope(rec);
+    VIFI_WARN("salvage queue overflow on " << sim::NodeId{3});
+    VIFI_ERROR("bad frame");
+    VIFI_DEBUG("below threshold, not routed");  // default level is Warn
+  }
+  VIFI_WARN("outside the scope, not routed");
+  ASSERT_EQ(rec.log_records().size(), 2u);
+  EXPECT_EQ(rec.log_records()[0].level, LogLevel::Warn);
+  EXPECT_NE(rec.log_records()[0].message.find("salvage queue overflow"),
+            std::string::npos);
+  EXPECT_EQ(rec.log_records()[1].level, LogLevel::Error);
+  EXPECT_EQ(rec.count(EventKind::Log), 2u);
+}
+
+TEST(Histogram, BucketsAreInclusiveUpperBoundsPlusOverflow) {
+  Histogram h({1.0, 2.0, 5.0});
+  for (const double sample : {0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 7.0, 100.0})
+    h.observe(sample);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 7.0 + 100.0);
+  ASSERT_EQ(h.buckets().size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.buckets()[0], 2u);      // 0.5, 1.0   (bucket counts <= bound)
+  EXPECT_EQ(h.buckets()[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(h.buckets()[2], 2u);      // 4.9, 5.0
+  EXPECT_EQ(h.buckets()[3], 2u);      // 7.0, 100.0 (overflow)
+}
+
+TEST(MetricsRegistry, KeyCanonicalisesLabelOrder) {
+  EXPECT_EQ(MetricsRegistry::key("mac.frames_tx", {}), "mac.frames_tx");
+  EXPECT_EQ(MetricsRegistry::key("mac.frames_tx",
+                                 {{"role", "vehicle"}, {"node", "n3"}}),
+            "mac.frames_tx{node=n3,role=vehicle}");
+  // Same labels in either order resolve to the same instrument.
+  MetricsRegistry reg;
+  Counter& a = reg.counter("m", {{"x", "1"}, {"y", "2"}});
+  Counter& b = reg.counter("m", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, TotalSumsAcrossLabelVariantsOfOneName) {
+  MetricsRegistry reg;
+  reg.counter("mac.frames_tx", {{"node", "n1"}}).add(3.0);
+  reg.counter("mac.frames_tx", {{"node", "n2"}}).add(4.0);
+  reg.counter("mac.collisions").add(9.0);
+  reg.gauge("core.false_positive_rate").set(0.25);
+  EXPECT_DOUBLE_EQ(reg.total("mac.frames_tx"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.total("mac.collisions"), 9.0);
+  EXPECT_DOUBLE_EQ(reg.total("core.false_positive_rate"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.total("no.such.metric"), 0.0);
+}
+
+TEST(MetricsRegistry, FlattenExposesHistogramsAsCountAndSum) {
+  MetricsRegistry reg;
+  reg.counter("a.count_things").inc();
+  Histogram& h = reg.histogram("a.latency_s", {0.1, 1.0}, {{"node", "n1"}});
+  h.observe(0.05);
+  h.observe(2.0);
+  const auto flat = reg.flatten();
+  EXPECT_DOUBLE_EQ(flat.at("a.count_things"), 1.0);
+  EXPECT_DOUBLE_EQ(flat.at("a.latency_s{node=n1}.count"), 2.0);
+  EXPECT_DOUBLE_EQ(flat.at("a.latency_s{node=n1}.sum"), 2.05);
+}
+
+TEST(MetricsRegistry, HistogramReRegistrationMustAgreeOnBounds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&reg.histogram("h", {1.0, 2.0}), &h);
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), ContractViolation);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("cr\rhere"), "cr\\rhere");
+  EXPECT_EQ(json_escape(std::string("nul\x01mid")), "nul\\u0001mid");
+}
+
+TEST(ChromeTrace, NamesTracksAndEmitsDurationAndInstantEvents) {
+  TraceRecorder rec;
+  rec.set_node_label(sim::NodeId{1}, "bs");
+  rec.set_node_label(sim::NodeId{2}, "vehicle");
+  // FrameTx renders as a duration slice (ph X) with dur from arg a.
+  rec.record(EventKind::FrameTx, Time::seconds(1.0), sim::NodeId{2},
+             sim::NodeId{1}, 7, 0.002, 1.0, 0);
+  rec.record(EventKind::AnchorChange, Time::seconds(2.0), sim::NodeId{2},
+             sim::NodeId{1});
+  {
+    TraceScope scope(rec);
+    VIFI_WARN("routed \"quoted\" warning");
+  }
+  const std::string json = chrome_trace_json(rec);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("n1 bs"), std::string::npos);
+  EXPECT_NE(json.find("n2 vehicle"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000"), std::string::npos);  // 0.002 s in us
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("anchor_change"), std::string::npos);
+  // The routed warning is escaped, not emitted raw.
+  EXPECT_NE(json.find("routed \\\"quoted\\\" warning"), std::string::npos);
+  EXPECT_EQ(json.find("routed \"quoted\" warning"), std::string::npos);
+}
+
+TEST(Jsonl, OneObjectPerEventPlusLogLines) {
+  TraceRecorder rec;
+  rec.record(EventKind::BeaconTx, Time::seconds(0.5), sim::NodeId{1});
+  rec.record(EventKind::BeaconRx, Time::seconds(0.6), sim::NodeId{2},
+             sim::NodeId{1});
+  rec.log(LogLevel::Warn, "something odd");
+  const std::string jsonl = events_jsonl(rec);
+  std::istringstream is(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(jsonl.find("\"kind\":\"beacon_tx\""), std::string::npos);
+  EXPECT_NE(jsonl.find("something odd"), std::string::npos);
+}
+
+// --- the sweep-level contract: per-point trace exports are byte-identical
+// --- for any runner thread count ----------------------------------------
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+runtime::ExperimentSpec traced_cbr_spec(const std::string& trace_dir) {
+  runtime::ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN"};
+  spec.grid.policies = {"ViFi", "BRR"};
+  spec.grid.seeds = {1};
+  spec.days = 1;
+  spec.trips_per_day = 1;
+  spec.trip_duration = Time::seconds(20.0);
+  spec.workload = "cbr";
+  spec.trace_dir = trace_dir;
+  spec.metric_columns = {"mac.transmissions", "core.app_delivered"};
+  return spec;
+}
+
+TEST(TraceExport, SweepTraceFilesAreThreadCountInvariant) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "vifi_test_obs_traces";
+  const fs::path dir_one = root / "one";
+  const fs::path dir_four = root / "four";
+  fs::remove_all(root);
+
+  const runtime::ResultSink one =
+      runtime::Runner({.threads = 1}).run(traced_cbr_spec(dir_one.string()));
+  const runtime::ResultSink four =
+      runtime::Runner({.threads = 4}).run(traced_cbr_spec(dir_four.string()));
+  EXPECT_FALSE(one.any_errors());
+  EXPECT_EQ(one.to_json(), four.to_json());
+
+  for (const char* tag : {"point_0000", "point_0001"}) {
+    for (const char* ext : {".trace.json", ".jsonl", ".metrics.json"}) {
+      const std::string name = std::string(tag) + ext;
+      const std::string a = slurp(dir_one / name);
+      const std::string b = slurp(dir_four / name);
+      ASSERT_FALSE(a.empty()) << name;
+      EXPECT_EQ(a, b) << name;
+    }
+    // The Chrome trace is real JSON with the expected envelope.
+    const std::string trace = slurp(dir_one / (std::string(tag) +
+                                               ".trace.json"));
+    EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u) << tag;
+    ASSERT_GE(trace.size(), 4u);
+    EXPECT_EQ(trace.substr(trace.size() - 4), "\n]}\n") << tag;
+  }
+  fs::remove_all(root);
+}
+
+TEST(TraceExport, MetricColumnsSurfaceInPointResults) {
+  runtime::ExperimentSpec spec = traced_cbr_spec("");
+  spec.grid.policies = {"ViFi"};
+  const runtime::ResultSink sink = runtime::Runner({.threads = 1}).run(spec);
+  const auto results = sink.ordered();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].error.empty()) << results[0].error;
+  ASSERT_TRUE(results[0].metrics.count("obs.mac.transmissions"));
+  ASSERT_TRUE(results[0].metrics.count("obs.core.app_delivered"));
+  EXPECT_GT(results[0].metrics.at("obs.mac.transmissions"), 0.0);
+  EXPECT_GT(results[0].metrics.at("obs.core.app_delivered"), 0.0);
+}
+
+TEST(TraceExport, TracingChangesNoResultBytes) {
+  runtime::ExperimentSpec plain = traced_cbr_spec("");
+  plain.trace_dir.clear();
+  plain.metric_columns.clear();
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "vifi_test_obs_plain";
+  fs::remove_all(dir);
+  runtime::ExperimentSpec traced = traced_cbr_spec(dir.string());
+  traced.metric_columns.clear();  // columns intentionally add metrics
+
+  const runtime::Runner runner({.threads = 2});
+  EXPECT_EQ(runner.run(plain).to_json(), runner.run(traced).to_json());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace vifi::obs
