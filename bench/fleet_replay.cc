@@ -18,6 +18,21 @@
 // google-benchmark shape; CI merges them into BENCH.json so the curve is
 // gated against bench/baseline.json. All values are deterministic
 // functions of the committed seeds — they transfer across machines.
+//
+// City-scale tiers (the large-fleet CI job):
+//
+//   --large   Synthetic V in {64, 256} catalogs replayed through the
+//             *streaming* sharded executor (runtime::run_point_sharded):
+//             trip groups stream from disk one group per worker instead
+//             of the whole catalog sitting in memory. Each point runs on
+//             8 workers, again on 1, and once through the eager
+//             run_point — all three outputs must be byte-identical.
+//             With --json the delivery curve is written for the
+//             bench_compare gate (baseline_large.json).
+//
+//   --v1024   Nightly completion check: one synthetic 1024-bus trip
+//             group through the sharded executor. Completion is the bar;
+//             nothing is gated.
 
 #include <cstdio>
 #include <filesystem>
@@ -61,19 +76,155 @@ struct Cell {
   int replicates = 0;
 };
 
+/// Synthesizes a V-bus catalog (fitted on the recorded 16-bus campaign)
+/// under \p root and returns one catalog-replay point for it.
+runtime::ExperimentPoint synth_point(const tracegen::TraceModel& model,
+                                     const std::filesystem::path& root,
+                                     int vehicles, double trip_seconds,
+                                     std::size_t index) {
+  tracegen::SynthesisSpec synth;
+  synth.vehicles = vehicles;
+  synth.trip_duration = Time::seconds(trip_seconds);
+  synth.seed = 606;
+  const std::string dir =
+      (root / ("synth_v" + std::to_string(vehicles))).string();
+  tracegen::write_catalog(dir, "synth_v" + std::to_string(vehicles),
+                          tracegen::synthesize_fleet(model, synth));
+
+  runtime::ExperimentSpec spec;
+  spec.name = "fleet_replay_large";
+  spec.grid.testbeds = {kTestbed};
+  spec.grid.fleet_sizes = {vehicles};
+  spec.grid.trace_sets = {dir};
+  spec.grid.policies = {"ViFi"};
+  spec.grid.seeds = {1};
+  spec.workload = "cbr";
+  runtime::ExperimentPoint p = spec.enumerate().front();
+  p.index = index;
+  return p;
+}
+
+int run_large(const std::string& json_path) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "vifi_fleet_replay_large";
+  std::filesystem::remove_all(root);
+  const tracegen::TraceModel model =
+      tracegen::fit_model(record_fleet(16, 20080605));
+  constexpr double kLargeTripSeconds = 20.0;
+  std::vector<runtime::ExperimentPoint> points;
+  for (const int v : {64, 256})
+    points.push_back(
+        synth_point(model, root, v, kLargeTripSeconds, points.size()));
+
+  // Three executions per point: sharded on 8 workers, sharded on 1, and
+  // the eager sequential executor. Byte-identity across all three is the
+  // acceptance property — streaming group loads and trip sharding change
+  // memory behaviour, never results.
+  const runtime::Runner pool8({.threads = 8});
+  const runtime::Runner pool1({.threads = 1});
+  runtime::ResultSink sharded8, sharded1, eager;
+  for (const auto& p : points) {
+    try {
+      sharded8.add(runtime::run_point_sharded(p, pool8));
+      sharded1.add(runtime::run_point_sharded(p, pool1));
+      tracegen::drop_catalog_cache();  // eager must re-read from disk
+      eager.add(runtime::run_point(p));
+    } catch (const std::exception& ex) {
+      std::cerr << kTestbed << " V=" << p.fleet_size << ": " << ex.what()
+                << "\n";
+      std::filesystem::remove_all(root);
+      return 1;
+    }
+  }
+  const bool thread_invariant = sharded8.to_json() == sharded1.to_json() &&
+                                sharded8.to_csv() == sharded1.to_csv();
+  const bool matches_eager = sharded8.to_json() == eager.to_json() &&
+                             sharded8.to_csv() == eager.to_csv();
+
+  TextTable table("City-scale replay — " + std::string(kTestbed) +
+                  ", streamed synthetic catalogs, sharded trips");
+  table.set_header({"V", "delivery", "jain(delivery)", "min veh delivery"});
+  std::vector<ValueEntry> entries;
+  for (const auto& r : sharded8.ordered()) {
+    table.add_row({std::to_string(r.fleet),
+                   TextTable::pct(r.metrics.at("delivery_rate"), 1),
+                   TextTable::num(r.metrics.at("fairness_jain_delivery"), 3),
+                   TextTable::pct(r.metrics.at("per_vehicle_delivery_min"),
+                                  1)});
+    const std::string prefix = "FleetReplayLarge/" + std::string(kTestbed) +
+                               "/V" + std::to_string(r.fleet) + "/";
+    entries.push_back(
+        {prefix + "delivery_rate", r.metrics.at("delivery_rate"), true});
+    entries.push_back({prefix + "jain_delivery",
+                       r.metrics.at("fairness_jain_delivery"), true});
+  }
+  table.print(std::cout);
+  std::cout << "\nsharded thread-count determinism (8 vs 1): "
+            << (thread_invariant ? "OK" : "FAILED") << "\n"
+            << "sharded vs eager executor: "
+            << (matches_eager ? "OK — byte-identical" : "FAILED — differ")
+            << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      std::filesystem::remove_all(root);
+      return 1;
+    }
+    write_value_entries(out, "fleet_replay", entries);
+    std::cout << "wrote large replay curve to " << json_path << "\n";
+  }
+  std::filesystem::remove_all(root);
+  return thread_invariant && matches_eager ? 0 : 1;
+}
+
+int run_v1024() {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "vifi_fleet_replay_v1024";
+  std::filesystem::remove_all(root);
+  const tracegen::TraceModel model =
+      tracegen::fit_model(record_fleet(16, 20080605));
+  const runtime::ExperimentPoint point =
+      synth_point(model, root, 1024, 10.0, 0);
+  try {
+    const runtime::PointResult r =
+        runtime::run_point_sharded(point, runtime::Runner({.threads = 0}));
+    std::cout << "V=1024 streamed replay (10 s trip): delivery "
+              << TextTable::pct(r.metrics.at("delivery_rate"), 1)
+              << ", jain(delivery) "
+              << TextTable::num(r.metrics.at("fairness_jain_delivery"), 3)
+              << "\nnightly completion check: OK\n";
+  } catch (const std::exception& ex) {
+    std::cerr << "V=1024: " << ex.what() << "\n";
+    std::filesystem::remove_all(root);
+    return 1;
+  }
+  std::filesystem::remove_all(root);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  bool large = false, v1024 = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--large") {
+      large = true;
+    } else if (arg == "--v1024") {
+      v1024 = true;
     } else {
-      std::cerr << "Usage: " << argv[0] << " [--json PATH]\n";
+      std::cerr << "Usage: " << argv[0]
+                << " [--json PATH] [--large] [--v1024]\n";
       return 2;
     }
   }
+  if (v1024) return run_v1024();
+  if (large) return run_large(json_path);
 
   // --- Build the catalog pairs: recorded V-bus trips, and V-bus trips
   // synthesized from the model fitted on the recorded 16-bus campaign.

@@ -238,7 +238,53 @@ void BM_MediumBroadcast(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MediumBroadcast)->Arg(4)->Arg(12);
+BENCHMARK(BM_MediumBroadcast)->Arg(4)->Arg(12)->Arg(256);
+
+void BM_MediumBroadcastCulled(benchmark::State& state) {
+  // BM_MediumBroadcast with spatial culling on the same 4-wide grid: at
+  // 256 nodes the column spans ~3.2 km, so most receivers are provably
+  // out of range and skip their decode sample entirely. Compare against
+  // BM_MediumBroadcast/256 to read the per-transmit culling win.
+  const auto n_nodes = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  channel::VehicularChannelParams params;
+  const auto position = [](NodeId id, Time) {
+    return mobility::Vec2{(id.value() % 4) * 50.0, (id.value() / 4) * 50.0};
+  };
+  channel::VehicularChannel loss(params, position, Rng(2));
+  mac::MediumParams mparams;
+  mac::SpatialCulling culling;
+  culling.position = position;
+  culling.max_audible_m = channel::DistanceLossCurve(params.distance)
+                              .range_for(mparams.audibility_threshold);
+  culling.margin_m = 0.0;  // static grid — nothing moves between refreshes
+  mparams.culling = std::move(culling);
+  mac::Medium medium(sim, loss, std::move(mparams));
+  class NullSink final : public mac::FrameSink {
+   public:
+    void on_frame(const mac::Frame&) override {}
+  };
+  std::vector<std::unique_ptr<NullSink>> sinks;
+  for (int i = 0; i < n_nodes; ++i) {
+    sinks.push_back(std::make_unique<NullSink>());
+    medium.attach(NodeId(i), sinks.back().get());
+  }
+  net::PacketFactory factory;
+  for (auto _ : state) {
+    mac::Frame f;
+    f.type = mac::FrameType::Data;
+    f.tx = NodeId(0);
+    f.packet = factory.make(net::Direction::Upstream, NodeId(0), NodeId(1),
+                            500, sim.now());
+    f.data.packet_id = f.packet->id;
+    f.data.origin = NodeId(0);
+    f.data.hop_dst = NodeId(1);
+    medium.transmit(std::move(f));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumBroadcastCulled)->Arg(256);
 
 // ---------------------------------------------------------------------------
 // End-to-end packet path
@@ -287,8 +333,14 @@ void BM_FleetEndToEnd(benchmark::State& state) {
   const int fleet = static_cast<int>(state.range(0));
   const scenario::Testbed bed = scenario::make_vanlan(fleet);
   constexpr double kSimSeconds = 2.0;
+  core::SystemConfig config;
+  // City-scale fleets run the culled medium, like the runtime's
+  // cull_medium points; small fleets keep the historical unculled setup
+  // so /1, /4 and /16 numbers stay comparable across baselines.
+  if (fleet >= 64)
+    config.medium.culling = bed.make_culling(config.medium.audibility_threshold);
   for (auto _ : state) {
-    scenario::LiveTrip trip(bed, core::SystemConfig{}, 11);
+    scenario::LiveTrip trip(bed, config, 11);
     trip.run_until(scenario::LiveTrip::warmup());
     std::vector<std::unique_ptr<apps::CbrWorkload>> cbrs;
     cbrs.reserve(trip.transports().size());
@@ -304,7 +356,7 @@ void BM_FleetEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * fleet *
                           static_cast<std::int64_t>(kSimSeconds * 20.0));
 }
-BENCHMARK(BM_FleetEndToEnd)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_FleetEndToEnd)->Arg(1)->Arg(4)->Arg(16)->Arg(256);
 
 // ---------------------------------------------------------------------------
 // TripScope observability

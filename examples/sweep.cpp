@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/executor.h"
 #include "runtime/runner.h"
 #include "util/table.h"
 
@@ -63,6 +64,13 @@ int usage(const char* argv0) {
       << "  --metrics a,b       TripScope: emit registered metrics as result\n"
          "                      columns (exact key or name summed over\n"
          "                      labels), e.g. mac.transmissions\n"
+      << "  --cull              live (cbr) points: run the medium with\n"
+         "                      spatial interference culling — the\n"
+         "                      city-scale operating mode for large fleets\n"
+      << "  --shard-trips       catalog cbr points: stream trip groups and\n"
+         "                      shard them across the worker pool instead\n"
+         "                      of parallelising across points; output is\n"
+         "                      byte-identical either way\n"
       << "  --json PATH         write JSON here instead of stdout\n"
       << "  --csv PATH          also write CSV here\n"
       << "  --summary           print a per-point summary table to stderr\n"
@@ -86,6 +94,7 @@ int main(int argc, char** argv) {
   std::string json_path, csv_path;
   bool summary = false;
   bool fairness = false;
+  bool shard_trips = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +123,8 @@ int main(int argc, char** argv) {
     else if (arg == "--base-seed") spec.base_seed = std::stoull(value());
     else if (arg == "--trace") spec.trace_dir = value();
     else if (arg == "--metrics") spec.metric_columns = split_csv(value());
+    else if (arg == "--cull") spec.cull_medium = true;
+    else if (arg == "--shard-trips") shard_trips = true;
     else if (arg == "--json") json_path = value();
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--summary") summary = true;
@@ -142,7 +153,28 @@ int main(int argc, char** argv) {
             << spec.grid.seeds.size() << " seeds) on " << runner.threads()
             << " thread(s)\n";
 
-  const runtime::ResultSink sink = runner.run(spec);
+  runtime::ResultSink sink;
+  if (shard_trips) {
+    // Points run one after another; the pool parallelises *within* each
+    // point by sharding its streamed trip groups. Same bytes as run(spec).
+    for (const auto& p : spec.enumerate()) {
+      try {
+        sink.add(runtime::run_point_sharded(p, runner));
+      } catch (const std::exception& e) {
+        runtime::PointResult r;
+        r.index = p.index;
+        r.testbed = p.testbed;
+        r.fleet = p.fleet_size;
+        r.trace_set = p.trace_set;
+        r.policy = p.policy;
+        r.seed = p.seed;
+        r.error = e.what();
+        sink.add(std::move(r));
+      }
+    }
+  } else {
+    sink = runner.run(spec);
+  }
 
   if (summary) {
     // Fairness columns come from the fleet points' metrics; fleet-1 points

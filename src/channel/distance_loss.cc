@@ -12,8 +12,14 @@ DistanceLossCurve::DistanceLossCurve(const Params& p) : params_(p) {
   VIFI_EXPECTS(p.midpoint_m > 0.0);
   VIFI_EXPECTS(p.width_m > 0.0);
   // Solve p_max / (1 + exp((d - mid)/w)) < 1e-3 for d.
-  cutoff_m_ = params_.midpoint_m +
-              params_.width_m * std::log(params_.p_max / 1e-3 - 1.0);
+  cutoff_m_ = range_for(1e-3);
+}
+
+double DistanceLossCurve::range_for(double p) const {
+  VIFI_EXPECTS(p > 0.0 && p < 1.0);
+  if (p >= reception_prob(0.0)) return 0.0;
+  return std::max(0.0, params_.midpoint_m +
+                           params_.width_m * std::log(params_.p_max / p - 1.0));
 }
 
 double DistanceLossCurve::reception_prob(double distance_m) const {

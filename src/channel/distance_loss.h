@@ -32,6 +32,13 @@ class DistanceLossCurve {
   /// skip work for pairs farther apart.
   double cutoff_m() const { return cutoff_m_; }
 
+  /// Inverse of the curve: the distance at which reception falls to \p p
+  /// (0 < p < 1; 0 when even distance zero is already below \p p). Links
+  /// longer than this are *provably* below \p p for any fade state, since
+  /// every stochastic multiplier the vehicular channel composes on top of
+  /// this curve is <= 1 — the basis for spatial interference culling.
+  double range_for(double p) const;
+
   const Params& params() const { return params_; }
 
  private:

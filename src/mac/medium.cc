@@ -1,6 +1,7 @@
 #include "mac/medium.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "obs/metrics.h"
@@ -11,9 +12,20 @@ namespace vifi::mac {
 
 Medium::Medium(sim::Simulator& sim, channel::LossModel& loss,
                MediumParams params)
-    : sim_(sim), loss_(loss), params_(params) {
-  VIFI_EXPECTS(params.bitrate_bps > 0.0);
-  VIFI_EXPECTS(params.phy_overhead_bytes >= 0);
+    : sim_(sim), loss_(loss), params_(std::move(params)) {
+  VIFI_EXPECTS(params_.bitrate_bps > 0.0);
+  VIFI_EXPECTS(params_.phy_overhead_bytes >= 0);
+  if (params_.culling) {
+    const SpatialCulling& c = *params_.culling;
+    VIFI_EXPECTS(c.position != nullptr);
+    VIFI_EXPECTS(c.max_audible_m > 0.0);
+    VIFI_EXPECTS(c.margin_m >= 0.0);
+    VIFI_EXPECTS(c.cell_m >= 0.0);
+    VIFI_EXPECTS(c.refresh > Time::zero());
+    const double range = c.max_audible_m + 2.0 * c.margin_m;
+    cull_cell_size_ = c.cell_m > 0.0 ? c.cell_m : range / 8.0;
+    cull_range_sq_ = range * range;
+  }
 }
 
 void Medium::attach(NodeId node, FrameSink* sink) {
@@ -23,6 +35,42 @@ void Medium::attach(NodeId node, FrameSink* sink) {
   sinks_[node] = sink;
   nodes_.push_back(node);
   ledger_[node];  // materialise the row so snapshots list every node
+  if (params_.culling) {
+    node_index_[node] = nodes_.size() - 1;
+    cull_cell_.emplace_back(0, 0);
+    cull_channel_.push_back(params_.culling->channel_of
+                                ? params_.culling->channel_of(node)
+                                : 0);
+    cull_fresh_ = false;  // the new node needs a cell before the next frame
+  }
+}
+
+void Medium::refresh_cells(Time now) {
+  const SpatialCulling& c = *params_.culling;
+  if (cull_fresh_ && now - cull_refreshed_ < c.refresh) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const mobility::Vec2 p = c.position(nodes_[i], now);
+    cull_cell_[i] = {static_cast<std::int32_t>(std::floor(p.x / cull_cell_size_)),
+                     static_cast<std::int32_t>(std::floor(p.y / cull_cell_size_))};
+  }
+  cull_refreshed_ = now;
+  cull_fresh_ = true;
+}
+
+bool Medium::culled(std::size_t tx_idx, std::size_t rx_idx) const {
+  if (cull_channel_[tx_idx] != cull_channel_[rx_idx]) return true;
+  // Two points in cells (di, dj) apart are at least
+  // hypot(max(0,|di|-1), max(0,|dj|-1)) * cell apart. Cull only when that
+  // floor exceeds max_audible + 2*margin: the pair was provably out of
+  // audible range at refresh time, and the margin absorbs what both
+  // endpoints can have moved since.
+  const auto [ax, ay] = cull_cell_[tx_idx];
+  const auto [bx, by] = cull_cell_[rx_idx];
+  const double dx =
+      std::max(0, std::abs(ax - bx) - 1) * cull_cell_size_;
+  const double dy =
+      std::max(0, std::abs(ay - by) - 1) * cull_cell_size_;
+  return dx * dx + dy * dy > cull_range_sq_;
 }
 
 void Medium::set_role(NodeId node, NodeRole role) {
@@ -67,8 +115,19 @@ Time Medium::transmit(Frame frame) {
 
   // Sample decode + audibility per receiver at start-of-frame. Channel
   // coherence over one frame (< 5 ms) is reasonable at vehicular speeds.
-  for (NodeId rx : nodes_) {
+  // With spatial culling enabled, provably sub-audibility receivers skip
+  // the sampling entirely; the survivors keep attach order, so the shared
+  // draw sequence stays a deterministic function of positions + schedule.
+  const bool cull = params_.culling.has_value();
+  std::size_t tx_idx = 0;
+  if (cull) {
+    refresh_cells(now);
+    tx_idx = node_index_.at(tx.tx);
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeId rx = nodes_[i];
     if (rx == tx.tx) continue;
+    if (cull && culled(tx_idx, i)) continue;
     const double p = loss_.reception_prob(tx.tx, rx, now);
     if (p >= params_.audibility_threshold) tx.audible_at.push_back(rx);
     NodeAirtime& rx_row = ledger_.at(rx);

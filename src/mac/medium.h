@@ -14,13 +14,16 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "channel/loss_model.h"
 #include "mac/airtime.h"
 #include "mac/frame.h"
+#include "mobility/vec2.h"
 #include "sim/ids.h"
 #include "sim/simulator.h"
 #include "util/time.h"
@@ -31,6 +34,44 @@ class MetricsRegistry;
 
 namespace vifi::mac {
 
+/// Spatial interference culling (city-scale fleets). The medium keeps a
+/// grid of cell coordinates keyed off the node positions and skips the
+/// per-receiver decode/audibility sampling for pairs whose cells prove the
+/// link longer than `max_audible_m` — i.e. *provably* below the audibility
+/// threshold for any channel state (see DistanceLossCurve::range_for).
+/// Cached cells refresh every `refresh`; `margin_m` of extra range absorbs
+/// the motion both endpoints can accumulate between refreshes, so the
+/// sub-audibility proof holds at every transmit instant as long as
+/// `margin_m >= max node speed x refresh`.
+///
+/// Semantics when enabled: culled links get *no* sample_delivery call, so
+/// their hidden burst state is not advanced per frame (the channel models
+/// advance state lazily by wall-clock time, so this is safe but changes
+/// the shared draw sequence) — a culled run is deterministic and conserves
+/// airtime/decode counts exactly, but its results differ from an unculled
+/// run. Leaving `MediumParams::culling` unset keeps the historical
+/// every-node broadcast byte-for-byte.
+struct SpatialCulling {
+  /// Position of any attached node at a time (e.g. Testbed::position_fn();
+  /// the provider must outlive the medium).
+  std::function<mobility::Vec2(NodeId, Time)> position;
+  /// Links longer than this are provably sub-audibility.
+  double max_audible_m = 250.0;
+  /// Grid cell edge in meters; 0 derives (max_audible_m + 2*margin_m) / 8.
+  /// The cull check is O(1) per pair regardless of cell size, so smaller
+  /// cells only sharpen the keep radius (cell-quantisation slack is about
+  /// one cell diagonal); the floor is keeping cell indices well inside
+  /// 32-bit for any plausible coordinate.
+  double cell_m = 0.0;
+  /// Cached cell coordinates refresh when older than this.
+  Time refresh = Time::millis(250);
+  /// Motion allowance per endpoint between refreshes.
+  double margin_m = 25.0;
+  /// Optional frequency partition: nodes on different channels never pay
+  /// decode cost for each other. Unset = everyone shares one channel.
+  std::function<int(NodeId)> channel_of;
+};
+
 struct MediumParams {
   double bitrate_bps = 1e6;      ///< Fixed 802.11b broadcast rate (§5.1).
   int phy_overhead_bytes = 24;   ///< PLCP preamble/header equivalent.
@@ -38,6 +79,9 @@ struct MediumParams {
   /// carrier sense and collision purposes.
   double audibility_threshold = 0.05;
   bool model_collisions = true;
+  /// Spatial interference culling; unset (the default) keeps the
+  /// historical all-pairs broadcast byte-for-byte.
+  std::optional<SpatialCulling> culling;
 };
 
 /// Single shared channel connecting all attached nodes.
@@ -49,6 +93,16 @@ class Medium {
   Medium& operator=(const Medium&) = delete;
 
   /// Attaches a node; frames it successfully decodes arrive at \p sink.
+  ///
+  /// Contract for attach during an in-flight transmission: a transmission
+  /// samples its receiver set (decode attempts, audibility) once at
+  /// start-of-frame, so a node attached mid-flight joins *subsequent*
+  /// transmissions only — for frames already in the air it gets no decode
+  /// attempt, cannot deliver, and does not hear them for carrier sense
+  /// (busy_for()/busy_until() report idle for it). This keeps the
+  /// conservation invariants exact: the new node's ledger row starts at
+  /// zero and only counts transmissions that started after the attach.
+  /// Pinned by Medium.AttachDuringFlightJoinsSubsequentTransmissionsOnly.
   void attach(NodeId node, FrameSink* sink);
 
   /// Tags an attached node's role so snapshots can split infrastructure
@@ -113,12 +167,23 @@ class Medium {
 
   void finish(std::uint64_t seq);
   void prune(Time now);
+  void refresh_cells(Time now);
+  bool culled(std::size_t tx_idx, std::size_t rx_idx) const;
 
   sim::Simulator& sim_;
   channel::LossModel& loss_;
   MediumParams params_;
   std::unordered_map<NodeId, FrameSink*> sinks_;
   std::vector<NodeId> nodes_;
+  /// Spatial-culling state, parallel to nodes_ (attach order); empty and
+  /// unused when params_.culling is unset.
+  std::vector<std::pair<std::int32_t, std::int32_t>> cull_cell_;
+  std::vector<int> cull_channel_;
+  std::unordered_map<NodeId, std::size_t> node_index_;
+  Time cull_refreshed_;
+  bool cull_fresh_ = false;
+  double cull_cell_size_ = 0.0;
+  double cull_range_sq_ = 0.0;  ///< (max_audible + 2*margin)^2, m^2.
   /// Includes recently finished transmissions, pruned lazily. A deque so
   /// records stay put while finish() dispatches from them even if a sink
   /// synchronously transmits (appends); prune is deferred meanwhile.

@@ -19,6 +19,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "runtime/runner.h"
 #include "scenario/campaign.h"
 #include "scenario/live.h"
 #include "tracegen/catalog.h"
@@ -31,83 +32,38 @@ namespace {
 
 constexpr int kProbePayloadBytes = 500;  // §3.1 / §5.2 workload packets.
 
-/// Accumulates the metric set shared by replay and live workloads from one
-/// trip's slot stream.
-struct MetricAccumulator {
-  std::int64_t slots = 0;
-  std::int64_t delivered = 0;
-  std::vector<double> session_lengths;
-  Cdf throughput_kbps;
-
-  void add_trip(const analysis::SlotStream& stream,
-                const analysis::SessionDef& def) {
-    slots += static_cast<std::int64_t>(stream.delivered.size());
-    for (const int d : stream.delivered) delivered += d;
-    const auto lengths = analysis::session_lengths_s(stream, def);
-    session_lengths.insert(session_lengths.end(), lengths.begin(),
-                           lengths.end());
-    // Per-second goodput of the mirrored workload: reception ratio times
-    // the slot capacity (2 x 500 bytes per 100 ms slot).
-    const Time interval = Time::seconds(1.0);
-    const double slots_per_interval = interval / stream.slot;
-    const double interval_capacity_kbits =
-        slots_per_interval * stream.per_slot_max * kProbePayloadBytes * 8.0 /
-        1000.0;
-    for (const double ratio : analysis::interval_ratios(stream, interval))
-      throughput_kbps.add(ratio * interval_capacity_kbits);
-  }
-
-  void finish(int days, PointResult& r) const {
-    r.metrics["slots"] = static_cast<double>(slots);
-    r.metrics["packets_sent"] = static_cast<double>(2 * slots);
-    r.metrics["packets_delivered"] = static_cast<double>(delivered);
-    r.metrics["delivery_rate"] =
-        slots > 0 ? static_cast<double>(delivered) /
-                        static_cast<double>(2 * slots)
-                  : 0.0;
-    r.metrics["packets_per_day"] =
-        static_cast<double>(delivered) / static_cast<double>(days);
-    r.metrics["session_count"] =
-        static_cast<double>(session_lengths.size());
-    r.metrics["median_session_s"] =
-        analysis::median_session_length(session_lengths);
-
-    const Cdf sessions = analysis::session_time_cdf(session_lengths);
-    std::vector<double> session_q, throughput_q;
-    for (const double q : cdf_quantiles()) {
-      session_q.push_back(sessions.empty() ? 0.0 : sessions.quantile(q));
-      throughput_q.push_back(
-          throughput_kbps.empty() ? 0.0 : throughput_kbps.quantile(q));
-    }
-    r.series["session_len_s_q"] = std::move(session_q);
-    r.series["throughput_kbps_q"] = std::move(throughput_q);
-  }
-};
-
-/// Loads and validates the point's TraceCatalog (shared, immutable) —
-/// replay points must name a catalog recorded on their exact scenario.
-std::shared_ptr<const tracegen::TraceCatalog> resolve_catalog(
-    const ExperimentPoint& point, const scenario::Testbed& bed) {
-  auto catalog = tracegen::load_catalog_shared(point.trace_set);
-  if (catalog->testbed() != point.testbed)
+/// Shape checks shared by the eager and streaming catalog paths — replay
+/// points must name a catalog recorded on their exact scenario.
+void validate_catalog_shape(const ExperimentPoint& point,
+                            const scenario::Testbed& bed,
+                            const std::string& testbed, int fleet_size,
+                            const std::vector<sim::NodeId>& vehicle_ids) {
+  if (testbed != point.testbed)
     throw std::runtime_error("trace set '" + point.trace_set +
-                             "' was recorded on testbed '" +
-                             catalog->testbed() + "', not '" + point.testbed +
-                             "'");
-  if (catalog->fleet_size() != point.fleet_size)
+                             "' was recorded on testbed '" + testbed +
+                             "', not '" + point.testbed + "'");
+  if (fleet_size != point.fleet_size)
     throw std::runtime_error(
         "trace set '" + point.trace_set + "' carries " +
-        std::to_string(catalog->fleet_size()) +
+        std::to_string(fleet_size) +
         " vehicles per trip but the point asks for fleet " +
         std::to_string(point.fleet_size));
   // Ids must match the testbed convention too, or the per-vehicle
   // accounting would key foreign ids and report silently empty fairness.
-  for (const sim::NodeId v : catalog->vehicle_ids())
+  for (const sim::NodeId v : vehicle_ids)
     if (!bed.is_vehicle(v))
       throw std::runtime_error(
           "trace set '" + point.trace_set + "' was logged by vehicle " +
           v.to_string() + ", which is not a vehicle of testbed " +
           point.testbed + " at fleet " + std::to_string(point.fleet_size));
+}
+
+/// Loads and validates the point's TraceCatalog (shared, immutable).
+std::shared_ptr<const tracegen::TraceCatalog> resolve_catalog(
+    const ExperimentPoint& point, const scenario::Testbed& bed) {
+  auto catalog = tracegen::load_catalog_shared(point.trace_set);
+  validate_catalog_shape(point, bed, catalog->testbed(),
+                         catalog->fleet_size(), catalog->vehicle_ids());
   return catalog;
 }
 
@@ -183,8 +139,11 @@ void run_replay(const scenario::Testbed& bed, const ExperimentPoint& point,
   }
 }
 
-void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
-             const tracegen::TraceCatalog* catalog, PointResult& r) {
+/// The live stack configuration a point runs under (§5.2): policy switches,
+/// link-layer retransmissions off, and — for city-scale points — the
+/// medium's spatial culling derived from the testbed geometry.
+core::SystemConfig live_system_config(const ExperimentPoint& point,
+                                      const scenario::Testbed& bed) {
   core::SystemConfig sys;
   if (point.policy == "ViFi") {
     // Defaults: diversity + salvage on.
@@ -197,6 +156,139 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
     VIFI_EXPECTS(!"unknown live policy (expected ViFi/BRR/Diversity)");
   }
   sys.vifi.max_retx = 0;  // §5.2: link-layer retransmissions disabled.
+  if (point.cull_medium)
+    sys.medium.culling = bed.make_culling(sys.medium.audibility_threshold);
+  return sys;
+}
+
+/// Everything one live trip contributes to its point: the shared metric
+/// accumulation plus — for fleet points — the per-vehicle fairness view
+/// (delivered/sent packets, airtime from the medium's ledger, and the
+/// infrastructure/client occupancy split).
+struct LiveTripOutcome {
+  MetricAccumulator acc;
+  std::vector<double> veh_delivered, veh_sent, veh_airtime_s;
+  double infra_airtime_s = 0.0, vehicle_airtime_s = 0.0;
+  Time sim_end = Time::zero();  ///< Final simulator clock (recorder base).
+};
+
+/// Runs one already-constructed live trip to its horizon and measures it.
+/// \p trace_horizon carries a replay trip's absolute schedule horizon;
+/// nullopt means a stochastic trip (one route lap). The exact trip body of
+/// run_cbr, shared with the sharded executor so the two paths cannot
+/// drift.
+LiveTripOutcome measure_live_trip(const scenario::Testbed& bed,
+                                  const ExperimentPoint& point,
+                                  scenario::LiveTrip& live,
+                                  std::optional<Time> trace_horizon,
+                                  bool fairness) {
+  const std::size_t fleet = static_cast<std::size_t>(bed.fleet_size());
+  LiveTripOutcome out;
+  live.run_until(scenario::LiveTrip::warmup());
+  // One CBR probe stream per vehicle, all sharing the trip's medium —
+  // fleet points measure the stack under real multi-client contention.
+  std::vector<std::unique_ptr<apps::CbrWorkload>> cbrs;
+  for (const auto& transport : live.transports())
+    cbrs.push_back(
+        std::make_unique<apps::CbrWorkload>(live.simulator(), *transport));
+  // Replay trips end at the trace's *absolute* horizon: the loss
+  // schedule covers seconds [0, duration) and reads 100% lossy beyond
+  // it, so measuring past the horizon would count dead air as loss.
+  // An explicit trip_duration is the caller's to overrun with.
+  const Time end =
+      !point.trip_duration.is_zero()
+          ? live.simulator().now() + point.trip_duration
+      : trace_horizon.has_value()
+          ? std::max(live.simulator().now(), *trace_horizon)
+          : live.simulator().now() + bed.trip_duration();
+  for (auto& cbr : cbrs) cbr->start(end);
+  live.run_until(end + Time::seconds(1.0));
+  out.sim_end = live.simulator().now();
+  if (obs::MetricsRegistry* metrics = obs::current_metrics()) {
+    live.system().medium().publish(*metrics);
+    live.system().stats().publish(*metrics);
+    for (const auto& cbr : cbrs) cbr->publish(*metrics);
+  }
+  for (auto& cbr : cbrs) out.acc.add_trip(cbr->slot_stream(), point.session);
+  if (fairness) {
+    out.veh_delivered.assign(fleet, 0.0);
+    out.veh_sent.assign(fleet, 0.0);
+    out.veh_airtime_s.assign(fleet, 0.0);
+    const mac::MediumStats ms = live.medium_stats();
+    for (std::size_t i = 0; i < fleet; ++i) {
+      out.veh_delivered[i] = static_cast<double>(cbrs[i]->delivered());
+      out.veh_sent[i] = static_cast<double>(cbrs[i]->sent());
+      const mac::NodeAirtime& row = ms.node(bed.vehicle_ids()[i]);
+      out.veh_airtime_s[i] = (row.tx_airtime + row.rx_airtime).to_seconds();
+    }
+    out.infra_airtime_s =
+        ms.tx_airtime(mac::NodeRole::Infrastructure).to_seconds();
+    out.vehicle_airtime_s =
+        ms.tx_airtime(mac::NodeRole::Vehicle).to_seconds();
+  }
+  return out;
+}
+
+/// Point-level fold of one trip's outcome: the += sequence matches the
+/// historical in-loop accumulation exactly (per-trip values added in trip
+/// order), keeping floating-point sums bit-identical.
+struct LiveFold {
+  MetricAccumulator acc;
+  std::vector<double> veh_delivered, veh_sent, veh_airtime_s;
+  double infra_airtime_s = 0.0, vehicle_airtime_s = 0.0;
+
+  explicit LiveFold(std::size_t fleet)
+      : veh_delivered(fleet, 0.0),
+        veh_sent(fleet, 0.0),
+        veh_airtime_s(fleet, 0.0) {}
+
+  void add(const LiveTripOutcome& out, bool fairness) {
+    acc.merge(out.acc);
+    if (!fairness) return;
+    for (std::size_t i = 0; i < veh_delivered.size(); ++i) {
+      veh_delivered[i] += out.veh_delivered[i];
+      veh_sent[i] += out.veh_sent[i];
+      veh_airtime_s[i] += out.veh_airtime_s[i];
+    }
+    infra_airtime_s += out.infra_airtime_s;
+    vehicle_airtime_s += out.vehicle_airtime_s;
+  }
+};
+
+/// Shared tail of the live paths: metric distillation, fairness columns
+/// (fleet points only) and §5.3.2 call quality.
+void finish_live_point(const LiveFold& fold, int days, bool fairness,
+                       PointResult& r) {
+  fold.acc.finish(days, r);
+  if (fairness) {
+    double min_rate = 1.0;
+    for (std::size_t i = 0; i < fold.veh_delivered.size(); ++i)
+      min_rate = std::min(min_rate, fold.veh_sent[i] > 0.0
+                                        ? fold.veh_delivered[i] /
+                                              fold.veh_sent[i]
+                                        : 0.0);
+    r.metrics["airtime_infra_s"] = fold.infra_airtime_s;
+    r.metrics["airtime_vehicle_s"] = fold.vehicle_airtime_s;
+    r.metrics["fairness_jain_airtime"] = mac::jain_index(fold.veh_airtime_s);
+    r.metrics["fairness_jain_delivery"] =
+        mac::jain_index(fold.veh_delivered);
+    r.metrics["per_vehicle_delivery_min"] = min_rate;
+    r.series["veh_airtime_s"] = fold.veh_airtime_s;
+    r.series["veh_delivered"] = fold.veh_delivered;
+  }
+
+  // §5.3.2 call quality under the fixed delay budget, charging half the
+  // wireless deadline to the wireless segment.
+  const apps::VoipDelayBudget budget;
+  const double delay_ms = budget.coding_ms + budget.jitter_buffer_ms +
+                          budget.wired_ms + budget.wireless_deadline_ms() / 2;
+  r.metrics["mos"] =
+      apps::mos_g729(delay_ms, 1.0 - r.metrics["delivery_rate"]);
+}
+
+void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
+             const tracegen::TraceCatalog* catalog, PointResult& r) {
+  const core::SystemConfig sys = live_system_config(point, bed);
 
   // Replay points run every trip group of their catalog exactly once; the
   // point's days/trips knobs describe generated campaigns only.
@@ -204,17 +296,12 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
                         ? static_cast<int>(catalog->trip_groups())
                         : point.days * point.trips_per_day;
   const int days = catalog != nullptr ? catalog->days() : point.days;
-  MetricAccumulator acc;
   // Fleet points (V > 1) accumulate the per-vehicle fairness view on top
-  // of the shared metric set: delivered packets and airtime per vehicle
-  // (from the medium's ledger), plus the infrastructure/client occupancy
-  // split. Fleet-1 points skip all of it so their output bytes stay
-  // identical to the single-vehicle sweeps.
+  // of the shared metric set; fleet-1 points skip all of it so their
+  // output bytes stay identical to the single-vehicle sweeps.
   const std::size_t fleet = static_cast<std::size_t>(bed.fleet_size());
   const bool fairness = fleet > 1;
-  std::vector<double> veh_delivered(fleet, 0.0), veh_sent(fleet, 0.0),
-      veh_airtime_s(fleet, 0.0);
-  double infra_airtime_s = 0.0, vehicle_airtime_s = 0.0;
+  LiveFold fold(fleet);
   // One timeline per point: each trip's simulator restarts at zero, so the
   // recorder's base advances by the previous trip's horizon.
   obs::TraceRecorder* rec = obs::current_recorder();
@@ -231,72 +318,20 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
                   bed, *catalog, static_cast<std::size_t>(trip), sys,
                   trip_seed)
             : std::make_unique<scenario::LiveTrip>(bed, sys, trip_seed);
-    scenario::LiveTrip& live = *live_ptr;
-    live.run_until(scenario::LiveTrip::warmup());
-    // One CBR probe stream per vehicle, all sharing the trip's medium —
-    // fleet points measure the stack under real multi-client contention.
-    std::vector<std::unique_ptr<apps::CbrWorkload>> cbrs;
-    for (const auto& transport : live.transports())
-      cbrs.push_back(std::make_unique<apps::CbrWorkload>(live.simulator(),
-                                                         *transport));
-    // Replay trips end at the trace's *absolute* horizon: the loss
-    // schedule covers seconds [0, duration) and reads 100% lossy beyond
-    // it, so measuring past the horizon would count dead air as loss.
-    // An explicit trip_duration is the caller's to overrun with.
-    const Time end =
-        !point.trip_duration.is_zero()
-            ? live.simulator().now() + point.trip_duration
-        : catalog != nullptr
-            ? std::max(live.simulator().now(),
-                       catalog->fleet_trip(static_cast<std::size_t>(trip))
-                           .front()
-                           ->duration)
-            : live.simulator().now() + bed.trip_duration();
-    for (auto& cbr : cbrs) cbr->start(end);
-    live.run_until(end + Time::seconds(1.0));
-    if (rec) trace_base = trace_base + live.simulator().now();
-    if (obs::MetricsRegistry* metrics = obs::current_metrics()) {
-      live.system().medium().publish(*metrics);
-      live.system().stats().publish(*metrics);
-      for (const auto& cbr : cbrs) cbr->publish(*metrics);
-    }
-    for (auto& cbr : cbrs) acc.add_trip(cbr->slot_stream(), point.session);
-    if (fairness) {
-      const mac::MediumStats ms = live.medium_stats();
-      for (std::size_t i = 0; i < fleet; ++i) {
-        veh_delivered[i] += static_cast<double>(cbrs[i]->delivered());
-        veh_sent[i] += static_cast<double>(cbrs[i]->sent());
-        const mac::NodeAirtime& row = ms.node(bed.vehicle_ids()[i]);
-        veh_airtime_s[i] += (row.tx_airtime + row.rx_airtime).to_seconds();
-      }
-      infra_airtime_s +=
-          ms.tx_airtime(mac::NodeRole::Infrastructure).to_seconds();
-      vehicle_airtime_s += ms.tx_airtime(mac::NodeRole::Vehicle).to_seconds();
-    }
+    const std::optional<Time> horizon =
+        catalog != nullptr
+            ? std::optional<Time>(
+                  catalog->fleet_trip(static_cast<std::size_t>(trip))
+                      .front()
+                      ->duration)
+            : std::nullopt;
+    const LiveTripOutcome out =
+        measure_live_trip(bed, point, *live_ptr, horizon, fairness);
+    if (rec) trace_base = trace_base + out.sim_end;
+    fold.add(out, fairness);
   }
-  acc.finish(days, r);
   if (rec) rec->set_time_base(trace_base);
-  if (fairness) {
-    double min_rate = 1.0;
-    for (std::size_t i = 0; i < fleet; ++i)
-      min_rate = std::min(
-          min_rate, veh_sent[i] > 0.0 ? veh_delivered[i] / veh_sent[i] : 0.0);
-    r.metrics["airtime_infra_s"] = infra_airtime_s;
-    r.metrics["airtime_vehicle_s"] = vehicle_airtime_s;
-    r.metrics["fairness_jain_airtime"] = mac::jain_index(veh_airtime_s);
-    r.metrics["fairness_jain_delivery"] = mac::jain_index(veh_delivered);
-    r.metrics["per_vehicle_delivery_min"] = min_rate;
-    r.series["veh_airtime_s"] = std::move(veh_airtime_s);
-    r.series["veh_delivered"] = std::move(veh_delivered);
-  }
-
-  // §5.3.2 call quality under the fixed delay budget, charging half the
-  // wireless deadline to the wireless segment.
-  const apps::VoipDelayBudget budget;
-  const double delay_ms = budget.coding_ms + budget.jitter_buffer_ms +
-                          budget.wired_ms + budget.wireless_deadline_ms() / 2;
-  r.metrics["mos"] =
-      apps::mos_g729(delay_ms, 1.0 - r.metrics["delivery_rate"]);
+  finish_live_point(fold, days, fairness, r);
 }
 
 }  // namespace
@@ -310,6 +345,62 @@ const std::vector<std::string>& replay_policy_names() {
 const std::vector<double>& cdf_quantiles() {
   static const std::vector<double> qs{0.10, 0.25, 0.50, 0.75, 0.90};
   return qs;
+}
+
+void MetricAccumulator::add_trip(const analysis::SlotStream& stream,
+                                 const analysis::SessionDef& def) {
+  slots += static_cast<std::int64_t>(stream.delivered.size());
+  for (const int d : stream.delivered) delivered += d;
+  const auto lengths = analysis::session_lengths_s(stream, def);
+  session_lengths.insert(session_lengths.end(), lengths.begin(),
+                         lengths.end());
+  // Per-second goodput of the mirrored workload: reception ratio times
+  // the slot capacity (2 x 500 bytes per 100 ms slot).
+  const Time interval = Time::seconds(1.0);
+  const double slots_per_interval = interval / stream.slot;
+  const double interval_capacity_kbits =
+      slots_per_interval * stream.per_slot_max * kProbePayloadBytes * 8.0 /
+      1000.0;
+  for (const double ratio : analysis::interval_ratios(stream, interval))
+    throughput_kbps.push_back(ratio * interval_capacity_kbits);
+}
+
+void MetricAccumulator::merge(const MetricAccumulator& other) {
+  slots += other.slots;
+  delivered += other.delivered;
+  session_lengths.insert(session_lengths.end(),
+                         other.session_lengths.begin(),
+                         other.session_lengths.end());
+  throughput_kbps.insert(throughput_kbps.end(),
+                         other.throughput_kbps.begin(),
+                         other.throughput_kbps.end());
+}
+
+void MetricAccumulator::finish(int days, PointResult& r) const {
+  r.metrics["slots"] = static_cast<double>(slots);
+  r.metrics["packets_sent"] = static_cast<double>(2 * slots);
+  r.metrics["packets_delivered"] = static_cast<double>(delivered);
+  r.metrics["delivery_rate"] =
+      slots > 0 ? static_cast<double>(delivered) /
+                      static_cast<double>(2 * slots)
+                : 0.0;
+  r.metrics["packets_per_day"] =
+      static_cast<double>(delivered) / static_cast<double>(days);
+  r.metrics["session_count"] = static_cast<double>(session_lengths.size());
+  r.metrics["median_session_s"] =
+      analysis::median_session_length(session_lengths);
+
+  const Cdf sessions = analysis::session_time_cdf(session_lengths);
+  Cdf throughput;
+  for (const double kbps : throughput_kbps) throughput.add(kbps);
+  std::vector<double> session_q, throughput_q;
+  for (const double q : cdf_quantiles()) {
+    session_q.push_back(sessions.empty() ? 0.0 : sessions.quantile(q));
+    throughput_q.push_back(throughput.empty() ? 0.0
+                                              : throughput.quantile(q));
+  }
+  r.series["session_len_s_q"] = std::move(session_q);
+  r.series["throughput_kbps_q"] = std::move(throughput_q);
 }
 
 analysis::SlotStream outcomes_to_stream(
@@ -431,6 +522,92 @@ PointResult run_point(const ExperimentPoint& point) {
       mjson << own_metrics->to_json();
     }
   }
+  return r;
+}
+
+PointResult run_point_sharded(const ExperimentPoint& point,
+                              const Runner& pool) {
+  // The sharded path covers exactly the city-scale shape: catalog-replay
+  // live points with no TripScope session. Everything else falls back to
+  // the sequential executor (whose recorder timeline and campaign caching
+  // are inherently per-point).
+  if (point.workload != "cbr" || point.trace_set.empty() ||
+      !point.trace_dir.empty() || !point.metric_columns.empty() ||
+      obs::current_recorder() != nullptr || obs::current_metrics() != nullptr)
+    return run_point(point);
+
+  PointResult r;
+  r.index = point.index;
+  r.testbed = point.testbed;
+  r.fleet = point.fleet_size;
+  r.trace_set = point.trace_set;
+  r.policy = point.policy;
+  r.seed = point.seed;
+
+  const scenario::Testbed bed = make_testbed(point.testbed, point.fleet_size);
+  const tracegen::CatalogStream stream =
+      tracegen::CatalogStream::open(point.trace_set);
+  validate_catalog_shape(point, bed, stream.testbed(), stream.fleet_size(),
+                         stream.vehicle_ids());
+  const core::SystemConfig sys = live_system_config(point, bed);
+  const std::size_t fleet = static_cast<std::size_t>(bed.fleet_size());
+  const bool fairness = fleet > 1;
+
+  // Each worker materialises only its own trip group's traces, runs the
+  // exact trip body run_cbr runs, and returns the trip's contribution as a
+  // PointResult-encoded partial. Every trip is a pure function of (point,
+  // trip index), so the partial set is sharding-independent.
+  const ResultSink partials = pool.run_indexed(
+      stream.trip_groups(), [&](std::size_t trip) {
+        PointResult p;
+        p.index = trip;
+        const std::vector<trace::MeasurementTrace> traces =
+            stream.load_group(trip);
+        std::vector<const trace::MeasurementTrace*> ptrs;
+        ptrs.reserve(traces.size());
+        for (const trace::MeasurementTrace& t : traces) ptrs.push_back(&t);
+        scenario::LiveTrip live(
+            bed, ptrs, sys,
+            mix_seed(point.point_seed, static_cast<std::uint64_t>(trip)));
+        const LiveTripOutcome out = measure_live_trip(
+            bed, point, live, traces.front().duration, fairness);
+        p.metrics["slots"] = static_cast<double>(out.acc.slots);
+        p.metrics["delivered"] = static_cast<double>(out.acc.delivered);
+        p.series["session_lengths"] = out.acc.session_lengths;
+        p.series["throughput_kbps"] = out.acc.throughput_kbps;
+        if (fairness) {
+          p.metrics["infra_airtime_s"] = out.infra_airtime_s;
+          p.metrics["vehicle_airtime_s"] = out.vehicle_airtime_s;
+          p.series["veh_delivered"] = out.veh_delivered;
+          p.series["veh_sent"] = out.veh_sent;
+          p.series["veh_airtime_s"] = out.veh_airtime_s;
+        }
+        return p;
+      });
+
+  // Fold in trip order — ordered() restores it regardless of which worker
+  // ran which trip — so every floating-point sum replays the sequential
+  // executor's exact accumulation sequence.
+  LiveFold fold(fleet);
+  for (const PointResult& p : partials.ordered()) {
+    if (!p.error.empty())
+      throw std::runtime_error("trip " + std::to_string(p.index) + ": " +
+                               p.error);
+    LiveTripOutcome out;
+    out.acc.slots = static_cast<std::int64_t>(p.metrics.at("slots"));
+    out.acc.delivered = static_cast<std::int64_t>(p.metrics.at("delivered"));
+    out.acc.session_lengths = p.series.at("session_lengths");
+    out.acc.throughput_kbps = p.series.at("throughput_kbps");
+    if (fairness) {
+      out.infra_airtime_s = p.metrics.at("infra_airtime_s");
+      out.vehicle_airtime_s = p.metrics.at("vehicle_airtime_s");
+      out.veh_delivered = p.series.at("veh_delivered");
+      out.veh_sent = p.series.at("veh_sent");
+      out.veh_airtime_s = p.series.at("veh_airtime_s");
+    }
+    fold.add(out, fairness);
+  }
+  finish_live_point(fold, stream.days(), fairness, r);
   return r;
 }
 

@@ -7,6 +7,7 @@
 /// the "cbr" workload — and distil the standard metric set (delivery rate,
 /// packets/day, session lengths, throughput CDF quantiles, MOS).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "trace/observations.h"
 
 namespace vifi::runtime {
+
+class Runner;
 
 /// Replay policy names understood by the executor, in the paper's ordering.
 const std::vector<std::string>& replay_policy_names();
@@ -35,9 +38,41 @@ std::vector<handoff::SlotOutcome> replay_trip(
     const trace::MeasurementTrace& trip, const std::string& policy,
     const trace::Campaign& campaign);
 
+/// Accumulates the metric set shared by replay and live workloads, one
+/// trip at a time. Counters are exact and sample vectors append in call
+/// order, so folding per-trip partials with merge() *in trip order*
+/// reproduces a sequential accumulation bit for bit — the contract the
+/// sharded executor's byte-identity rests on.
+struct MetricAccumulator {
+  std::int64_t slots = 0;
+  std::int64_t delivered = 0;
+  std::vector<double> session_lengths;
+  /// Per-second goodput samples of the mirrored workload, in kbit/s.
+  std::vector<double> throughput_kbps;
+
+  void add_trip(const analysis::SlotStream& stream,
+                const analysis::SessionDef& def);
+  /// Appends \p other's counters and samples after this accumulator's.
+  void merge(const MetricAccumulator& other);
+  /// Distils the standard metric/series set into \p r.
+  void finish(int days, PointResult& r) const;
+};
+
 /// Executes one point end-to-end on the calling thread. The point is the
 /// only input: the executor builds its own Testbed, Simulator and Rng
 /// streams, so concurrent calls never share mutable state.
 PointResult run_point(const ExperimentPoint& point);
+
+/// City-scale form of run_point for catalog-replay "cbr" points: opens the
+/// catalog as a CatalogStream (manifest only — no trace touches the heap
+/// until its trip runs) and shards the point's trip groups across \p pool's
+/// workers, each loading just its own group. Per-trip partials fold in trip
+/// order, so the result is byte-identical to run_point for any thread
+/// count. Points the sharded path does not cover (stochastic or replay
+/// workloads, TripScope exports, an installed recorder/metrics registry)
+/// fall back to run_point on the calling thread. Throws on trip failure,
+/// like run_point.
+PointResult run_point_sharded(const ExperimentPoint& point,
+                              const Runner& pool);
 
 }  // namespace vifi::runtime

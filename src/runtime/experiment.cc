@@ -55,6 +55,7 @@ std::vector<ExperimentPoint> ExperimentSpec::enumerate() const {
             p.trip_duration = trip_duration;
             p.workload = workload;
             p.session = session;
+            p.cull_medium = cull_medium;
             p.trace_dir = trace_dir;
             p.metric_columns = metric_columns;
             p.campaign_seed = mix_seed(mix_seed(base_seed, bed), seed);

@@ -65,6 +65,12 @@ struct ExperimentPoint {
   Time trip_duration = Time::zero();  ///< Zero means one full route lap.
   std::string workload = "replay";    ///< "replay" (§3.1) or "cbr" (§5.2).
   analysis::SessionDef session;
+  /// Live ("cbr") points only: run the medium with spatial interference
+  /// culling derived from the testbed (Testbed::make_culling) — the
+  /// city-scale operating mode. Culling skips provably sub-audibility
+  /// receivers, so results are deterministic but differ from the unculled
+  /// default; large-fleet sweeps opt in, the historical grids stay off.
+  bool cull_medium = false;
 
   /// TripScope: directory for per-point timeline exports. Non-empty makes
   /// run_point() record the whole point into a TraceRecorder (unless one is
@@ -97,6 +103,8 @@ struct ExperimentSpec {
   Time trip_duration = Time::zero();
   std::string workload = "replay";
   analysis::SessionDef session;
+  /// Copied onto every point; see ExperimentPoint::cull_medium.
+  bool cull_medium = false;
   std::uint64_t base_seed = 20080817;
   /// TripScope knobs, copied verbatim onto every point (see
   /// ExperimentPoint::trace_dir / metric_columns).

@@ -1,5 +1,6 @@
 #include "scenario/testbed.h"
 
+#include <algorithm>
 #include <string>
 
 #include "util/contracts.h"
@@ -71,6 +72,19 @@ std::unique_ptr<channel::VehicularChannel> Testbed::make_channel(
                                                         position_fn(), rng);
   for (NodeId v : vehicle_ids_) ch->mark_mobile(v);
   return ch;
+}
+
+mac::SpatialCulling Testbed::make_culling(double audibility_threshold) const {
+  mac::SpatialCulling cull;
+  cull.position = position_fn();
+  cull.max_audible_m =
+      channel::DistanceLossCurve(channel_params_.distance)
+          .range_for(audibility_threshold);
+  // Margin per endpoint between refreshes: the route cruise speed with
+  // generous slack (buses dwell, shuttles hold the speed limit).
+  cull.refresh = Time::millis(250);
+  cull.margin_m = std::max(10.0, 3.0 * layout_.cruise_mps * 0.25);
+  return cull;
 }
 
 Time Testbed::trip_duration() const {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "channel/vehicular.h"
+#include "mac/medium.h"
 #include "mobility/layouts.h"
 #include "mobility/mobility.h"
 #include "sim/ids.h"
@@ -70,6 +71,15 @@ class Testbed {
   /// A fresh stochastic channel with every vehicle marked mobile.
   /// Deterministic per \p rng.
   std::unique_ptr<channel::VehicularChannel> make_channel(Rng rng) const;
+
+  /// Spatial-culling configuration for media running on this testbed:
+  /// positions come from the testbed (which must outlive the medium), and
+  /// the max audible range inverts the distance curve at
+  /// \p audibility_threshold — a provable bound, since every stochastic
+  /// multiplier the vehicular channel composes on top of the curve is
+  /// <= 1. The motion margin comfortably covers the route cruise speed at
+  /// the default refresh interval.
+  mac::SpatialCulling make_culling(double audibility_threshold = 0.05) const;
 
   /// Duration of one trip (one lap of the route, including dwells).
   Time trip_duration() const;

@@ -30,19 +30,25 @@ struct ManifestEntry {
   NodeId vehicle;
 };
 
-}  // namespace
+/// Everything the manifest alone pins down, shared by the eager and the
+/// streaming loader so they cannot drift: the header, the entries in
+/// canonical (day, trip, vehicle) order with duplicates rejected.
+struct ParsedManifest {
+  std::string name;
+  std::string testbed;
+  int fleet_size = 0;
+  std::vector<ManifestEntry> entries;
+};
 
-TraceCatalog TraceCatalog::load(const std::string& dir) {
+ParsedManifest parse_manifest(const std::string& dir) {
   namespace fs = std::filesystem;
-  const fs::path root(dir);
-  const fs::path manifest_path = root / kManifestName;
+  const fs::path manifest_path = fs::path(dir) / kManifestName;
   std::ifstream is(manifest_path);
   if (!is)
     fail(dir, "cannot open " + manifest_path.string() +
                   " (not a trace catalog?)");
 
-  TraceCatalog cat;
-  cat.dir_ = dir;
+  ParsedManifest m;
   std::string line;
   int line_no = 1;
   if (!std::getline(is, line) || line != kMagic) {
@@ -52,7 +58,6 @@ TraceCatalog TraceCatalog::load(const std::string& dir) {
     fail(dir, "bad manifest magic (expected '" + std::string(kMagic) + "')");
   }
   bool have_header = false;
-  std::vector<ManifestEntry> entries;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
@@ -61,8 +66,8 @@ TraceCatalog TraceCatalog::load(const std::string& dir) {
     ls >> tag;
     if (tag == "catalog") {
       std::string kw;
-      ls >> cat.name_ >> kw >> cat.testbed_ >> kw >> cat.fleet_size_;
-      if (!ls || cat.fleet_size_ <= 0)
+      ls >> m.name >> kw >> m.testbed >> kw >> m.fleet_size;
+      if (!ls || m.fleet_size <= 0)
         fail(dir, "bad catalog header at manifest line " +
                       std::to_string(line_no));
       have_header = true;
@@ -74,49 +79,72 @@ TraceCatalog TraceCatalog::load(const std::string& dir) {
       if (!ls || veh < 0)
         fail(dir, "bad trace line at manifest line " + std::to_string(line_no));
       e.vehicle = NodeId(veh);
-      entries.push_back(std::move(e));
+      m.entries.push_back(std::move(e));
     } else {
       fail(dir, "unknown manifest tag '" + tag + "' at line " +
                     std::to_string(line_no));
     }
   }
   if (!have_header) fail(dir, "manifest has no catalog header");
-  if (entries.empty()) fail(dir, "manifest names no traces");
+  if (m.entries.empty()) fail(dir, "manifest names no traces");
 
   // Canonical order regardless of how the manifest lists its lines, so
   // two semantically identical catalogs replay byte-identically.
-  std::sort(entries.begin(), entries.end(),
+  std::sort(m.entries.begin(), m.entries.end(),
             [](const ManifestEntry& a, const ManifestEntry& b) {
               return std::tuple(a.day, a.trip, a.vehicle) <
                      std::tuple(b.day, b.trip, b.vehicle);
             });
-
   std::set<std::tuple<int, int, int>> seen;
-  std::map<std::pair<int, int>, std::vector<std::size_t>> groups;
-  for (const ManifestEntry& e : entries) {
+  for (const ManifestEntry& e : m.entries) {
     if (!seen.insert({e.day, e.trip, e.vehicle.value()}).second)
       fail(dir, "duplicate trace for day " + std::to_string(e.day) +
                     " trip " + std::to_string(e.trip) + " vehicle " +
                     e.vehicle.to_string());
-    trace::MeasurementTrace t;
-    try {
-      t = trace::load_trace_file((root / e.file).string());
-    } catch (const std::exception& ex) {
-      fail(dir, std::string("trace '") + e.file + "': " + ex.what());
-    }
-    if (t.testbed != cat.testbed_)
-      fail(dir, "trace '" + e.file + "' is from testbed '" + t.testbed +
-                    "' but the manifest says '" + cat.testbed_ + "'");
-    if (t.vehicle != e.vehicle)
-      fail(dir, "trace '" + e.file + "' was logged by " +
-                    t.vehicle.to_string() + " but the manifest says " +
-                    e.vehicle.to_string());
-    if (t.day != e.day || t.trip != e.trip)
-      fail(dir, "trace '" + e.file + "' header (day " +
-                    std::to_string(t.day) + ", trip " + std::to_string(t.trip) +
-                    ") contradicts the manifest");
+  }
+  return m;
+}
+
+/// Reads one manifest entry's trace and checks it against the manifest.
+/// The single per-trace validator both loaders run, so a defective trace
+/// fails with the same message whether reached eagerly or via a stream.
+trace::MeasurementTrace load_entry_trace(const std::string& dir,
+                                         const ManifestEntry& e,
+                                         const std::string& testbed) {
+  trace::MeasurementTrace t;
+  try {
+    t = trace::load_trace_file((std::filesystem::path(dir) / e.file).string());
+  } catch (const std::exception& ex) {
+    fail(dir, std::string("trace '") + e.file + "': " + ex.what());
+  }
+  if (t.testbed != testbed)
+    fail(dir, "trace '" + e.file + "' is from testbed '" + t.testbed +
+                  "' but the manifest says '" + testbed + "'");
+  if (t.vehicle != e.vehicle)
+    fail(dir, "trace '" + e.file + "' was logged by " +
+                  t.vehicle.to_string() + " but the manifest says " +
+                  e.vehicle.to_string());
+  if (t.day != e.day || t.trip != e.trip)
+    fail(dir, "trace '" + e.file + "' header (day " +
+                  std::to_string(t.day) + ", trip " + std::to_string(t.trip) +
+                  ") contradicts the manifest");
+  return t;
+}
+
+}  // namespace
+
+TraceCatalog TraceCatalog::load(const std::string& dir) {
+  ParsedManifest m = parse_manifest(dir);
+  TraceCatalog cat;
+  cat.dir_ = dir;
+  cat.name_ = std::move(m.name);
+  cat.testbed_ = std::move(m.testbed);
+  cat.fleet_size_ = m.fleet_size;
+
+  std::map<std::pair<int, int>, std::vector<std::size_t>> groups;
+  for (const ManifestEntry& e : m.entries) {
     groups[{e.day, e.trip}].push_back(cat.traces_.size());
-    cat.traces_.push_back(std::move(t));
+    cat.traces_.push_back(load_entry_trace(dir, e, cat.testbed_));
   }
 
   // Every trip group must carry the same fleet, in vehicle order, and
@@ -156,6 +184,78 @@ TraceCatalog TraceCatalog::load(const std::string& dir) {
   for (const auto& [key, idxs] : groups) days.insert(key.first);
   cat.days_ = std::max(1, static_cast<int>(days.size()));
   return cat;
+}
+
+CatalogStream CatalogStream::open(const std::string& dir) {
+  ParsedManifest m = parse_manifest(dir);
+  CatalogStream stream;
+  stream.dir_ = dir;
+  stream.name_ = std::move(m.name);
+  stream.testbed_ = std::move(m.testbed);
+  stream.fleet_size_ = m.fleet_size;
+
+  // Group in canonical (day, trip) order; entries are already sorted by
+  // (day, trip, vehicle), so each group arrives in vehicle order too —
+  // the exact group indices and per-group trace order the eager loader
+  // produces. Vehicle-set and fleet-size validation need only the
+  // manifest; ragged durations and header contradictions need the trace
+  // files and are deferred to load_group.
+  std::map<std::pair<int, int>, std::vector<GroupEntry>> groups;
+  for (ManifestEntry& e : m.entries)
+    groups[{e.day, e.trip}].push_back(
+        GroupEntry{std::move(e.file), e.day, e.trip, e.vehicle});
+
+  std::vector<int> fleet;
+  for (auto& [key, group] : groups) {
+    std::vector<int> vehicles;
+    for (const GroupEntry& e : group) vehicles.push_back(e.vehicle.value());
+    if (fleet.empty())
+      fleet = vehicles;
+    else if (fleet != vehicles)
+      fail(dir, "trip (day " + std::to_string(key.first) + ", trip " +
+                    std::to_string(key.second) +
+                    ") has a different vehicle set than the first trip");
+    stream.groups_.push_back(std::move(group));
+  }
+  if (static_cast<int>(fleet.size()) != stream.fleet_size_)
+    fail(dir, "manifest says fleet " + std::to_string(stream.fleet_size_) +
+                  " but trips carry " + std::to_string(fleet.size()) +
+                  " vehicles");
+  for (const int v : fleet) stream.vehicle_ids_.push_back(NodeId(v));
+  std::set<int> days;
+  for (const auto& group : stream.groups_) days.insert(group.front().day);
+  stream.days_ = std::max(1, static_cast<int>(days.size()));
+  return stream;
+}
+
+std::pair<int, int> CatalogStream::group_key(std::size_t group) const {
+  if (group >= groups_.size())
+    fail(dir_, "trip group " + std::to_string(group) + " out of range (" +
+                   std::to_string(groups_.size()) + " groups)");
+  return {groups_[group].front().day, groups_[group].front().trip};
+}
+
+std::vector<trace::MeasurementTrace> CatalogStream::load_group(
+    std::size_t group) const {
+  if (group >= groups_.size())
+    fail(dir_, "trip group " + std::to_string(group) + " out of range (" +
+                   std::to_string(groups_.size()) + " groups)");
+  std::vector<trace::MeasurementTrace> traces;
+  traces.reserve(groups_[group].size());
+  for (const GroupEntry& e : groups_[group]) {
+    ManifestEntry entry{e.file, e.day, e.trip, e.vehicle};
+    traces.push_back(load_entry_trace(dir_, entry, testbed_));
+    if (traces.back().duration != traces.front().duration) {
+      const auto [day, trip] = group_key(group);
+      fail(dir_, "trip (day " + std::to_string(day) + ", trip " +
+                     std::to_string(trip) + ") is ragged: vehicle " +
+                     traces.back().vehicle.to_string() + " logged " +
+                     traces.back().duration.to_string() +
+                     " but the group's first trace logged " +
+                     traces.front().duration.to_string());
+    }
+  }
+  return traces;
 }
 
 std::vector<const trace::MeasurementTrace*> TraceCatalog::fleet_trip(

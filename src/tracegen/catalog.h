@@ -11,9 +11,17 @@
 /// `load_catalog_shared` adds a process-wide cache keyed by directory:
 /// runtime workers sweeping a `trace_sets` axis all share one parsed,
 /// immutable catalog instead of re-reading files per point.
+///
+/// `CatalogStream` is the city-scale counterpart: it parses the manifest
+/// only (duplicate, vehicle-set and fleet-size validation are all
+/// manifest-derivable) and loads one trip group's traces at a time, so a
+/// thousand-vehicle catalog never has to sit in memory whole. Both loaders
+/// share one parser and one per-trace validator, so a catalog either loads
+/// identically through both or fails with the same message.
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/observations.h"
@@ -64,6 +72,56 @@ class TraceCatalog {
   std::vector<NodeId> vehicle_ids_;
   std::vector<trace::MeasurementTrace> traces_;
   std::vector<std::vector<std::size_t>> groups_;  ///< Indices into traces_.
+};
+
+/// Lazy view of a catalog directory: `open` parses and validates the
+/// manifest without reading any trace file; `load_group` materialises one
+/// (day, trip) fleet group on demand. Group indices, group order and the
+/// traces a group yields are identical to the eager loader's — a sharded
+/// replay that folds groups in index order reproduces `TraceCatalog::load`
+/// byte for byte while holding only one group in memory per worker.
+class CatalogStream {
+ public:
+  /// Parses `dir/manifest.txt`. Throws std::runtime_error with the same
+  /// messages as `TraceCatalog::load` for every manifest-level defect
+  /// (bad magic/header, duplicate entries, mismatched trip vehicle sets,
+  /// fleet-size contradictions). Trace-level defects (unreadable files,
+  /// headers contradicting the manifest, ragged trip durations) surface
+  /// from `load_group`, again with the eager loader's messages.
+  static CatalogStream open(const std::string& dir);
+
+  const std::string& name() const { return name_; }
+  const std::string& testbed() const { return testbed_; }
+  const std::string& dir() const { return dir_; }
+  int fleet_size() const { return fleet_size_; }
+  const std::vector<NodeId>& vehicle_ids() const { return vehicle_ids_; }
+  int days() const { return days_; }
+  std::size_t trip_groups() const { return groups_.size(); }
+
+  /// The (day, trip) coordinates of a group, in the catalog's canonical
+  /// (day, trip)-sorted group order.
+  std::pair<int, int> group_key(std::size_t group) const;
+
+  /// Reads and validates one trip group's traces, in vehicle-id order —
+  /// the same traces `TraceCatalog::fleet_trip` would point at. The
+  /// returned vector owns its traces; nothing is cached.
+  std::vector<trace::MeasurementTrace> load_group(std::size_t group) const;
+
+ private:
+  struct GroupEntry {
+    std::string file;
+    int day = 0;
+    int trip = 0;
+    NodeId vehicle;
+  };
+
+  std::string name_;
+  std::string testbed_;
+  std::string dir_;
+  int fleet_size_ = 0;
+  int days_ = 1;
+  std::vector<NodeId> vehicle_ids_;
+  std::vector<std::vector<GroupEntry>> groups_;  ///< Vehicle order per group.
 };
 
 /// Writes \p campaign as a catalog: one `vifi-trace v1` file per trace plus

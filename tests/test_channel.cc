@@ -108,6 +108,31 @@ TEST(DistanceLossCurve, NegativeDistanceThrows) {
   EXPECT_THROW(c.reception_prob(-1.0), vifi::ContractViolation);
 }
 
+TEST(DistanceLossCurve, RangeForInvertsTheCurve) {
+  DistanceLossCurve c;
+  for (const double p : {0.9, 0.5, 0.1, 0.05, 0.01, 1e-3}) {
+    const double d = c.range_for(p);
+    EXPECT_NEAR(c.reception_prob(d), p, 1e-9) << "p = " << p;
+    // One meter past the range is strictly below p — the sub-audibility
+    // proof spatial culling rests on.
+    EXPECT_LT(c.reception_prob(d + 1.0), p) << "p = " << p;
+  }
+}
+
+TEST(DistanceLossCurve, RangeForIsMonotoneInThreshold) {
+  DistanceLossCurve c;
+  EXPECT_GT(c.range_for(0.01), c.range_for(0.05));
+  EXPECT_GT(c.range_for(0.05), c.range_for(0.5));
+}
+
+TEST(DistanceLossCurve, RangeForUnreachableThresholdIsZero) {
+  DistanceLossCurve c;
+  // Even distance zero sits below p_max, so a p_max threshold (or higher)
+  // is unreachable: the whole plane is sub-threshold.
+  EXPECT_EQ(c.range_for(c.params().p_max), 0.0);
+  EXPECT_EQ(c.range_for(0.999), 0.0);
+}
+
 TEST(SynthesizeRssi, DecreasesWithDistance) {
   Rng r(5);
   double near = 0.0, far = 0.0;

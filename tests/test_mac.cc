@@ -135,6 +135,54 @@ TEST(Medium, DeliveryHappensAtEndOfFrame) {
   EXPECT_EQ(b.frames.size(), 1u);
 }
 
+// Pins the attach() contract: a transmission samples its receiver set once
+// at start-of-frame, so a node attached mid-flight joins *subsequent*
+// transmissions only — no decode attempt, no delivery, and an idle channel
+// for frames already in the air.
+TEST(Medium, AttachDuringFlightJoinsSubsequentTransmissionsOnly) {
+  sim::Simulator sim;
+  FakeLoss loss;
+  Medium medium(sim, loss, {});
+  Collector a, b, c;
+  medium.attach(NodeId(0), &a);
+  medium.attach(NodeId(1), &b);
+  loss.set(NodeId(0), NodeId(1), 1.0);
+  loss.set(NodeId(0), NodeId(2), 1.0);  // perfect link, but attached late
+
+  net::PacketFactory factory;
+  Frame f = data_frame(factory, sim, 100);
+  f.tx = NodeId(0);
+  const Time hold = medium.transmit(f);
+  sim.run_until(Time::micros(100));  // mid-flight
+  medium.attach(NodeId(2), &c);
+  // The in-flight frame is audible at the old receiver but invisible to
+  // the newcomer, including for carrier sense.
+  EXPECT_TRUE(medium.busy_for(NodeId(1), sim.now()));
+  EXPECT_FALSE(medium.busy_for(NodeId(2), sim.now()));
+  EXPECT_EQ(medium.busy_until(NodeId(2), sim.now()), sim.now());
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(c.frames.empty());
+  ASSERT_GE(sim.now(), hold);
+
+  // The next transmission includes the newcomer.
+  Frame g = data_frame(factory, sim, 100);
+  g.tx = NodeId(0);
+  medium.transmit(g);
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 2u);
+  EXPECT_EQ(c.frames.size(), 1u);
+
+  // Conservation stays exact: the newcomer's ledger row starts at zero and
+  // only counts the post-attach transmission (tx1 sampled n1; tx2 sampled
+  // n1 and n2).
+  const MediumStats s = medium.snapshot();
+  EXPECT_EQ(s.decode_attempts, 3u);
+  EXPECT_EQ(s.decode_attempts, s.deliveries + s.collisions + s.channel_losses);
+  EXPECT_EQ(s.nodes.at(NodeId(2)).decode_attempts, 1u);
+  EXPECT_EQ(s.nodes.at(NodeId(2)).frames_received, 1u);
+}
+
 TEST(Medium, OverlappingTransmissionsCollideAtCommonReceiver) {
   sim::Simulator sim;
   FakeLoss loss;

@@ -10,9 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <map>
+#include <tuple>
 #include <vector>
+
+#include "mobility/vec2.h"
 
 #include "channel/loss_model.h"
 #include "mac/airtime.h"
@@ -163,6 +167,199 @@ TEST(MediumProperties, RandomSchedulesConserveAirtimeAndDecodes) {
     EXPECT_GT(jain_rx, 0.0);
     EXPECT_LE(jain_rx, 1.0 + 1e-12);
   }
+}
+
+/// Loss model whose reception probability is a pure function of node
+/// distance (linear falloff, zero at 1 km) and which logs every
+/// sample_delivery call — the oracle for checking that culled receivers
+/// are exactly the provably sub-audibility ones.
+class DistanceLoss final : public channel::LossModel {
+ public:
+  DistanceLoss(std::vector<mobility::Vec2> positions, Rng samples)
+      : positions_(std::move(positions)), samples_(samples) {}
+
+  double prob(NodeId a, NodeId b) const {
+    const mobility::Vec2 pa = positions_[static_cast<std::size_t>(a.value())];
+    const mobility::Vec2 pb = positions_[static_cast<std::size_t>(b.value())];
+    const double d = std::hypot(pa.x - pb.x, pa.y - pb.y);
+    return std::max(0.0, 1.0 - d / 1000.0);
+  }
+
+  bool sample_delivery(NodeId tx, NodeId rx, Time now) override {
+    samples_log_.emplace_back(tx, rx, now);
+    return samples_.bernoulli(prob(tx, rx));
+  }
+  double reception_prob(NodeId tx, NodeId rx, Time) const override {
+    return prob(tx, rx);
+  }
+
+  const std::vector<std::tuple<NodeId, NodeId, Time>>& samples_log() const {
+    return samples_log_;
+  }
+
+ private:
+  std::vector<mobility::Vec2> positions_;
+  Rng samples_;
+  std::vector<std::tuple<NodeId, NodeId, Time>> samples_log_;
+};
+
+// The culled medium over random geometries: conservation invariants must
+// hold exactly with a *subset* of receivers sampled, every skipped
+// receiver must be provably below the audibility threshold at its
+// transmit instant, and a re-run of the same schedule must reproduce the
+// same counters and the same sample sequence (determinism — culling only
+// removes draws, never reorders the survivors).
+TEST(MediumProperties, CulledSchedulesConserveAndOnlySkipSubAudibility) {
+  constexpr double kAudibility = 0.05;
+  // reception_prob(d) = 1 - d/1000 >= 0.05  <=>  d <= 950.
+  constexpr double kMaxAudible = 950.0;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    const int nodes = static_cast<int>(rng.uniform_int(6, 14));
+    // Positions spread well past audibility range, so schedules mix
+    // audible neighborhoods with provably-deaf pairs.
+    std::vector<mobility::Vec2> positions;
+    for (int n = 0; n < nodes; ++n)
+      positions.push_back({rng.uniform01() * 3000.0,
+                           rng.uniform01() * 3000.0});
+    const int transmissions = static_cast<int>(rng.uniform_int(1, 12));
+    std::vector<std::pair<NodeId, int>> schedule;  // (tx, bytes)
+    std::vector<Time> at;
+    Time t;
+    for (int i = 0; i < transmissions; ++i) {
+      schedule.emplace_back(
+          NodeId(static_cast<int>(rng.uniform_int(0, nodes - 1))),
+          static_cast<int>(rng.uniform_int(0, 800)));
+      // Gaps of at least 1 us keep transmit instants distinct, so the
+      // sample log groups unambiguously per transmission.
+      t += Time::micros(rng.uniform_int(1, 8000));
+      at.push_back(t);
+    }
+
+    const std::uint64_t sample_seed = rng.fork("samples").next_u64();
+    auto run_once = [&](DistanceLoss& loss) {
+      sim::Simulator sim;
+      MediumParams params;
+      SpatialCulling cull;
+      cull.position = [&positions](NodeId id, Time) {
+        return positions[static_cast<std::size_t>(id.value())];
+      };
+      cull.max_audible_m = kMaxAudible;
+      cull.margin_m = 0.0;  // static geometry
+      params.culling = std::move(cull);
+      Medium medium(sim, loss, std::move(params));
+      std::vector<NullSink> sinks(static_cast<std::size_t>(nodes));
+      for (int n = 0; n < nodes; ++n)
+        medium.attach(NodeId(n), &sinks[static_cast<std::size_t>(n)]);
+      net::PacketFactory factory;
+      Time expected_airtime;
+      for (int i = 0; i < transmissions; ++i) {
+        Frame f = data_frame(factory, schedule[static_cast<std::size_t>(i)].first,
+                             schedule[static_cast<std::size_t>(i)].second);
+        expected_airtime += medium.airtime(f.bytes_on_air());
+        sim.schedule_at(at[static_cast<std::size_t>(i)],
+                        [&medium, f = std::move(f)]() mutable {
+                          medium.transmit(std::move(f));
+                        });
+      }
+      sim.run();
+      EXPECT_EQ(medium.snapshot().busy_airtime, expected_airtime);
+      return medium.snapshot();
+    };
+
+    DistanceLoss loss(positions, Rng(sample_seed));
+    const MediumStats s = run_once(loss);
+
+    // --- conservation holds on the culled subset -------------------------
+    Time ledger_tx_airtime;
+    for (const auto& [id, row] : s.nodes) ledger_tx_airtime += row.tx_airtime;
+    EXPECT_EQ(ledger_tx_airtime, s.busy_airtime);
+    EXPECT_EQ(s.decode_attempts,
+              s.deliveries + s.collisions + s.channel_losses);
+    EXPECT_LE(s.decode_attempts,
+              s.transmissions * static_cast<std::uint64_t>(nodes - 1));
+    for (const auto& [id, row] : s.nodes)
+      EXPECT_EQ(row.decode_attempts, row.frames_received +
+                                         row.collisions_seen +
+                                         row.channel_losses)
+          << "node " << id.to_string();
+
+    // --- every skipped receiver is provably sub-audibility ---------------
+    // Group the sample log by transmission (distinct transmit instants):
+    // any (tx, rx) pair absent from a transmission's samples must sit
+    // below the audibility threshold at that instant.
+    std::uint64_t logged = 0;
+    for (int i = 0; i < transmissions; ++i) {
+      const NodeId tx = schedule[static_cast<std::size_t>(i)].first;
+      const Time when = at[static_cast<std::size_t>(i)];
+      std::vector<bool> sampled(static_cast<std::size_t>(nodes), false);
+      for (const auto& [stx, srx, st] : loss.samples_log()) {
+        if (stx != tx || st != when) continue;
+        sampled[static_cast<std::size_t>(srx.value())] = true;
+        ++logged;
+      }
+      for (int rx = 0; rx < nodes; ++rx) {
+        if (NodeId(rx) == tx || sampled[static_cast<std::size_t>(rx)])
+          continue;
+        EXPECT_LT(loss.reception_prob(tx, NodeId(rx), when), kAudibility)
+            << "transmission " << i << " culled audible receiver n" << rx;
+      }
+    }
+    EXPECT_EQ(logged, s.decode_attempts);
+
+    // --- determinism: identical schedule, identical run ------------------
+    DistanceLoss again(positions, Rng(sample_seed));
+    const MediumStats s2 = run_once(again);
+    EXPECT_EQ(s2.decode_attempts, s.decode_attempts);
+    EXPECT_EQ(s2.deliveries, s.deliveries);
+    EXPECT_EQ(s2.collisions, s.collisions);
+    EXPECT_EQ(s2.channel_losses, s.channel_losses);
+    EXPECT_TRUE(again.samples_log() == loss.samples_log());
+  }
+}
+
+// Frequency partitioning: co-located nodes on different channels never pay
+// decode cost for each other, and the partition alone accounts for every
+// skipped receiver.
+TEST(MediumProperties, CullingChannelPartitionSkipsCrossChannelPairs) {
+  constexpr int kNodes = 8;
+  // Everyone at the origin: distance can never cull, only the channel map.
+  std::vector<mobility::Vec2> positions(kNodes, mobility::Vec2{0.0, 0.0});
+  DistanceLoss loss(positions, Rng(77));
+  sim::Simulator sim;
+  MediumParams params;
+  SpatialCulling cull;
+  cull.position = [](NodeId, Time) { return mobility::Vec2{0.0, 0.0}; };
+  cull.max_audible_m = 950.0;
+  cull.margin_m = 0.0;
+  cull.channel_of = [](NodeId id) { return id.value() % 2; };
+  params.culling = std::move(cull);
+  Medium medium(sim, loss, std::move(params));
+  std::vector<NullSink> sinks(kNodes);
+  for (int n = 0; n < kNodes; ++n)
+    medium.attach(NodeId(n), &sinks[static_cast<std::size_t>(n)]);
+  net::PacketFactory factory;
+  Time at;
+  for (int i = 0; i < kNodes; ++i) {
+    Frame f = data_frame(factory, NodeId(i), 400);
+    at += Time::millis(10);
+    sim.schedule_at(at, [&medium, f = std::move(f)]() mutable {
+      medium.transmit(std::move(f));
+    });
+  }
+  sim.run();
+
+  // Each transmission reaches exactly the 3 co-channel peers.
+  const MediumStats s = medium.snapshot();
+  EXPECT_EQ(s.decode_attempts,
+            static_cast<std::uint64_t>(kNodes) * (kNodes / 2 - 1));
+  EXPECT_EQ(s.decode_attempts,
+            s.deliveries + s.collisions + s.channel_losses);
+  for (const auto& [stx, srx, st] : loss.samples_log())
+    EXPECT_EQ(stx.value() % 2, srx.value() % 2)
+        << "cross-channel pair sampled: " << stx.to_string() << " -> "
+        << srx.to_string();
 }
 
 }  // namespace

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 #include <stdexcept>
 
 #include "runtime/executor.h"
 #include "runtime/runner.h"
+#include "scenario/campaign.h"
+#include "tracegen/catalog.h"
 #include "util/contracts.h"
 
 namespace vifi::runtime {
@@ -255,6 +258,57 @@ TEST(Executor, ReplayPointProducesTheStandardMetricSet) {
   EXPECT_EQ(r.series.at("session_len_s_q").size(), cdf_quantiles().size());
   EXPECT_GT(r.metrics.at("delivery_rate"), 0.0);
   EXPECT_LE(r.metrics.at("delivery_rate"), 1.0);
+}
+
+// The tentpole contract of the streaming/sharded executor: for a catalog
+// replay point it is a drop-in for run_point — same metrics, same series,
+// byte for byte — while loading one trip group at a time across workers.
+TEST(Executor, ShardedCatalogPointMatchesSequentialByteForByte) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "vifi_test_sharded_catalog";
+  fs::remove_all(dir);
+  const scenario::Testbed bed = make_testbed("DieselNet-Ch1", 2);
+  scenario::CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 3;
+  cfg.trip_duration = Time::seconds(10.0);
+  cfg.seed = 42;
+  cfg.log_probes = false;
+  tracegen::write_catalog(dir.string(), "unit",
+                          scenario::generate_campaign(bed, cfg));
+
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"DieselNet-Ch1"};
+  spec.grid.fleet_sizes = {2};
+  spec.grid.trace_sets = {dir.string()};
+  spec.grid.policies = {"ViFi"};
+  spec.grid.seeds = {1};
+  spec.workload = "cbr";
+  const ExperimentPoint point = spec.enumerate().front();
+
+  tracegen::drop_catalog_cache();
+  const PointResult sequential = run_point(point);
+  const PointResult sharded = run_point_sharded(point, Runner({.threads = 4}));
+  fs::remove_all(dir);
+  tracegen::drop_catalog_cache();
+  ASSERT_TRUE(sequential.error.empty()) << sequential.error;
+
+  ResultSink a, b;
+  a.add(sequential);
+  b.add(sharded);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
+TEST(Executor, ShardedFallsBackForUncoveredShapes) {
+  // Stochastic replay points have no catalog to shard; the sharded entry
+  // point must still produce the sequential executor's exact result.
+  const ExperimentPoint point = small_replay_spec().enumerate().front();
+  ResultSink a, b;
+  a.add(run_point(point));
+  b.add(run_point_sharded(point, Runner({.threads = 2})));
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
 }
 
 TEST(Executor, UnknownWorkloadOrPolicyIsAContractViolation) {

@@ -358,6 +358,125 @@ TEST_F(CatalogTest, ManifestLineOrderDoesNotChangeTheCatalog) {
   }
 }
 
+/// Serialises a trace through the catalog's own writer: two traces with
+/// identical bytes here are identical for any replay.
+std::string trace_bytes(const trace::MeasurementTrace& t,
+                        const std::filesystem::path& scratch) {
+  trace::save_trace_file(t, scratch.string());
+  std::ifstream in(scratch, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(CatalogTest, StreamMatchesEagerLoadByteForByte) {
+  write_catalog(dir_.string(), "unit", fleet_campaign(2, 3));
+  const TraceCatalog eager = TraceCatalog::load(dir_.string());
+  const CatalogStream stream = CatalogStream::open(dir_.string());
+  EXPECT_EQ(stream.name(), eager.name());
+  EXPECT_EQ(stream.testbed(), eager.testbed());
+  EXPECT_EQ(stream.fleet_size(), eager.fleet_size());
+  EXPECT_EQ(stream.vehicle_ids(), eager.vehicle_ids());
+  EXPECT_EQ(stream.days(), eager.days());
+  ASSERT_EQ(stream.trip_groups(), eager.trip_groups());
+  const auto scratch = dir_ / "cmp.vifitrace";
+  for (std::size_t g = 0; g < stream.trip_groups(); ++g) {
+    const std::vector<trace::MeasurementTrace> lazy = stream.load_group(g);
+    const auto fleet = eager.fleet_trip(g);
+    ASSERT_EQ(lazy.size(), fleet.size());
+    EXPECT_EQ(stream.group_key(g),
+              std::make_pair(fleet.front()->day, fleet.front()->trip));
+    for (std::size_t v = 0; v < lazy.size(); ++v)
+      EXPECT_EQ(trace_bytes(lazy[v], scratch), trace_bytes(*fleet[v], scratch))
+          << "group " << g << " vehicle slot " << v;
+  }
+}
+
+TEST_F(CatalogTest, StreamDefersRaggedDurationsToLoadGroup) {
+  // Ragged durations live in the trace files, not the manifest, so the
+  // stream opens fine and only the defective group fails — with the eager
+  // loader's message.
+  trace::Campaign campaign = fleet_campaign(2, 2);
+  campaign.trips[1].duration = campaign.trips[0].duration + Time::seconds(5);
+  write_catalog(dir_.string(), "unit", campaign);
+  const CatalogStream stream = CatalogStream::open(dir_.string());
+  ASSERT_EQ(stream.trip_groups(), 2u);
+  EXPECT_NO_THROW(stream.load_group(1));  // the clean group still loads
+  try {
+    stream.load_group(0);
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ragged"), std::string::npos);
+  }
+}
+
+TEST_F(CatalogTest, StreamDefersMissingTraceFileToLoadGroup) {
+  write_catalog(dir_.string(), "unit", fleet_campaign(2, 2));
+  std::filesystem::remove(dir_ / "day0_trip1_veh2.vifitrace");
+  // Eager load refuses the whole catalog up front; the stream opens from
+  // the manifest alone and fails only the group that needs the file.
+  EXPECT_THROW(TraceCatalog::load(dir_.string()), std::runtime_error);
+  const CatalogStream stream = CatalogStream::open(dir_.string());
+  EXPECT_NO_THROW(stream.load_group(0));
+  EXPECT_THROW(stream.load_group(1), std::runtime_error);
+}
+
+TEST_F(CatalogTest, StreamDefersHeaderContradictionsToLoadGroup) {
+  const trace::Campaign campaign = fleet_campaign(2, 1);
+  write_catalog(dir_.string(), "unit", campaign);
+  trace::MeasurementTrace rogue = campaign.trips[1];  // vehicle 3
+  trace::save_trace_file(rogue, (dir_ / "day0_trip0_veh2.vifitrace").string());
+  const CatalogStream stream = CatalogStream::open(dir_.string());
+  try {
+    stream.load_group(0);
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("logged by"), std::string::npos);
+  }
+}
+
+TEST_F(CatalogTest, StreamRejectsManifestDefectsAtOpen) {
+  // Truncated manifest (magic only, no header): rejected without reading
+  // any trace file, same as the eager loader.
+  std::filesystem::create_directories(dir_);
+  std::ofstream(dir_ / "manifest.txt") << "# vifi-catalog v1\n";
+  try {
+    CatalogStream::open(dir_.string());
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no catalog header"),
+              std::string::npos);
+  }
+
+  // Mismatched trip vehicle sets are manifest-derivable: rejected at open.
+  write_catalog(dir_.string(), "unit", fleet_campaign(2, 2));
+  const auto manifest_path = dir_ / "manifest.txt";
+  std::ifstream in(manifest_path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  ASSERT_GE(lines.size(), 4u);
+  lines.pop_back();  // the last trip loses a vehicle
+  std::ofstream out(manifest_path);
+  for (const std::string& line : lines) out << line << "\n";
+  out.close();
+  try {
+    CatalogStream::open(dir_.string());
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different vehicle set"),
+              std::string::npos);
+  }
+}
+
+TEST_F(CatalogTest, StreamGroupIndexOutOfRangeIsACrispError) {
+  write_catalog(dir_.string(), "unit", fleet_campaign(2, 1));
+  const CatalogStream stream = CatalogStream::open(dir_.string());
+  ASSERT_EQ(stream.trip_groups(), 1u);
+  EXPECT_THROW(stream.load_group(1), std::runtime_error);
+  EXPECT_THROW(stream.group_key(1), std::runtime_error);
+}
+
 TEST(ModelIo, RoundTripsByteIdentically) {
   const trace::MeasurementTrace t = two_contact_trace();
   const TraceModel model = fit_model({&t}, {});
