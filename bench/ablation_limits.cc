@@ -55,6 +55,7 @@ int main() {
     loss.mark_mobile(vehicle);
 
     std::vector<sim::NodeId> bs_ids;
+    bs_ids.reserve(static_cast<std::size_t>(n_bs));
     for (int i = 0; i < n_bs; ++i) bs_ids.push_back(sim::NodeId(i));
 
     sim::Simulator sim;

@@ -58,6 +58,8 @@ inline void write_value_entries(std::ostream& out,
 
 /// VIFI_BENCH_SCALE multiplies trip counts; 1 is the quick default.
 inline int scale() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once from main() before any
+  // worker thread starts; benches take their scale knob from the launcher.
   if (const char* s = std::getenv("VIFI_BENCH_SCALE")) {
     const int v = std::atoi(s);
     if (v >= 1) return v;

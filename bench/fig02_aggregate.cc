@@ -52,6 +52,7 @@ int main() {
         const auto pick = subset_rng.sample(
             static_cast<int>(bed.bs_ids().size()), cell.n_bs);
         std::vector<sim::NodeId> subset;
+        subset.reserve(pick.size());
         for (const int b : pick)
           subset.push_back(bed.bs_ids()[static_cast<std::size_t>(b)]);
 

@@ -42,6 +42,7 @@ int main() {
         policy_session_lengths(campaign, name, def);
     const Cdf cdf = analysis::session_time_cdf(lengths);
     std::vector<double> ys;
+    ys.reserve(xs.size());
     for (double x : xs) ys.push_back(100.0 * cdf.fraction_at_or_below(x));
     chart.add_series(name, std::move(ys));
   }

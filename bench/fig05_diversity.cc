@@ -38,6 +38,7 @@ int main() {
              {"DieselNet Ch.6", &c_ch6}}) {
       const Cdf cdf = analysis::visible_bs_cdf(*campaign, min_fraction);
       std::vector<double> ys;
+      ys.reserve(xs.size());
       for (double x : xs) ys.push_back(100.0 * cdf.fraction_at_or_below(x));
       chart.add_series(name, std::move(ys));
     }

@@ -112,6 +112,7 @@ int run_large(const std::string& json_path) {
       tracegen::fit_model(record_fleet(16, 20080605));
   constexpr double kLargeTripSeconds = 20.0;
   std::vector<runtime::ExperimentPoint> points;
+  points.reserve(2);
   for (const int v : {64, 256})
     points.push_back(
         synth_point(model, root, v, kLargeTripSeconds, points.size()));

@@ -34,8 +34,10 @@ std::vector<std::string> split_csv(const std::string& s) {
 }
 
 std::vector<std::uint64_t> split_csv_u64(const std::string& s) {
+  const std::vector<std::string> items = split_csv(s);
   std::vector<std::uint64_t> out;
-  for (const auto& item : split_csv(s)) out.push_back(std::stoull(item));
+  out.reserve(items.size());
+  for (const auto& item : items) out.push_back(std::stoull(item));
   return out;
 }
 

@@ -65,6 +65,7 @@ std::int64_t VifiStats::wireless_data_tx(Direction dir) const {
 
 std::int64_t VifiStats::source_attempts(Direction dir) const {
   std::int64_t n = 0;
+  // detlint: unordered-iter-ok(integer count; commutative, order-free)
   for (const auto& [k, r] : attempts_) {
     (void)k;
     if (r.dir == dir) ++n;
@@ -75,6 +76,7 @@ std::int64_t VifiStats::source_attempts(Direction dir) const {
 CoordinationSummary VifiStats::coordination(Direction dir) const {
   CoordinationSummary s;
   std::vector<double> designated;
+  designated.reserve(attempts_.size());
   std::int64_t n = 0;
   std::int64_t heard_sum = 0, contend_sum = 0;
   std::int64_t reached = 0, failed = 0;
@@ -82,6 +84,9 @@ CoordinationSummary VifiStats::coordination(Direction dir) const {
   std::int64_t failed_with_cover = 0, failed_no_relay = 0;
   std::int64_t relays = 0, relays_ok = 0;
 
+  // The one float sink, designated, goes through median() which sorts;
+  // pinned by CoordinationOrderInvariance in tests/test_core.cc.
+  // detlint: unordered-iter-ok(int64 sums commutative; median sorts)
   for (const auto& [k, r] : attempts_) {
     (void)k;
     if (r.dir != dir) continue;
@@ -172,6 +177,7 @@ EfficiencySummary VifiStats::efficiency() const {
   // and only when the destination missed the source transmission.
   std::int64_t up_attempts = 0, up_delivered = 0;
   std::int64_t down_attempts = 0, down_delivered = 0, down_relays = 0;
+  // detlint: unordered-iter-ok(integer counts only; commutative, order-free)
   for (const auto& [k, r] : attempts_) {
     (void)k;
     if (r.dir == Direction::Upstream) {

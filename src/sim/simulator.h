@@ -37,7 +37,9 @@ class EventClosure {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, EventClosure> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventClosure(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+  // mirrors std::function so lambdas schedule without a wrapper spelling.
+  EventClosure(F&& f) {
     using Fn = std::decay_t<F>;
     // An empty nullable callable (std::function, function pointer) becomes
     // an empty closure, so schedule-time preconditions reject it at the

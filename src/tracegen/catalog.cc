@@ -157,6 +157,7 @@ TraceCatalog TraceCatalog::load(const std::string& dir) {
       return cat.traces_[a].vehicle < cat.traces_[b].vehicle;
     });
     std::vector<int> vehicles;
+    vehicles.reserve(idxs.size());
     for (const std::size_t i : idxs) {
       vehicles.push_back(cat.traces_[i].vehicle.value());
       if (cat.traces_[i].duration != cat.traces_[idxs.front()].duration)
@@ -208,6 +209,7 @@ CatalogStream CatalogStream::open(const std::string& dir) {
   std::vector<int> fleet;
   for (auto& [key, group] : groups) {
     std::vector<int> vehicles;
+    vehicles.reserve(group.size());
     for (const GroupEntry& e : group) vehicles.push_back(e.vehicle.value());
     if (fleet.empty())
       fleet = vehicles;

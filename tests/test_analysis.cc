@@ -81,6 +81,7 @@ TEST(SessionLengths, StricterThresholdNeverLengthensSessions) {
   // Property: raising min_ratio cannot increase total session time.
   Rng rng(5);
   std::vector<int> d;
+  d.reserve(600);
   for (int i = 0; i < 600; ++i)
     d.push_back(static_cast<int>(rng.uniform_int(0, 2)));
   double prev_total = 1e18;

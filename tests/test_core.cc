@@ -372,6 +372,80 @@ TEST(VifiStats, PerfectRelayDownstreamRules) {
   EXPECT_NEAR(e.perfect_down, 3.0 / 5.0, 1e-9);
 }
 
+// Records the same synthetic attempt population into `stats`, visiting the
+// packet ids in the order given by `ids`. Each id deterministically decides
+// its own features (direction, direct reception, aux coverage, relays), so
+// any permutation of `ids` describes the same logical history.
+void record_attempts(VifiStats& stats, const std::vector<std::uint64_t>& ids) {
+  for (const std::uint64_t id : ids) {
+    const Direction dir =
+        id % 3 == 0 ? Direction::Downstream : Direction::Upstream;
+    stats.on_source_tx(id, 1, dir, Time::millis(static_cast<double>(id)),
+                       static_cast<int>(id % 7));
+    if (id % 2 == 0) stats.on_dst_rx_direct(id, 1);
+    if (id % 4 != 0) {
+      stats.on_aux_overhear(id, 1, NodeId(2));
+      stats.on_aux_contend(id, 1, NodeId(2));
+    }
+    if (id % 5 == 0) {
+      stats.on_aux_overhear(id, 1, NodeId(3));
+      stats.on_aux_relay(id, 1, NodeId(3));
+      if (id % 10 == 0) stats.on_relay_reached_dst(id, 1, NodeId(3));
+    }
+    if (id % 2 == 0) stats.on_app_delivered(dir);
+    stats.on_wireless_data_tx(dir);
+  }
+}
+
+// Pins the order-independence of the coordination/efficiency summaries:
+// VifiStats aggregates over an unordered_map of attempts, and detlint's
+// unordered-iter annotations in src/core/stats.cc cite this test as the
+// proof that iteration order cannot leak into results. Every aggregate must
+// be byte-identical (EXPECT_EQ on doubles, not NEAR) across insertion orders.
+TEST(VifiStats, CoordinationOrderInvariance) {
+  std::vector<std::uint64_t> forward;
+  for (std::uint64_t id = 1; id <= 200; ++id) forward.push_back(id);
+  std::vector<std::uint64_t> reverse(forward.rbegin(), forward.rend());
+  // A third order: odds first, then evens — exercises bucket chains that
+  // neither monotone order produces.
+  std::vector<std::uint64_t> shuffled;
+  for (const std::uint64_t id : forward) if (id % 2 == 1) shuffled.push_back(id);
+  for (const std::uint64_t id : forward) if (id % 2 == 0) shuffled.push_back(id);
+
+  VifiStats a, b, c;
+  record_attempts(a, forward);
+  record_attempts(b, reverse);
+  record_attempts(c, shuffled);
+
+  for (const Direction dir : {Direction::Upstream, Direction::Downstream}) {
+    const CoordinationSummary sa = a.coordination(dir);
+    for (const VifiStats* other : {&b, &c}) {
+      const CoordinationSummary so = other->coordination(dir);
+      EXPECT_EQ(sa.attempts, so.attempts);
+      EXPECT_EQ(sa.median_designated_aux, so.median_designated_aux);
+      EXPECT_EQ(sa.avg_aux_heard, so.avg_aux_heard);
+      EXPECT_EQ(sa.avg_aux_heard_no_ack, so.avg_aux_heard_no_ack);
+      EXPECT_EQ(sa.frac_src_tx_reached_dst, so.frac_src_tx_reached_dst);
+      EXPECT_EQ(sa.false_positive_rate, so.false_positive_rate);
+      EXPECT_EQ(sa.avg_relays_when_fp, so.avg_relays_when_fp);
+      EXPECT_EQ(sa.frac_src_tx_failed, so.frac_src_tx_failed);
+      EXPECT_EQ(sa.frac_failed_with_aux_cover, so.frac_failed_with_aux_cover);
+      EXPECT_EQ(sa.false_negative_rate, so.false_negative_rate);
+      EXPECT_EQ(sa.frac_relays_reached_dst, so.frac_relays_reached_dst);
+    }
+    EXPECT_EQ(a.source_attempts(dir), b.source_attempts(dir));
+    EXPECT_EQ(a.source_attempts(dir), c.source_attempts(dir));
+  }
+  const EfficiencySummary ea = a.efficiency();
+  for (const VifiStats* other : {&b, &c}) {
+    const EfficiencySummary eo = other->efficiency();
+    EXPECT_EQ(ea.up, eo.up);
+    EXPECT_EQ(ea.down, eo.down);
+    EXPECT_EQ(ea.perfect_up, eo.perfect_up);
+    EXPECT_EQ(ea.perfect_down, eo.perfect_down);
+  }
+}
+
 // ------------------------------------------------------------ RecentIdSet --
 
 TEST(RecentIdSet, InsertAndContains) {

@@ -220,6 +220,7 @@ class ContentionTest : public ::testing::Test {
     sim::Simulator sim;
     testing::ScriptedLoss loss;
     std::vector<NodeId> vehicle_ids;
+    vehicle_ids.reserve(static_cast<std::size_t>(vehicles));
     for (int v = 1; v <= vehicles; ++v) vehicle_ids.push_back(NodeId(v));
     const NodeId bs(0), gw(99);
     for (const NodeId a : vehicle_ids) {

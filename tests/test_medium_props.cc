@@ -159,6 +159,7 @@ TEST(MediumProperties, RandomSchedulesConserveAirtimeAndDecodes) {
 
     // --- fairness index stays in (0, 1] over any subset -----------------
     std::vector<NodeId> everyone;
+    everyone.reserve(s.nodes.size());
     for (const auto& [id, row] : s.nodes) everyone.push_back(id);
     const double jain_tx = s.jain_tx_airtime(everyone);
     const double jain_rx = s.jain_frames_received(everyone);
@@ -220,6 +221,7 @@ TEST(MediumProperties, CulledSchedulesConserveAndOnlySkipSubAudibility) {
     // Positions spread well past audibility range, so schedules mix
     // audible neighborhoods with provably-deaf pairs.
     std::vector<mobility::Vec2> positions;
+    positions.reserve(static_cast<std::size_t>(nodes));
     for (int n = 0; n < nodes; ++n)
       positions.push_back({rng.uniform01() * 3000.0,
                            rng.uniform01() * 3000.0});

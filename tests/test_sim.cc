@@ -108,6 +108,7 @@ TEST(Simulator, ManyCancellationsStayCheap) {
   // this quadratic.
   Simulator s;
   std::vector<EventId> ids;
+  ids.reserve(20000);
   for (int i = 0; i < 20000; ++i)
     ids.push_back(s.schedule(Time::millis(1.0 + i), [] {}));
   for (std::size_t i = 0; i < ids.size(); i += 2)

@@ -399,7 +399,7 @@ TEST(SeriesChart, PrintsAlignedSeries) {
   chart.add_series("b", {0.3, 0.4});
   const std::string s = chart.to_string();
   EXPECT_NE(s.find("fig"), std::string::npos);
-  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find('a'), std::string::npos);
   EXPECT_NE(s.find("0.40"), std::string::npos);
 }
 

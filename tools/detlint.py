@@ -1,0 +1,490 @@
+#!/usr/bin/env python3
+"""detlint: project-specific determinism & concurrency lint for ViFi.
+
+clang-tidy knows C++; it does not know this repo's determinism contract
+(sweeps must be byte-identical across thread counts, RNG draw order is
+part of the public behaviour). detlint enforces the rules that contract
+implies but no generic tool can check:
+
+  wall-clock       src/ must not read ambient time or entropy
+                   (system_clock, steady_clock, time(), clock(),
+                   random_device, std::rand, getenv, ...). Simulated
+                   time comes from sim::Simulator; benches may time
+                   themselves, the library may not.
+  raw-rng          all randomness flows through util::rng named forks
+                   (vifi::Rng). Raw std engines (mt19937, ...),
+                   seed_seq, random_device and #include <random> are
+                   flagged everywhere except util/rng itself.
+  unordered-iter   range-for over a std::unordered_map/set is flagged
+                   in src/ unless annotated order-safe: iteration
+                   order is implementation-defined, so anything it
+                   feeds into a serialized artifact breaks
+                   byte-identity. Scope tracking is lightweight:
+                   declarations are collected from the file plus its
+                   same-stem header/source sibling.
+  json-float       files in src/ or bench/ that emit JSON must render
+                   doubles shortest-round-trip: std::to_chars or
+                   printf "%.17g" only. Any other %-float conversion
+                   in a JSON-emitting file is flagged.
+  mutex-guard      shared state under src/runtime/ and src/obs/ is
+                   guarded RAII-only: raw .lock()/.unlock() calls are
+                   flagged, and declaring a mutex in a unit that never
+                   names a lock_guard/scoped_lock/unique_lock/
+                   shared_lock is flagged.
+
+Intentional exceptions are per-line annotations carrying a reason:
+
+    for (const auto& [k, r] : attempts_) {  // detlint: unordered-iter-ok(commutative sum)
+
+An annotation on its own line covers the next line. An annotation with
+an empty reason, or naming an unknown rule, is itself a finding — there
+are no blanket suppressions.
+
+Usage:
+    detlint.py [--root DIR]      lint the repo rooted at DIR (default:
+                                 the parent of this script's directory)
+    detlint.py --self-test       run the fixture suite under
+                                 tools/detlint_fixtures/
+    detlint.py --list-rules      print rule ids and scopes
+
+Exit status:
+    0  clean
+    1  findings
+    2  bad invocation / unreadable input
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = {
+    "wall-clock": "ambient time/entropy in src/",
+    "raw-rng": "raw std RNG engine instead of util::rng forks",
+    "unordered-iter": "range-for over an unordered container in src/",
+    "json-float": "non-%.17g float format in a JSON emitter",
+    "mutex-guard": "non-RAII mutex use in runtime/ or obs/",
+}
+
+SOURCE_EXTS = (".h", ".cc", ".cpp", ".hpp")
+
+ANNOTATION_RE = re.compile(r"//\s*detlint:\s*([A-Za-z-]+?)-ok\(([^)]*)\)")
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"\btime\s*\("), "time()"),
+    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\b"), "clock_gettime()"),
+    (re.compile(r"\blocaltime\b"), "localtime()"),
+    (re.compile(r"\bgmtime\b"), "gmtime()"),
+    (re.compile(r"\bgetenv\b"), "getenv()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+]
+
+RAW_RNG_PATTERNS = [
+    (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bminstd_rand0?\b"), "std::minstd_rand"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\branlux(?:24|48)(?:_base)?\b"), "std::ranlux"),
+    (re.compile(r"\bknuth_b\b"), "std::knuth_b"),
+    (re.compile(r"\bmersenne_twister_engine\b"), "std::mersenne_twister_engine"),
+    (re.compile(r"\bsubtract_with_carry_engine\b"),
+     "std::subtract_with_carry_engine"),
+    (re.compile(r"\blinear_congruential_engine\b"),
+     "std::linear_congruential_engine"),
+    (re.compile(r"\bseed_seq\b"), "std::seed_seq"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"#\s*include\s*<random>"), "#include <random>"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;(){}]*?>\s*[&*]?\s*(\w+)\s*[;={,)]")
+
+# %-float conversion with no space flag: a space would also match prose
+# like "10% from". %.17g is the one blessed spelling.
+FLOAT_FMT_RE = re.compile(r"%[-+#0']*\d*(?:\.\d+)?[eEfFgG]")
+
+RAW_LOCK_RE = re.compile(r"\.\s*(?:lock|unlock)\s*\(\s*\)")
+MUTEX_DECL_RE = re.compile(r"\bstd\s*::\s*(?:recursive_|shared_|timed_)?mutex\b")
+GUARD_RE = re.compile(r"\b(?:lock_guard|scoped_lock|unique_lock|shared_lock)\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root)
+        return "%s:%d: [%s] %s" % (rel, self.line, self.rule, self.message)
+
+
+def strip_code(lines, keep_strings=False):
+    """Returns lines with comments blanked out (same line numbering), so
+    token rules never fire on prose. String/char literals are blanked too
+    unless keep_strings is set (the float-format rule must see them)."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if c == "/" and nxt == "/":
+                break  # line comment: rest of line is prose
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c == '"' or c == "'":
+                quote = c
+                buf.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        if keep_strings:
+                            buf.append(line[i:i + 2])
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    if keep_strings:
+                        buf.append(line[i])
+                    i += 1
+                buf.append(quote)
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def parse_annotations(lines, path, findings):
+    """Maps line number -> set of rule ids suppressed there. An annotation
+    covers its own line and the next one. Bad annotations are findings."""
+    suppressed = {}
+    for idx, line in enumerate(lines, start=1):
+        for match in ANNOTATION_RE.finditer(line):
+            rule, reason = match.group(1), match.group(2)
+            if rule not in RULES:
+                findings.append(Finding(
+                    path, idx, "annotation",
+                    "unknown detlint rule '%s' (known: %s)"
+                    % (rule, ", ".join(sorted(RULES)))))
+                continue
+            if not reason.strip():
+                findings.append(Finding(
+                    path, idx, "annotation",
+                    "annotation for '%s' must carry a reason: "
+                    "// detlint: %s-ok(<why this is safe>)" % (rule, rule)))
+                continue
+            suppressed.setdefault(idx, set()).add(rule)
+            suppressed.setdefault(idx + 1, set()).add(rule)
+    return suppressed
+
+
+def sibling_path(path):
+    """stats.cc <-> stats.h in the same directory (lightweight unit scope)."""
+    stem, ext = os.path.splitext(path)
+    partners = {".cc": (".h", ".hpp"), ".cpp": (".h", ".hpp"),
+                ".h": (".cc", ".cpp"), ".hpp": (".cc", ".cpp")}
+    for other in partners.get(ext, ()):
+        candidate = stem + other
+        if os.path.isfile(candidate):
+            return candidate
+    return None
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+def unordered_names(code_lines):
+    names = set()
+    for line in code_lines:
+        for match in UNORDERED_DECL_RE.finditer(line):
+            names.add(match.group(1))
+    return names
+
+
+def range_for_exprs(code_lines):
+    """Yields (line_number, range_expression) for every range-based for.
+    The loop head may span up to three lines."""
+    for idx in range(len(code_lines)):
+        line = code_lines[idx]
+        for match in re.finditer(r"\bfor\s*\(", line):
+            head = line[match.end():]
+            # Pull in continuation lines until the parens balance.
+            depth = 1
+            collected = []
+            pos = 0
+            lines_used = 0
+            text = head
+            while True:
+                while pos < len(text):
+                    ch = text[pos]
+                    if ch == "(":
+                        depth += 1
+                    elif ch == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    collected.append(ch)
+                    pos += 1
+                if depth == 0 or lines_used >= 3 or idx + 1 + lines_used >= len(code_lines):
+                    break
+                lines_used += 1
+                collected.append(" ")
+                text = code_lines[idx + lines_used]
+                pos = 0
+            body = "".join(collected)
+            if depth != 0 or ";" in body:
+                continue  # classic for loop (or unparseable)
+            # Find the range-for ':' — a single colon, not part of '::'.
+            colon = -1
+            j = 0
+            while j < len(body):
+                if body[j] == ":":
+                    if j + 1 < len(body) and body[j + 1] == ":":
+                        j += 2
+                        continue
+                    if j > 0 and body[j - 1] == ":":
+                        j += 1
+                        continue
+                    colon = j
+                    break
+                j += 1
+            if colon < 0:
+                continue
+            yield idx + 1, body[colon + 1:].strip()
+
+
+def scan_file(path, root, findings):
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    raw = read_lines(path)
+    code = strip_code(raw)
+    suppressed = parse_annotations(raw, path, findings)
+
+    def emit(line_no, rule, message):
+        if rule in suppressed.get(line_no, ()):
+            return
+        findings.append(Finding(path, line_no, rule, message))
+
+    in_src = rel.startswith("src/")
+    is_rng_impl = rel in ("src/util/rng.h", "src/util/rng.cc")
+
+    # ---- wall-clock: src/ only ----
+    if in_src:
+        for idx, line in enumerate(code, start=1):
+            for pattern, what in WALL_CLOCK_PATTERNS:
+                if pattern.search(line):
+                    emit(idx, "wall-clock",
+                         "%s reads ambient time/entropy; simulated time "
+                         "comes from sim::Simulator, randomness from "
+                         "util::rng forks" % what)
+
+    # ---- raw-rng: everywhere except the generator implementation ----
+    if not is_rng_impl:
+        for idx, line in enumerate(code, start=1):
+            for pattern, what in RAW_RNG_PATTERNS:
+                if pattern.search(line):
+                    emit(idx, "raw-rng",
+                         "%s bypasses util::rng; construct streams via "
+                         "vifi::Rng named forks so draw order is part of "
+                         "the seed contract" % what)
+
+    # ---- unordered-iter: src/ only ----
+    if in_src:
+        names = unordered_names(code)
+        sibling = sibling_path(path)
+        if sibling is not None:
+            names |= unordered_names(strip_code(read_lines(sibling)))
+        for line_no, expr in range_for_exprs(code):
+            direct = re.search(r"unordered_(?:map|set)\b", expr)
+            named = any(re.search(r"\b%s\b" % re.escape(n), expr)
+                        for n in names)
+            if direct or named:
+                emit(line_no, "unordered-iter",
+                     "range-for over an unordered container: iteration "
+                     "order is implementation-defined. Annotate "
+                     "// detlint: unordered-iter-ok(<reason>) if the sink "
+                     "is sorted or commutative")
+
+    # ---- json-float: JSON emitters under src/ and bench/ ----
+    if in_src or rel.startswith("bench/"):
+        mentions_json = any("json" in line.lower() for line in raw)
+        if mentions_json:
+            code_with_strings = strip_code(raw, keep_strings=True)
+            for idx, line in enumerate(code_with_strings, start=1):
+                for match in FLOAT_FMT_RE.finditer(line):
+                    if match.group(0) != "%.17g":
+                        emit(idx, "json-float",
+                             "float format '%s' in a JSON-emitting file; "
+                             "use %%.17g (or std::to_chars) so doubles "
+                             "round-trip byte-identically"
+                             % match.group(0))
+
+    # ---- mutex-guard: src/runtime/ and src/obs/ ----
+    if rel.startswith("src/runtime/") or rel.startswith("src/obs/"):
+        for idx, line in enumerate(code, start=1):
+            if RAW_LOCK_RE.search(line):
+                emit(idx, "mutex-guard",
+                     "raw .lock()/.unlock(); hold mutexes via "
+                     "std::lock_guard/std::scoped_lock so every exit path "
+                     "releases")
+        unit = list(code)
+        sibling = sibling_path(path)
+        if sibling is not None:
+            unit += strip_code(read_lines(sibling))
+        if not any(GUARD_RE.search(line) for line in unit):
+            for idx, line in enumerate(code, start=1):
+                if MUTEX_DECL_RE.search(line):
+                    emit(idx, "mutex-guard",
+                         "mutex declared but no RAII guard "
+                         "(lock_guard/scoped_lock/unique_lock) appears in "
+                         "this file or its header/source sibling")
+
+
+def scan_tree(root):
+    findings = []
+    scan_dirs = ("src", "bench", "examples", "tests")
+    any_dir = False
+    for sub in scan_dirs:
+        top = os.path.join(root, sub)
+        if not os.path.isdir(top):
+            continue
+        any_dir = True
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    scan_file(os.path.join(dirpath, name), root, findings)
+    if not any_dir:
+        raise OSError("no src/bench/examples/tests directory under %s" % root)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: lint the fixture tree and compare against its `// expect:`
+# markers. Each marker names the rule that must fire on that line; lines
+# without markers must stay clean.
+# ---------------------------------------------------------------------------
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([A-Za-z-]+)")
+
+
+def collect_expectations(root):
+    expected = set()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            path = os.path.join(dirpath, name)
+            for idx, line in enumerate(read_lines(path), start=1):
+                for match in EXPECT_RE.finditer(line):
+                    expected.add((os.path.relpath(path, root), idx,
+                                  match.group(1)))
+    return expected
+
+
+def self_test():
+    fixture_root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "detlint_fixtures")
+    if not os.path.isdir(os.path.join(fixture_root, "src")):
+        print("detlint --self-test: fixture tree missing at %s" % fixture_root)
+        return 2
+    expected = collect_expectations(fixture_root)
+    findings = scan_tree(fixture_root)
+    actual = set((os.path.relpath(f.path, fixture_root), f.line, f.rule)
+                 for f in findings)
+
+    failures = []
+    for miss in sorted(expected - actual):
+        failures.append("MISSED  %s:%d expected [%s] but nothing fired"
+                        % miss)
+    for spurious in sorted(actual - expected):
+        failures.append("SPURIOUS %s:%d fired [%s] on a line with no "
+                        "expectation" % spurious)
+
+    # Every rule class must be demonstrably caught at least once.
+    for rule in list(RULES) + ["annotation"]:
+        if not any(e[2] == rule for e in expected):
+            failures.append("NO-FIXTURE rule '%s' has no positive fixture"
+                            % rule)
+
+    # Exit-code contract: findings -> 1 from the CLI path.
+    if not findings:
+        failures.append("EXIT fixtures produced no findings at all")
+
+    checks = len(expected)
+    if failures:
+        for f in failures:
+            print(f)
+        print("detlint --self-test: FAIL (%d problems, %d expectations)"
+              % (len(failures), checks))
+        return 1
+    print("detlint --self-test: PASS (%d expected findings matched exactly "
+          "across %d rule classes; clean lines stayed clean)"
+          % (checks, len(RULES) + 1))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="detlint.py",
+        description="determinism & concurrency lint for the ViFi repo")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture suite")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%-15s %s" % (rule, RULES[rule]))
+        return 0
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    root = os.path.abspath(root)
+    try:
+        findings = scan_tree(root)
+    except OSError as err:
+        print("detlint: %s" % err, file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render(root))
+    if findings:
+        print("detlint: %d finding(s). Fix them or annotate the line with "
+              "// detlint: <rule>-ok(<reason>)." % len(findings))
+        return 1
+    print("detlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

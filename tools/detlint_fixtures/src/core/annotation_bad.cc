@@ -1,0 +1,18 @@
+// Positive fixtures for the annotation contract itself: an empty reason is
+// a finding AND does not suppress; an unknown rule name is a finding.
+#include <unordered_map>
+
+namespace fixture {
+
+double bad(const std::unordered_map<int, double>& m) {
+  double t = 0.0;
+  // detlint: unordered-iter-ok()  // expect: annotation
+  for (const auto& [k, v] : m) {  // expect: unordered-iter
+    (void)k;
+    t += v;
+  }
+  // detlint: no-such-rule-ok(reason text)  // expect: annotation
+  return t;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Positive fixtures: a JSON emitter rendering doubles with anything other
+// than %.17g truncates and breaks byte-identity across thread counts.
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+std::string to_json(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);  // expect: json-float
+  std::snprintf(buf, sizeof(buf), "%g", v);    // expect: json-float
+  return std::string("{\"value\": ") + buf + "}";
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Negative fixtures: the two blessed spellings in a JSON emitter —
+// printf-family "%.17g" and std::to_chars shortest-round-trip.
+#include <charconv>
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+std::string to_json(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  char tc[40];
+  auto [end, ec] = std::to_chars(tc, tc + sizeof(tc), v);
+  (void)end;
+  (void)ec;
+  return std::string("{\"value\": ") + buf + "}";
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Positive fixtures: raw std engines bypass the util::rng fork discipline.
+#include <random>  // expect: raw-rng
+
+namespace fixture {
+
+int draw() {
+  std::mt19937 gen(12345);           // expect: raw-rng
+  std::seed_seq seq{1, 2, 3};        // expect: raw-rng
+  std::default_random_engine e(42);  // expect: raw-rng
+  (void)seq;
+  return static_cast<int>(gen() + e());
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Negative fixtures: named forks through util::rng are the blessed path.
+namespace fixture {
+
+struct Rng {
+  Rng fork(const char*) const { return *this; }
+  double uniform01() { return 0.5; }
+};
+
+double draw(const Rng& root) {
+  Rng stream = root.fork("relay");
+  return stream.uniform01();
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Negative fixtures: human-readable table output; fixed-precision floats
+// are fine outside serialisation, because this file never emits the
+// machine-read format the byte-identity contract covers.
+#include <cstdio>
+
+namespace fixture {
+
+void print_row(double v) { std::printf("| %8.2f |\n", v); }
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Positive fixtures: unannotated range-for over unordered containers,
+// both through members declared in the header and through locals.
+#include "unordered_bad.h"
+
+namespace fixture {
+
+double Table::sum() const {
+  double total = 0.0;
+  for (const auto& [key, value] : cells_) {  // expect: unordered-iter
+    (void)key;
+    total += value;
+  }
+  for (int id : ids_) total += id;  // expect: unordered-iter
+  std::unordered_map<int, int> local;
+  for (const auto& kv : local) total += kv.second;  // expect: unordered-iter
+  return total;
+}
+
+}  // namespace fixture

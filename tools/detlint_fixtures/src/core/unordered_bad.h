@@ -1,0 +1,20 @@
+// Member declarations live here; the range-fors over them live in the .cc.
+// detlint's unit scope (file + same-stem sibling) must connect the two.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class Table {
+ public:
+  double sum() const;
+
+ private:
+  std::unordered_map<std::string, double> cells_;
+  std::unordered_set<int> ids_;
+};
+
+}  // namespace fixture

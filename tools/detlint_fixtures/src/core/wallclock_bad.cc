@@ -1,0 +1,22 @@
+// Positive fixtures: ambient time/entropy reads in src/ must be flagged.
+// (Never compiled — this tree exists for `detlint.py --self-test` only.)
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+double now_wall() {
+  auto t = std::chrono::system_clock::now();  // expect: wall-clock
+  (void)t;
+  auto m = std::chrono::steady_clock::now();  // expect: wall-clock
+  (void)m;
+  long seconds = time(nullptr);        // expect: wall-clock
+  int r = rand();                      // expect: wall-clock
+  const char* home = getenv("HOME");   // expect: wall-clock
+  (void)home;
+  std::random_device rd;  // expect: wall-clock  // expect: raw-rng
+  (void)rd;
+  return static_cast<double>(seconds + r);
+}
+
+}  // namespace fixture

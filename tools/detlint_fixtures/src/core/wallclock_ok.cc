@@ -1,0 +1,16 @@
+// Negative fixtures: simulated time and airtime computations are fine, and
+// prose mentioning system_clock, steady_clock, time(nullptr) or rand() in a
+// comment must not fire. Neither must identifiers merely ending in "time".
+namespace fixture {
+
+struct Time {
+  double s = 0.0;
+};
+
+double airtime(int bytes) { return static_cast<double>(bytes) * 8.0 / 1e6; }
+
+double use() { return airtime(100); }
+
+const char* label = "call time() later";  // string literal: clean
+
+}  // namespace fixture

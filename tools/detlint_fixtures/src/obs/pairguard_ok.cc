@@ -1,0 +1,10 @@
+#include "pairguard_ok.h"
+
+namespace fixture {
+
+void Registry::add(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  total_ += v;
+}
+
+}  // namespace fixture

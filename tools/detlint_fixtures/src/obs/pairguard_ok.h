@@ -1,0 +1,18 @@
+// Negative fixtures: the mutex member is declared here, the guard lives in
+// the sibling .cc — detlint's unit pairing must see across the two files.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Registry {
+ public:
+  void add(double v);
+
+ private:
+  std::mutex mu_;
+  double total_ = 0.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Positive fixtures: raw .lock()/.unlock() leaks the mutex on early
+// returns/exceptions, and a mutex with no RAII guard anywhere in the unit
+// means some caller is improvising.
+#include <mutex>
+
+namespace fixture {
+
+class Queue {
+ public:
+  void push_unsafe() {
+    mu_.lock();  // expect: mutex-guard
+    ++n_;
+    mu_.unlock();  // expect: mutex-guard
+  }
+
+ private:
+  std::mutex mu_;  // expect: mutex-guard
+  int n_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Negative fixtures: RAII-guarded mutex use is the blessed pattern.
+#include <mutex>
+
+namespace fixture {
+
+class Queue {
+ public:
+  void push() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;
+  int n_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Run clang-tidy (the repo's .clang-tidy, warnings-as-errors) over every
+translation unit in a CMake compile_commands.json.
+
+DetGuard prong 1 driver: used by the `lint` build target and the CI `lint`
+job. Translation units outside the repo's src/bench/examples/tests trees
+(and anything CMake generated into the build directory) are skipped, so
+third-party code is never diagnosed.
+
+Usage:
+    run_tidy.py [--build BUILD_DIR] [--jobs N] [--clang-tidy BIN] [--require]
+
+clang-tidy is located via --clang-tidy, the CLANG_TIDY environment
+variable, or a PATH search over versioned names. Without --require a
+missing binary is a skip (exit 0) so developer machines without the tool
+still build; CI passes --require to make the prong mandatory there.
+
+Exit status:
+    0  clean (or clang-tidy unavailable without --require)
+    1  at least one diagnostic
+    2  bad invocation / missing compile_commands.json
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+CANDIDATE_NAMES = ["clang-tidy"] + [
+    "clang-tidy-%d" % v for v in range(21, 13, -1)]
+
+LINT_DIRS = ("src", "bench", "examples", "tests")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) else None
+    for name in CANDIDATE_NAMES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def lintable_sources(build_dir, repo_root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except OSError as err:
+        raise SystemExit(
+            "run_tidy: cannot read %s (%s). Configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." % (db_path, err))
+    roots = tuple(os.path.join(repo_root, d) + os.sep for d in LINT_DIRS)
+    files = set()
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if path.startswith(roots):
+            files.add(path)
+    return sorted(files)
+
+
+def run_one(binary, build_dir, path):
+    proc = subprocess.run(
+        [binary, "--quiet", "-p", build_dir, path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="run_tidy.py",
+        description="clang-tidy over the repo's compile database")
+    parser.add_argument("--build", default="build",
+                        help="build directory holding compile_commands.json")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: $CLANG_TIDY or "
+                             "PATH search)")
+    parser.add_argument("--require", action="store_true",
+                        help="fail instead of skipping when clang-tidy is "
+                             "not installed (CI mode)")
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    binary = find_clang_tidy(args.clang_tidy)
+    if binary is None:
+        if args.require:
+            print("run_tidy: clang-tidy not found and --require set",
+                  file=sys.stderr)
+            return 2
+        print("run_tidy: clang-tidy not installed; skipping (the CI lint "
+              "job runs it with --require)")
+        return 0
+
+    try:
+        files = lintable_sources(args.build, repo_root)
+    except SystemExit as err:
+        print(err, file=sys.stderr)
+        return 2
+    if not files:
+        print("run_tidy: no lintable translation units in %s" % args.build,
+              file=sys.stderr)
+        return 2
+
+    print("run_tidy: %s over %d translation units (%d jobs)"
+          % (binary, len(files), args.jobs))
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, code, out, err in pool.map(
+                lambda p: run_one(binary, args.build, p), files):
+            rel = os.path.relpath(path, repo_root)
+            if code != 0:
+                failures += 1
+                print("FAIL %s" % rel)
+                if out.strip():
+                    print(out.rstrip())
+                if err.strip():
+                    print(err.rstrip(), file=sys.stderr)
+            elif out.strip():
+                # Diagnostics can surface even with exit 0 (e.g. from
+                # headers filtered into another TU's run); show them.
+                print(out.rstrip())
+    if failures:
+        print("run_tidy: %d translation unit(s) failed" % failures)
+        return 1
+    print("run_tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
