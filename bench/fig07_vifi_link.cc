@@ -12,9 +12,13 @@
 // every chart) are identical for any thread count.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "coord/predictor.h"
 #include "runtime/runner.h"
 
 using namespace vifi;
@@ -74,12 +78,47 @@ void abort_on_errors(const runtime::ResultSink& sink) {
   std::exit(1);
 }
 
+/// Fraction of offered CBR slots lost across a set of recorded streams —
+/// the aggregate-loss figure the coord-vs-PAB gate tracks.
+double aggregate_loss(const std::vector<analysis::SlotStream>& streams) {
+  double delivered = 0.0, offered = 0.0;
+  for (const auto& s : streams) {
+    for (const int d : s.delivered) delivered += d;
+    offered += static_cast<double>(s.per_slot_max) *
+               static_cast<double>(s.delivered.size());
+  }
+  return offered > 0.0 ? 1.0 - delivered / offered : 0.0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "Usage: " << argv[0] << " [--json PATH]\n";
+      return 2;
+    }
+  }
+
   const scenario::Testbed bed = scenario::make_vanlan();
   const trace::Campaign campaign = vanlan_campaign(bed);
   const int live_trips = 6 * scale();
+
+  // The coord tier rides the plain ViFi stack with the BS-side
+  // ConnectivityManager enabled, its predictor seeded from the same
+  // campaign the replay oracles use.
+  core::SystemConfig coord_config = vifi_system();
+  coord_config.coord.enabled = true;
+  {
+    std::vector<const trace::MeasurementTrace*> trips;
+    trips.reserve(campaign.trips.size());
+    for (const auto& t : campaign.trips) trips.push_back(&t);
+    coord_config.coord.history = coord::fit_history(trips);
+  }
 
   // Live CBR streams for ViFi and BRR, one stream per trip, sharded over
   // the pool; session definitions are applied to the recorded streams
@@ -89,7 +128,8 @@ int main() {
     core::SystemConfig config;
   };
   const std::vector<System> systems{{"ViFi", vifi_system()},
-                                    {"BRR", brr_system()}};
+                                    {"BRR", brr_system()},
+                                    {"Coord", coord_config}};
   const runtime::Runner runner({.threads = 0});
   const runtime::ResultSink sink = runner.run_indexed(
       systems.size() * static_cast<std::size_t>(live_trips),
@@ -101,10 +141,13 @@ int main() {
       });
 
   abort_on_errors(sink);
-  std::vector<analysis::SlotStream> vifi_streams, brr_streams;
-  for (const auto& r : sink.ordered())
-    (r.policy == "ViFi" ? vifi_streams : brr_streams)
-        .push_back(to_slot_stream(r));
+  std::vector<analysis::SlotStream> vifi_streams, brr_streams, coord_streams;
+  for (const auto& r : sink.ordered()) {
+    auto& streams = r.policy == "ViFi"
+                        ? vifi_streams
+                        : (r.policy == "Coord" ? coord_streams : brr_streams);
+    streams.push_back(to_slot_stream(r));
+  }
 
   auto live_median = [](const std::vector<analysis::SlotStream>& streams,
                         const analysis::SessionDef& def) {
@@ -128,17 +171,19 @@ int main() {
         "interval (s)");
     const std::vector<double> intervals{0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
     chart.set_x(intervals);
-    std::vector<double> all, vifi, best, brr;
+    std::vector<double> all, vifi, coord, best, brr;
     for (double iv : intervals) {
       analysis::SessionDef def;
       def.interval = Time::seconds(iv);
       all.push_back(replay_median("AllBSes", def));
       best.push_back(replay_median("BestBS", def));
       vifi.push_back(live_median(vifi_streams, def));
+      coord.push_back(live_median(coord_streams, def));
       brr.push_back(live_median(brr_streams, def));
     }
     chart.add_series("AllBSes", std::move(all));
     chart.add_series("ViFi", std::move(vifi));
+    chart.add_series("Coord", std::move(coord));
     chart.add_series("BestBS", std::move(best));
     chart.add_series("BRR", std::move(brr));
     chart.set_precision(1);
@@ -152,24 +197,54 @@ int main() {
         "ratio (%)");
     const std::vector<double> ratios{10, 20, 30, 40, 50, 60, 70, 80, 90};
     chart.set_x(ratios);
-    std::vector<double> all, vifi, best, brr;
+    std::vector<double> all, vifi, coord, best, brr;
     for (double r : ratios) {
       analysis::SessionDef def;
       def.min_ratio = r / 100.0;
       all.push_back(replay_median("AllBSes", def));
       best.push_back(replay_median("BestBS", def));
       vifi.push_back(live_median(vifi_streams, def));
+      coord.push_back(live_median(coord_streams, def));
       brr.push_back(live_median(brr_streams, def));
     }
     chart.add_series("AllBSes", std::move(all));
     chart.add_series("ViFi", std::move(vifi));
+    chart.add_series("Coord", std::move(coord));
     chart.add_series("BestBS", std::move(best));
     chart.add_series("BRR", std::move(brr));
     chart.set_precision(1);
     chart.print(std::cout);
   }
 
-  std::cout << "\nPaper shape check: ViFi above BestBS and approaching "
+  // Coord-vs-PAB aggregate loss over the recorded CBR streams: the coord
+  // tier must not lose more of the offered load than plain PAB ViFi does.
+  const double vifi_loss = aggregate_loss(vifi_streams);
+  const double coord_loss = aggregate_loss(coord_streams);
+  const double brr_loss = aggregate_loss(brr_streams);
+  std::cout << "\nAggregate CBR loss: ViFi (PAB) "
+            << TextTable::pct(vifi_loss, 2) << ", Coord "
+            << TextTable::pct(coord_loss, 2) << ", BRR "
+            << TextTable::pct(brr_loss, 2) << "\n";
+  std::cout << "Paper shape check: ViFi above BestBS and approaching "
                "AllBSes across both sweeps; BRR far below.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::vector<ValueEntry> entries;
+    entries.push_back({"Fig07/VanLAN/ViFi/aggregate_loss", vifi_loss, false});
+    entries.push_back(
+        {"Fig07/VanLAN/Coord/aggregate_loss", coord_loss, false});
+    entries.push_back({"Fig07/VanLAN/BRR/aggregate_loss", brr_loss, false});
+    // Ratio of the two live twins; < 1 means coord loses less than PAB.
+    entries.push_back({"Fig07/VanLAN/coord_vs_pab_loss_ratio",
+                       vifi_loss > 0.0 ? coord_loss / vifi_loss : 1.0,
+                       false});
+    write_value_entries(out, "fig07_vifi_link", entries);
+    std::cout << "wrote aggregate-loss entries to " << json_path << "\n";
+  }
   return 0;
 }

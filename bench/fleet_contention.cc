@@ -149,6 +149,51 @@ int main(int argc, char** argv) {
                    "collapsed first).\n";
   }
 
+  // --- Coord-vs-PAB twin at the V=4 VanLAN cell: same trips, coordination
+  // axis on, so the only delta is the BS-side ConnectivityManager. The
+  // pre-existing curve above stays untouched (and so does its baseline).
+  runtime::ExperimentSpec cspec;
+  cspec.name = "fleet_contention_coord";
+  cspec.grid.testbeds = {"VanLAN"};
+  cspec.grid.fleet_sizes = {4};
+  cspec.grid.policies = {"ViFi"};
+  cspec.grid.coordinations = {"pab", "coord"};
+  cspec.grid.seeds = spec.grid.seeds;
+  cspec.days = 1;
+  cspec.trips_per_day = 1;
+  cspec.trip_duration = Time::seconds(60.0);
+  cspec.workload = "cbr";
+  const runtime::ResultSink csink = runner.run(cspec);
+  if (csink.any_errors()) {
+    for (const auto& r : csink.ordered())
+      if (!r.error.empty())
+        std::cerr << "coord twin (" << r.coordination << "): " << r.error
+                  << "\n";
+    return 1;
+  }
+  struct Twin {
+    double delivery = 0.0;
+    double jain = 1.0;
+    int n = 0;
+  };
+  std::map<std::string, Twin> twins;
+  for (const auto& r : csink.ordered()) {
+    Twin& t = twins[r.coordination];
+    const int n = ++t.n;
+    t.delivery += (r.metrics.at("delivery_rate") - t.delivery) / n;
+    t.jain += (r.metrics.at("fairness_jain_delivery") - t.jain) / n;
+  }
+  const Twin& pab = twins.at("pab");
+  const Twin& coord = twins.at("coord");
+  const double coord_delivery_ratio =
+      pab.delivery > 0.0 ? coord.delivery / pab.delivery : 1.0;
+  std::cout << "\nVanLAN V=4 coord twin: delivery "
+            << TextTable::pct(coord.delivery, 1) << " (PAB "
+            << TextTable::pct(pab.delivery, 1) << ", ratio "
+            << TextTable::num(coord_delivery_ratio, 3) << "), jain "
+            << TextTable::num(coord.jain, 3) << " (PAB "
+            << TextTable::num(pab.jain, 3) << ")\n";
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out.good()) {
@@ -167,6 +212,10 @@ int main(int argc, char** argv) {
                            c.per_vehicle_per_day(v), true});
       }
     }
+    entries.push_back({"FleetContention/VanLAN/V4/coord_delivery_ratio",
+                       coord_delivery_ratio, true});
+    entries.push_back(
+        {"FleetContention/VanLAN/V4/coord_jain_delivery", coord.jain, true});
     write_value_entries(out, "fleet_contention", entries);
     std::cout << "wrote fairness curve to " << json_path << "\n";
   }

@@ -342,6 +342,46 @@ int main(int argc, char** argv) {
                                 "outputs differ")
             << "\n";
 
+  // --- Coord-vs-PAB twin on the recorded V=4 catalog: the coordination
+  // axis replays the identical trips, with coord's predictor history
+  // fitted from that same catalog (the executor's catalog-driven path).
+  runtime::ExperimentSpec cspec;
+  cspec.name = "fleet_replay_coord";
+  cspec.grid.testbeds = {kTestbed};
+  cspec.grid.fleet_sizes = {4};
+  cspec.grid.trace_sets = {catalog_dirs.at({4, "real"})};
+  cspec.grid.policies = {"ViFi"};
+  cspec.grid.coordinations = {"pab", "coord"};
+  cspec.grid.seeds = {1};
+  for (int s = 2; s <= scale(); ++s)
+    cspec.grid.seeds.push_back(static_cast<std::uint64_t>(s));
+  cspec.workload = "cbr";
+  const runtime::ResultSink csink = pool.run(cspec);
+  if (csink.any_errors()) {
+    for (const auto& r : csink.ordered())
+      if (!r.error.empty())
+        std::cerr << "coord twin (" << r.coordination << "): " << r.error
+                  << "\n";
+    std::filesystem::remove_all(root);
+    return 1;
+  }
+  double pab_delivery = 0.0, coord_delivery = 0.0;
+  int pab_n = 0, coord_n = 0;
+  for (const auto& r : csink.ordered()) {
+    if (r.coordination == "coord")
+      coord_delivery += (r.metrics.at("delivery_rate") - coord_delivery) /
+                        ++coord_n;
+    else
+      pab_delivery +=
+          (r.metrics.at("delivery_rate") - pab_delivery) / ++pab_n;
+  }
+  const double coord_delivery_ratio =
+      pab_delivery > 0.0 ? coord_delivery / pab_delivery : 1.0;
+  std::cout << "V=4 real-catalog coord twin: delivery "
+            << TextTable::pct(coord_delivery, 1) << " (PAB "
+            << TextTable::pct(pab_delivery, 1) << ", ratio "
+            << TextTable::num(coord_delivery_ratio, 3) << ")\n";
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out.good()) {
@@ -360,6 +400,9 @@ int main(int argc, char** argv) {
         entries.push_back({prefix + "jain_delivery", c.jain_delivery, true});
       }
     }
+    entries.push_back({"FleetReplay/" + std::string(kTestbed) +
+                           "/V4/real/coord_delivery_ratio",
+                       coord_delivery_ratio, true});
     write_value_entries(out, "fleet_replay", entries);
     std::cout << "wrote replay curve to " << json_path << "\n";
   }

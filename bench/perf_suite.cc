@@ -20,6 +20,7 @@
 #include "apps/cbr.h"
 #include "apps/tcp.h"
 #include "channel/vehicular.h"
+#include "coord/manager.h"
 #include "core/pab.h"
 #include "core/relay_policy.h"
 #include "core/system.h"
@@ -323,6 +324,47 @@ void BM_EndToEndPacketPath(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kPackets);
 }
 BENCHMARK(BM_EndToEndPacketPath);
+
+void BM_CoordEndToEnd(benchmark::State& state) {
+  // BM_EndToEndPacketPath with the coord tier attached: the BS-side
+  // ConnectivityManager observes every PAB beacon, runs its per-client
+  // state machine, predicts the drive-past succession (10 -> 11 -> 12)
+  // and filters relays. Compare against BM_EndToEndPacketPath to read
+  // the cost of coordination on the hot path.
+  constexpr int kPackets = 100;
+  constexpr double kSimSeconds = 2.0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    channel::VehicularChannelParams cparams;
+    channel::VehicularChannel loss(
+        cparams,
+        [](NodeId id, Time t) {
+          if (id.value() == 1)  // the vehicle, driving along x
+            return mobility::Vec2{10.0 * t.to_seconds(), 0.0};
+          return mobility::Vec2{(id.value() - 10) * 40.0, 30.0};
+        },
+        Rng(7));
+    core::SystemConfig config;
+    config.seed = 42;
+    config.coord.enabled = true;
+    config.coord.history = {{10, 11, 5}, {11, 12, 5}};
+    core::VifiSystem system(sim, loss, {NodeId(10), NodeId(11), NodeId(12)},
+                            NodeId(1), NodeId(100), config);
+    coord::ConnectivityManager manager(sim, config.coord);
+    coord::attach(system, manager);
+    system.start();
+    manager.start();
+    for (int i = 0; i < kPackets; ++i) {
+      sim.schedule_at(Time::seconds(kSimSeconds * i / kPackets),
+                      [&system] { system.send_up(500); });
+    }
+    sim.run_until(Time::seconds(kSimSeconds + 1.0));
+    benchmark::DoNotOptimize(system.stats());
+    benchmark::DoNotOptimize(manager.transitions());
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+}
+BENCHMARK(BM_CoordEndToEnd);
 
 void BM_FleetEndToEnd(benchmark::State& state) {
   // Fleet scaling as a tracked perf property: the full VanLAN deployment

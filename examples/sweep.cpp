@@ -54,6 +54,10 @@ int usage(const char* argv0) {
          "Sticky\n"
       << "                      cbr (live): ViFi/BRR/Diversity\n"
       << "                      default AllBSes,BestBS,BRR\n"
+      << "  --coordination a,b  cbr (live) points: pab (vehicle-driven\n"
+         "                      baseline) and/or coord (BS-side predictive\n"
+         "                      ConnectivityManager); default none — the\n"
+         "                      historical stack with no extra axis\n"
       << "  --seeds a,b         replicate seeds, default 1,2\n"
       << "  --days N            campaign days, default 1\n"
       << "  --trips N           trips per day, default 2\n"
@@ -116,6 +120,8 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--trace-sets") spec.grid.trace_sets = split_csv(value());
     else if (arg == "--policies") spec.grid.policies = split_csv(value());
+    else if (arg == "--coordination")
+      spec.grid.coordinations = split_csv(value());
     else if (arg == "--seeds") spec.grid.seeds = split_csv_u64(value());
     else if (arg == "--days") spec.days = std::atoi(value().c_str());
     else if (arg == "--trips") spec.trips_per_day = std::atoi(value().c_str());
@@ -169,6 +175,7 @@ int main(int argc, char** argv) {
         r.fleet = p.fleet_size;
         r.trace_set = p.trace_set;
         r.policy = p.policy;
+        r.coordination = p.coordination;
         r.seed = p.seed;
         r.error = e.what();
         sink.add(std::move(r));

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file manager.h
+/// CoordTier's BS-side ConnectivityManager: the infrastructure-driven
+/// alternative to ViFi's vehicle-driven PAB coordination. One manager
+/// serves a whole deployment (the BSes share a backplane, so shared
+/// connectivity state is the realistic model); per client it runs the
+/// explicit connection/handoff state machine of state.h, learns BS
+/// successions into a NextBsPredictor, and acts on confident predictions:
+///
+///  * pre-stage — warm the predicted next anchor (downstream sender +
+///    proactive §4.5 salvage pull) before the handoff beacon gap; and
+///  * suppress — skip redundant auxiliary relays from BSes that are
+///    neither the anchor nor the predicted successor while the prediction
+///    window is live.
+///
+/// Every machine transition is recorded as a first-class TripScope event
+/// (EventKind::CoordTransition), and the manager's counters reconcile
+/// exactly with the recorder's per-kind counts — the property harness
+/// (tests/test_coord_props.cc) pins both.
+///
+/// Determinism: the manager holds no clock or entropy of its own — it sees
+/// time only through the simulator and the observation calls, and every
+/// container it iterates is ordered.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "coord/predictor.h"
+#include "coord/state.h"
+#include "core/config.h"
+#include "sim/ids.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace vifi::obs {
+class MetricsRegistry;
+}
+
+namespace vifi::core {
+class VifiSystem;
+}
+
+namespace vifi::coord {
+
+class ConnectivityManager {
+ public:
+  ConnectivityManager(sim::Simulator& sim, core::CoordParams params);
+
+  ConnectivityManager(const ConnectivityManager&) = delete;
+  ConnectivityManager& operator=(const ConnectivityManager&) = delete;
+
+  /// Starts the periodic timeout scan (1 s cadence, like the BS ticks).
+  void start();
+
+  /// Called when the predicted next anchor should be warmed:
+  /// (vehicle, predicted_bs, current_anchor). attach() wires this to
+  /// VifiBasestation::prestage on the predicted BS.
+  void set_prestage_handler(
+      std::function<void(NodeId vehicle, NodeId predicted, NodeId anchor)>
+          handler) {
+    prestage_handler_ = std::move(handler);
+  }
+
+  // --- observations ------------------------------------------------------
+
+  /// One decoded client beacon: \p observer heard \p vehicle naming
+  /// \p anchor (invalid = none yet). Multiple BSes decode the same beacon
+  /// at the same instant; repeats are absorbed once per timestamp.
+  void on_beacon(NodeId observer, NodeId vehicle, NodeId anchor,
+                 NodeId prev_anchor = {});
+
+  /// Timeout scan: clients silent past beacon_timeout drop back to Idle.
+  void tick(Time now);
+
+  /// Relay-filter seam for auxiliary BS \p aux: true = suppress the relay
+  /// for \p vehicle's packet (only within a live confident-prediction
+  /// window, and never for the anchor or the predicted successor).
+  bool suppress_relay(NodeId aux, NodeId vehicle);
+
+  // --- queries ------------------------------------------------------------
+
+  ClientPhase phase(NodeId vehicle) const;
+  /// The client's single live anchor (invalid when none). At most one per
+  /// client by construction — the property harness reconciles this against
+  /// the transition stream.
+  NodeId anchor(NodeId vehicle) const;
+  NodeId predicted(NodeId vehicle) const;
+  double confidence(NodeId vehicle) const;
+  const NextBsPredictor& predictor() const { return predictor_; }
+  const core::CoordParams& params() const { return params_; }
+
+  // --- counters (reconciled against TripScope per-kind counts) -----------
+
+  std::uint64_t transitions() const { return transitions_; }
+  std::uint64_t predictions() const { return predictions_; }
+  std::uint64_t prediction_hits() const { return hits_; }
+  std::uint64_t prediction_misses() const { return misses_; }
+  std::uint64_t prestages() const { return prestages_; }
+  std::uint64_t suppressed_relays() const { return suppressed_; }
+
+  /// Adds the manager's counters into \p registry (coord.* namespace).
+  void publish(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct ClientState {
+    ClientStateMachine machine;
+    NodeId anchor{};
+    NodeId predicted{};
+    double confidence = 0.0;
+    Time last_seen;
+    bool seen_once = false;
+  };
+
+  /// Fires \p event on \p st's machine and records the transition as a
+  /// TripScope event (c packs event<<8 | from<<4 | to).
+  ClientPhase fire(NodeId vehicle, ClientState& st, CoordEvent event);
+  /// Attempts a prediction for an Associated client; commits, pre-stages
+  /// and moves to PredictedHandoff when confident.
+  void maybe_predict(NodeId vehicle, ClientState& st);
+  void clear_prediction(ClientState& st);
+
+  sim::Simulator& sim_;
+  core::CoordParams params_;
+  NextBsPredictor predictor_;
+  sim::PeriodicTimer tick_timer_;
+  /// Ordered: the timeout scan iterates deterministically.
+  std::map<NodeId, ClientState> clients_;
+  std::function<void(NodeId, NodeId, NodeId)> prestage_handler_;
+
+  std::uint64_t transitions_ = 0;
+  std::uint64_t predictions_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t prestages_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+/// Wires \p manager into every basestation of \p system: beacon
+/// observations in, relay suppression and pre-staging out. Call once,
+/// before VifiSystem::start(); \p manager must outlive \p system.
+void attach(core::VifiSystem& system, ConnectivityManager& manager);
+
+}  // namespace vifi::coord

@@ -1,0 +1,74 @@
+#include "coord/predictor.h"
+
+#include "util/contracts.h"
+
+namespace vifi::coord {
+
+void NextBsPredictor::add(NodeId from, NodeId to, int count) {
+  VIFI_EXPECTS(from.valid() && to.valid() && from != to);
+  VIFI_EXPECTS(count > 0);
+  successors_[from][to] += count;
+}
+
+void NextBsPredictor::seed(const std::vector<std::array<int, 3>>& history) {
+  for (const auto& [from, to, count] : history)
+    add(NodeId(from), NodeId(to), count);
+}
+
+int NextBsPredictor::support(NodeId from) const {
+  const auto it = successors_.find(from);
+  if (it == successors_.end()) return 0;
+  int total = 0;
+  for (const auto& [to, count] : it->second) {
+    (void)to;
+    total += count;
+  }
+  return total;
+}
+
+std::optional<NextBsPredictor::Prediction> NextBsPredictor::predict(
+    NodeId current, double min_confidence, int min_support) const {
+  const auto it = successors_.find(current);
+  if (it == successors_.end()) return std::nullopt;
+  int total = 0, best_count = 0;
+  NodeId best{};
+  // Ordered map: the first maximal entry is the lowest BS id, so ties
+  // break deterministically.
+  for (const auto& [to, count] : it->second) {
+    total += count;
+    if (count > best_count) {
+      best_count = count;
+      best = to;
+    }
+  }
+  if (total < min_support) return std::nullopt;
+  Prediction p;
+  p.bs = best;
+  p.confidence = static_cast<double>(best_count) / static_cast<double>(total);
+  p.support = total;
+  if (p.confidence < min_confidence) return std::nullopt;
+  return p;
+}
+
+std::vector<std::array<int, 3>> fit_history(
+    const std::vector<const trace::MeasurementTrace*>& trips,
+    const tracegen::FitOptions& opts) {
+  std::map<NodeId, std::map<NodeId, int>> counts;
+  for (const trace::MeasurementTrace* trip : trips) {
+    VIFI_EXPECTS(trip != nullptr);
+    const std::vector<tracegen::Contact> timeline =
+        tracegen::contact_timeline(*trip, opts);
+    for (std::size_t i = 1; i < timeline.size(); ++i) {
+      const NodeId from = timeline[i - 1].bs;
+      const NodeId to = timeline[i].bs;
+      if (from != to) ++counts[from][to];
+    }
+  }
+  std::vector<std::array<int, 3>> out;
+  for (const auto& [from, tos] : counts)
+    for (const auto& [to, count] : tos)
+      out.push_back({from.value(), to.value(), count});
+  return out;
+}
+
+}  // namespace vifi::coord

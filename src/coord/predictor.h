@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file predictor.h
+/// CoordTier's next-BS predictor: a BS-to-BS succession matrix learned
+/// from mobility history. Routes repeat (VanLAN shuttles and DieselNet
+/// buses drive fixed loops), so the empirical "after BS a the vehicle
+/// next met BS b" counts are a strong predictor of the next anchor.
+///
+/// Two sources feed the matrix:
+///  * offline — TraceForge contact timelines from recorded/synthesized
+///    campaigns (`fit_history`, seeded through core::CoordParams); and
+///  * online — anchor switches the ConnectivityManager observes live.
+///
+/// Prediction is deterministic: highest count wins, ties go to the lowest
+/// BS id, and nothing is committed below the caller's confidence and
+/// support floors.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/ids.h"
+#include "tracegen/fit.h"
+#include "trace/observations.h"
+
+namespace vifi::coord {
+
+using sim::NodeId;
+
+class NextBsPredictor {
+ public:
+  struct Prediction {
+    NodeId bs;               ///< The predicted next anchor.
+    double confidence = 0.0; ///< Successor share: count / total-from-here.
+    int support = 0;         ///< Total successions observed from here.
+  };
+
+  /// Folds one {from, to, count} succession triple into the matrix.
+  void add(NodeId from, NodeId to, int count);
+  /// Records one observed anchor switch (online learning).
+  void observe(NodeId from, NodeId to) { add(from, to, 1); }
+  /// Seeds from CoordParams::history triples.
+  void seed(const std::vector<std::array<int, 3>>& history);
+
+  /// The most likely successor of \p current, or nullopt when fewer than
+  /// \p min_support successions were seen from it or the best successor's
+  /// share is below \p min_confidence.
+  std::optional<Prediction> predict(NodeId current, double min_confidence,
+                                    int min_support) const;
+
+  /// Successions observed out of \p from (any successor).
+  int support(NodeId from) const;
+
+ private:
+  /// Ordered maps end to end: predictions and iteration are deterministic.
+  std::map<NodeId, std::map<NodeId, int>> successors_;
+};
+
+/// Fits succession triples from recorded trips: every pair of consecutive
+/// distinct-BS contacts on a trip's `tracegen::contact_timeline` is one
+/// observed succession. The result feeds core::CoordParams::history.
+std::vector<std::array<int, 3>> fit_history(
+    const std::vector<const trace::MeasurementTrace*>& trips,
+    const tracegen::FitOptions& opts = {});
+
+}  // namespace vifi::coord

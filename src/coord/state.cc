@@ -1,0 +1,102 @@
+#include "coord/state.h"
+
+#include <string>
+
+#include "util/contracts.h"
+
+namespace vifi::coord {
+
+const char* to_string(ClientPhase phase) {
+  switch (phase) {
+    case ClientPhase::Idle:
+      return "Idle";
+    case ClientPhase::Discovered:
+      return "Discovered";
+    case ClientPhase::Associated:
+      return "Associated";
+    case ClientPhase::PredictedHandoff:
+      return "PredictedHandoff";
+    case ClientPhase::HandedOff:
+      return "HandedOff";
+  }
+  return "?";
+}
+
+const char* to_string(CoordEvent event) {
+  switch (event) {
+    case CoordEvent::BeaconSeen:
+      return "BeaconSeen";
+    case CoordEvent::AnchorConfirmed:
+      return "AnchorConfirmed";
+    case CoordEvent::PredictionMade:
+      return "PredictionMade";
+    case CoordEvent::HandoffObserved:
+      return "HandoffObserved";
+    case CoordEvent::PredictionMiss:
+      return "PredictionMiss";
+    case CoordEvent::AnchorLost:
+      return "AnchorLost";
+    case CoordEvent::Timeout:
+      return "Timeout";
+  }
+  return "?";
+}
+
+std::optional<ClientPhase> next_phase(ClientPhase phase, CoordEvent event) {
+  using P = ClientPhase;
+  using E = CoordEvent;
+  switch (phase) {
+    case P::Idle:
+      // Only a beacon wakes an idle client up; everything else (including
+      // Timeout — there is nothing to time out) is a caller bug.
+      if (event == E::BeaconSeen) return P::Discovered;
+      return std::nullopt;
+    case P::Discovered:
+      switch (event) {
+        case E::BeaconSeen: return P::Discovered;
+        case E::AnchorConfirmed: return P::Associated;
+        case E::Timeout: return P::Idle;
+        default: return std::nullopt;
+      }
+    case P::Associated:
+      switch (event) {
+        case E::BeaconSeen: return P::Associated;
+        case E::AnchorConfirmed: return P::Associated;
+        case E::PredictionMade: return P::PredictedHandoff;
+        case E::AnchorLost: return P::Discovered;
+        case E::Timeout: return P::Idle;
+        default: return std::nullopt;
+      }
+    case P::PredictedHandoff:
+      switch (event) {
+        case E::BeaconSeen: return P::PredictedHandoff;
+        case E::HandoffObserved: return P::HandedOff;
+        case E::PredictionMiss: return P::Associated;
+        case E::AnchorLost: return P::Discovered;
+        case E::Timeout: return P::Idle;
+        default: return std::nullopt;
+      }
+    case P::HandedOff:
+      switch (event) {
+        case E::BeaconSeen: return P::HandedOff;
+        case E::AnchorConfirmed: return P::Associated;
+        case E::AnchorLost: return P::Discovered;
+        case E::Timeout: return P::Idle;
+        default: return std::nullopt;
+      }
+  }
+  return std::nullopt;
+}
+
+ClientPhase ClientStateMachine::fire(CoordEvent event) {
+  const std::optional<ClientPhase> next = next_phase(phase_, event);
+  if (!next.has_value())
+    throw ContractViolation(std::string("coord state machine: event ") +
+                            to_string(event) + " is illegal in phase " +
+                            to_string(phase_));
+  phase_ = *next;
+  ++transitions_;
+  return phase_;
+}
+
+}  // namespace vifi::coord

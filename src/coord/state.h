@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file state.h
+/// The CoordTier connection/handoff state machine — the per-client core of
+/// the BS-side ConnectivityManager (manager.h). ViFi's PAB designation
+/// (§4.3) is vehicle-driven and implicit; this tier makes the
+/// infrastructure's view of each client an *explicit* machine in the
+/// ConnectivityManager idiom:
+///
+///   Idle ──BeaconSeen──▶ Discovered ──AnchorConfirmed──▶ Associated
+///   Associated ──PredictionMade──▶ PredictedHandoff
+///   PredictedHandoff ──HandoffObserved──▶ HandedOff ──AnchorConfirmed──▶
+///   Associated
+///
+/// with loss-driven fallback (AnchorLost → Discovered from any associated
+/// phase), prediction-miss recovery (PredictedHandoff → Associated), and
+/// beacon-timeout edges back to Idle from every non-idle phase.
+///
+/// The transition table is a pure function (`next_phase`), exhaustively
+/// pinned by tests/test_coord.cc: every legal edge is asserted and every
+/// illegal (phase, event) pair must be rejected with a crisp
+/// ContractViolation naming both.
+
+#include <cstdint>
+#include <optional>
+
+namespace vifi::coord {
+
+/// The infrastructure's view of one client's connectivity lifecycle.
+enum class ClientPhase : int {
+  Idle,              ///< Never heard, or timed out — no live state.
+  Discovered,        ///< Beacons heard, but no anchor designation yet.
+  Associated,        ///< Client beacons name a live anchor.
+  PredictedHandoff,  ///< Associated + a confident next-BS prediction.
+  HandedOff,         ///< The predicted handoff was observed happening.
+};
+
+inline constexpr int kClientPhaseCount =
+    static_cast<int>(ClientPhase::HandedOff) + 1;
+
+/// What the manager observed about a client.
+enum class CoordEvent : int {
+  BeaconSeen,       ///< Any beacon from the client reached some BS.
+  AnchorConfirmed,  ///< The client's beacon names a (new or first) anchor.
+  PredictionMade,   ///< The predictor committed to a next BS confidently.
+  HandoffObserved,  ///< The anchor switched to the predicted BS (a hit).
+  PredictionMiss,   ///< The anchor switched to a different BS (a miss).
+  AnchorLost,       ///< The client's beacon carries no valid anchor.
+  Timeout,          ///< No beacon within the staleness window.
+};
+
+inline constexpr int kCoordEventCount =
+    static_cast<int>(CoordEvent::Timeout) + 1;
+
+const char* to_string(ClientPhase phase);
+const char* to_string(CoordEvent event);
+
+/// The pure transition table: the phase \p event moves \p phase to, or
+/// nullopt when the pair is illegal. Exhaustive over the
+/// kClientPhaseCount x kCoordEventCount grid.
+std::optional<ClientPhase> next_phase(ClientPhase phase, CoordEvent event);
+
+/// One client's machine. `fire` applies the table and throws
+/// util::ContractViolation (naming the phase and event) on an illegal
+/// pair — protocol code must never feed the machine an event its phase
+/// cannot absorb.
+class ClientStateMachine {
+ public:
+  ClientPhase phase() const { return phase_; }
+  /// Transitions fired so far (legal ones only).
+  std::uint64_t transitions() const { return transitions_; }
+
+  /// Applies \p event; returns the new phase. Throws on illegal pairs.
+  ClientPhase fire(CoordEvent event);
+
+ private:
+  ClientPhase phase_ = ClientPhase::Idle;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace vifi::coord

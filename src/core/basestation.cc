@@ -150,6 +150,28 @@ void VifiBasestation::on_vehicle_beacon(const mac::Frame& f) {
   } else if (st.anchor != self()) {
     st.registered_as_anchor = false;
   }
+  if (beacon_observer_)
+    beacon_observer_(f.tx, f.beacon.anchor, f.beacon.prev_anchor);
+}
+
+void VifiBasestation::prestage(NodeId vehicle, NodeId current_anchor) {
+  VIFI_EXPECTS(vehicle.valid());
+  // Warm the downstream path so the first post-handoff packet pays no
+  // lazy-construction latency.
+  sender_for(vehicle);
+  // Pull the current anchor's salvage buffer proactively — the same §4.5
+  // exchange become_anchor issues, just ahead of the beacon gap. The reply
+  // enqueues here without registering this BS as anchor; if the handoff
+  // never happens, the packets simply age out of the salvage buffer.
+  if (config_.salvage && current_anchor.valid() && current_anchor != self()) {
+    net::WireMessage req;
+    req.kind = net::WireMessage::Kind::SalvageRequest;
+    req.from = self();
+    req.to = current_anchor;
+    req.about = vehicle;
+    req.bytes = kControlBytes;
+    backplane_.send(std::move(req));
+  }
 }
 
 void VifiBasestation::become_anchor(NodeId vehicle, NodeId prev_anchor) {
@@ -364,6 +386,9 @@ void VifiBasestation::on_relay_tick() {
     const NodeId dst =
         dir == Direction::Upstream ? st.anchor : e.frame.data.hop_dst;
     if (!dst.valid()) continue;
+    // CoordTier seam: a confident live prediction suppresses redundant
+    // auxiliary relays (the packet is considered, then skipped).
+    if (relay_filter_ && relay_filter_(e.vehicle)) continue;
 
     if (stats_) stats_->on_aux_contend(id, e.frame.data.attempt, self());
 

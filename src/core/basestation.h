@@ -63,6 +63,30 @@ class VifiBasestation {
   std::uint64_t relays_sent() const { return relays_sent_; }
   std::uint64_t packets_salvaged_out() const { return salvaged_out_; }
 
+  // --- CoordTier hooks (src/coord/). All optional std::function seams so
+  // core carries no dependency on the coordination layer. ------------------
+
+  /// Called after every decoded vehicle beacon with the designation it
+  /// carried (anchor/prev_anchor may be invalid).
+  void set_beacon_observer(
+      std::function<void(NodeId vehicle, NodeId anchor, NodeId prev_anchor)>
+          observer) {
+    beacon_observer_ = std::move(observer);
+  }
+
+  /// Consulted before each auxiliary relay decision; returning true skips
+  /// the relay for \p vehicle's packet (the coordination tier suppresses
+  /// redundant relaying under a confident prediction).
+  void set_relay_filter(std::function<bool(NodeId vehicle)> filter) {
+    relay_filter_ = std::move(filter);
+  }
+
+  /// Warm state transfer ahead of a predicted handoff: creates the
+  /// downstream sender serving \p vehicle now (instead of lazily on the
+  /// first post-handoff packet) and — when salvage is on — pulls the
+  /// current anchor's unacknowledged packets before the beacon gap.
+  void prestage(NodeId vehicle, NodeId current_anchor);
+
  private:
   /// Vehicle-side state learned from its beacons.
   struct VehicleState {
@@ -140,6 +164,9 @@ class VifiBasestation {
   obs::Histogram* relay_prob_hist_ = nullptr;
   /// In-order forwarding buffers per vehicle (§4.7 extension).
   std::map<NodeId, std::unique_ptr<Sequencer>> sequencers_;
+  /// CoordTier seams (see the setters above); empty when no manager rides.
+  std::function<void(NodeId, NodeId, NodeId)> beacon_observer_;
+  std::function<bool(NodeId)> relay_filter_;
 };
 
 }  // namespace vifi::core

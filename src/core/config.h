@@ -12,6 +12,9 @@
 ///
 /// `variant` selects the §5.5.1 coordination ablations.
 
+#include <array>
+#include <vector>
+
 #include "util/time.h"
 
 namespace vifi::core {
@@ -90,6 +93,32 @@ struct VifiConfig {
   bool inorder_delivery = false;
   /// How long the sequencing buffer waits for missing predecessors.
   Time reorder_hold = Time::millis(50);
+};
+
+/// CoordTier: the BS-side ConnectivityManager's knobs (src/coord/). Plain
+/// data here so the whole stack (executor -> LiveTrip -> VifiSystem) can
+/// thread it through without depending on the coord layer.
+struct CoordParams {
+  /// Off by default: the historical PAB-only stack, byte-for-byte.
+  bool enabled = false;
+  /// Warm the predicted next anchor (sender state + proactive salvage
+  /// pull) before the handoff beacon gap.
+  bool prestage = true;
+  /// Suppress non-{anchor, predicted} auxiliary relays while a confident
+  /// prediction is live.
+  bool suppress_relays = true;
+  /// Predictions below this successor-share never commit. Routes through
+  /// ~10-BS testbeds spread successions wide, so the floor is set where a
+  /// clear favourite (several times the uniform share) still qualifies;
+  /// raising it towards 1 disables prediction on diffuse matrices.
+  double min_confidence = 0.4;
+  /// Successions observed from a BS before its predictions count.
+  int min_history = 3;
+  /// No client beacon for this long resets the machine to Idle.
+  Time beacon_timeout = Time::seconds(3.0);
+  /// Fitted mobility history seeding the next-BS predictor:
+  /// {from_bs, to_bs, count} succession triples (coord::fit_history).
+  std::vector<std::array<int, 3>> history;
 };
 
 }  // namespace vifi::core

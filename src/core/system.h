@@ -27,6 +27,10 @@ namespace vifi::core {
 
 struct SystemConfig {
   VifiConfig vifi;
+  /// CoordTier: BS-side predictive handoff coordination (src/coord/).
+  /// Plain data — the coord::ConnectivityManager consuming it is attached
+  /// by the scenario layer, so core stays coord-free.
+  CoordParams coord;
   mac::MediumParams medium;
   net::Backplane::LinkParams wired;
   std::uint64_t seed = 1;

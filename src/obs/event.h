@@ -46,6 +46,14 @@ enum class EventKind : std::uint8_t {
   AppDeliver,  ///< node delivered unique app packet id (c: 1 = downstream).
   // §3.1 trace replay.
   Handoff,  ///< replayed vehicle node associated with peer (invalid = none).
+  // CoordTier: the BS-side ConnectivityManager (src/coord/).
+  CoordTransition,  ///< client node's machine fired: peer = its anchor,
+                    ///< id = per-client transition #, a = prediction
+                    ///< confidence, c packs (event<<8 | from<<4 | to).
+  CoordPrestage,    ///< predicted BS peer pre-staged for client node
+                    ///< (a: prediction confidence).
+  CoordSuppress,    ///< auxiliary peer's relay for client node suppressed
+                    ///< under a confident prediction (a: confidence).
   // Satellite: VIFI_WARN+ log lines routed through the recorder.
   Log,  ///< c: LogLevel; the message is in the recorder's log channel.
 };

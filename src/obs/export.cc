@@ -43,6 +43,10 @@ const char* category(EventKind kind) {
       return "app";
     case EventKind::Handoff:
       return "handoff";
+    case EventKind::CoordTransition:
+    case EventKind::CoordPrestage:
+    case EventKind::CoordSuppress:
+      return "coord";
     case EventKind::Log:
       return "log";
   }

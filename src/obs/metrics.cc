@@ -34,6 +34,14 @@ void Histogram::observe(double sample) {
   sum_ += sample;
 }
 
+void Histogram::merge(const Histogram& other) {
+  VIFI_EXPECTS(bounds_ == other.bounds_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::string MetricsRegistry::key(const std::string& name,
                                  const Labels& labels) {
   if (labels.empty()) return name;
@@ -135,6 +143,17 @@ std::string MetricsRegistry::to_json() const {
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [k, c] : other.counters_) counters_[k].value += c.value;
+  for (const auto& [k, g] : other.gauges_) gauges_[k].value = g.value;
+  for (const auto& [k, h] : other.histograms_) {
+    auto it = histograms_.find(k);
+    if (it == histograms_.end())
+      it = histograms_.emplace(k, Histogram(h.bounds())).first;
+    it->second.merge(h);
+  }
 }
 
 MetricsRegistry* current_metrics() { return t_current; }

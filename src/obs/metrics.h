@@ -56,6 +56,9 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  /// Folds another histogram in (bounds must match exactly).
+  void merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;
@@ -92,6 +95,14 @@ class MetricsRegistry {
   /// Deterministic JSON document ({"counters":{...},"gauges":{...},
   /// "histograms":{...}}), for the per-point metrics export.
   std::string to_json() const;
+
+  /// Folds another registry in, key by key: counters add, gauges take
+  /// \p other's value (publish-overwrites semantics), histograms merge
+  /// bucket-wise (bounds must agree); missing instruments are created.
+  /// The sharded executor folds per-trip registries in trip order, and
+  /// the sequential path uses the *same* fold so floating-point sums are
+  /// byte-identical across both.
+  void merge(const MetricsRegistry& other);
 
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();

@@ -46,6 +46,12 @@ const char* to_string(EventKind kind) {
       return "app_deliver";
     case EventKind::Handoff:
       return "handoff";
+    case EventKind::CoordTransition:
+      return "coord_transition";
+    case EventKind::CoordPrestage:
+      return "coord_prestage";
+    case EventKind::CoordSuppress:
+      return "coord_suppress";
     case EventKind::Log:
       return "log";
   }
@@ -156,6 +162,46 @@ std::vector<TraceEvent> TraceRecorder::merged() const {
               return x.seq < y.seq;
             });
   return out;
+}
+
+void TraceRecorder::absorb(const TraceRecorder& other, Time offset) {
+  VIFI_EXPECTS(other.per_node_capacity_ == per_node_capacity_);
+  // Sequence numbers continue after everything (events *and* logs) this
+  // recorder has issued, exactly as if other's stream had been recorded
+  // here next.
+  const std::uint64_t seq_offset = next_seq_ - 1;
+  for (const auto& [node, ring] : other.rings_) {
+    auto it = rings_.find(node);
+    if (it == rings_.end())
+      it = rings_.emplace(node, EventRing(per_node_capacity_)).first;
+    // Replaying other's *retained* window reproduces the ring a direct
+    // recording would hold: the survivors of a ring of capacity C are
+    // always a suffix of the pushed stream, and any suffix of the
+    // combined stream of length <= C is covered by the retained windows.
+    // Only the drop count needs other's own overwrites added back.
+    for (const TraceEvent& e : ring.snapshot()) {
+      TraceEvent shifted = e;
+      shifted.at = e.at + offset;
+      shifted.seq = e.seq + seq_offset;
+      it->second.push(shifted);
+    }
+    it->second.add_dropped(ring.dropped());
+  }
+  for (const LogRecord& log : other.logs_) {
+    LogRecord shifted = log;
+    shifted.at = log.at + offset;
+    shifted.seq = log.seq + seq_offset;
+    logs_.push_back(std::move(shifted));
+    if (logs_.size() > kMaxLogRecords) logs_.pop_front();
+  }
+  for (const auto& [node, label] : other.labels_) labels_[node] = label;
+  for (int k = 0; k < kEventKindCount; ++k)
+    kind_counts_[k] += other.kind_counts_[k];
+  recorded_ += other.recorded_;
+  next_seq_ += other.next_seq_ - 1;
+  // A log stamped after the absorb lands where a direct recording would
+  // have put it: offset + other's last local time, relative to our base.
+  last_local_ = offset + other.base_ + other.last_local_ - base_;
 }
 
 std::uint64_t TraceRecorder::dropped() const {

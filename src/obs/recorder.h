@@ -45,6 +45,9 @@ class EventRing {
   std::size_t size() const { return events_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t dropped() const { return dropped_; }
+  /// Folds another ring's drop count in (TraceRecorder::absorb: the
+  /// absorbed ring's own overwrites must still be accounted for).
+  void add_dropped(std::uint64_t n) { dropped_ += n; }
 
   /// Events oldest-to-newest (unwraps the ring).
   std::vector<TraceEvent> snapshot() const;
@@ -89,6 +92,17 @@ class TraceRecorder {
   /// recorder holds the whole point's timeline.
   void set_time_base(Time base) { base_ = base; }
   Time time_base() const { return base_; }
+  std::size_t per_node_capacity() const { return per_node_capacity_; }
+
+  /// Folds a whole recorder in: \p other's events land at their recorded
+  /// time plus \p offset, with sequence numbers continued after this
+  /// recorder's. When \p other recorded one trip (base 0) and \p offset is
+  /// the accumulated horizon, the result is byte-identical to having
+  /// recorded that trip directly into this recorder under
+  /// set_time_base(offset) — including ring overwrite behaviour and
+  /// per-kind counts (capacities must match). The sharded executor uses
+  /// this to stitch per-worker trip recorders into one point timeline.
+  void absorb(const TraceRecorder& other, Time offset);
 
   /// Human-readable track label for a node ("bs", "vehicle", "host").
   void set_node_label(sim::NodeId node, std::string label);

@@ -14,6 +14,7 @@
 #include "analysis/sessions.h"
 #include "apps/cbr.h"
 #include "apps/mos.h"
+#include "coord/predictor.h"
 #include "handoff/policies.h"
 #include "mac/airtime.h"
 #include "obs/export.h"
@@ -161,6 +162,46 @@ core::SystemConfig live_system_config(const ExperimentPoint& point,
   return sys;
 }
 
+/// Applies the point's coordination axis to the live stack config. "" and
+/// "pab" run the vehicle-driven baseline untouched; "coord" enables the
+/// BS-side ConnectivityManager and seeds its next-BS predictor from
+/// mobility history — the replayed catalog's own contact timelines, or
+/// (for stochastic points) a small generated campaign on the same testbed.
+/// The history seed deliberately derives from the campaign seed with a
+/// fixed salt, never from the coordination string itself: coord and pab
+/// twins of a point replay identical trips (experiment.cc keeps the axis
+/// out of both campaign_seed and point_seed).
+void seed_coordination(const ExperimentPoint& point,
+                       const scenario::Testbed& bed,
+                       const tracegen::TraceCatalog* catalog,
+                       core::SystemConfig& sys) {
+  if (point.coordination.empty() || point.coordination == "pab") return;
+  if (point.coordination != "coord")
+    throw std::runtime_error("unknown coordination '" + point.coordination +
+                             "' (expected pab/coord)");
+  sys.coord.enabled = true;
+  std::vector<const trace::MeasurementTrace*> trips;
+  trace::Campaign history_campaign;
+  if (catalog != nullptr) {
+    trips.reserve(catalog->traces().size());
+    for (const trace::MeasurementTrace& t : catalog->traces())
+      trips.push_back(&t);
+  } else {
+    scenario::CampaignConfig cfg;
+    cfg.days = 1;
+    cfg.trips_per_day = 4;  // Enough laps to clear the support floor.
+    cfg.trip_duration = point.trip_duration;
+    cfg.seed = mix_seed(point.campaign_seed, "coord-history");
+    cfg.log_probes = false;
+    cfg.log_bs_beacons = false;
+    history_campaign = scenario::generate_campaign(bed, cfg);
+    trips.reserve(history_campaign.trips.size());
+    for (const trace::MeasurementTrace& t : history_campaign.trips)
+      trips.push_back(&t);
+  }
+  sys.coord.history = coord::fit_history(trips);
+}
+
 /// Everything one live trip contributes to its point: the shared metric
 /// accumulation plus — for fleet points — the per-vehicle fairness view
 /// (delivered/sent packets, airtime from the medium's ledger, and the
@@ -208,6 +249,7 @@ LiveTripOutcome measure_live_trip(const scenario::Testbed& bed,
     live.system().medium().publish(*metrics);
     live.system().stats().publish(*metrics);
     for (const auto& cbr : cbrs) cbr->publish(*metrics);
+    if (live.coord() != nullptr) live.coord()->publish(*metrics);
   }
   for (auto& cbr : cbrs) out.acc.add_trip(cbr->slot_stream(), point.session);
   if (fairness) {
@@ -288,7 +330,8 @@ void finish_live_point(const LiveFold& fold, int days, bool fairness,
 
 void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
              const tracegen::TraceCatalog* catalog, PointResult& r) {
-  const core::SystemConfig sys = live_system_config(point, bed);
+  core::SystemConfig sys = live_system_config(point, bed);
+  seed_coordination(point, bed, catalog, sys);
 
   // Replay points run every trip group of their catalog exactly once; the
   // point's days/trips knobs describe generated campaigns only.
@@ -306,8 +349,19 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
   // recorder's base advances by the previous trip's horizon.
   obs::TraceRecorder* rec = obs::current_recorder();
   Time trace_base = rec ? rec->time_base() : Time::zero();
+  // When a metrics session is on, each trip publishes into its own
+  // registry, folded into the session's in trip order — the *same* fold
+  // the sharded executor performs, so histogram/counter sums come out
+  // byte-identical whichever path ran the point.
+  obs::MetricsRegistry* session_metrics = obs::current_metrics();
   for (int trip = 0; trip < trips; ++trip) {
     if (rec) rec->set_time_base(trace_base);
+    std::optional<obs::MetricsRegistry> trip_metrics;
+    std::optional<obs::MetricsScope> trip_metrics_scope;
+    if (session_metrics != nullptr) {
+      trip_metrics.emplace();
+      trip_metrics_scope.emplace(*trip_metrics);
+    }
     const std::uint64_t trip_seed =
         mix_seed(point.point_seed, static_cast<std::uint64_t>(trip));
     // Replay trips drive the fleet loss schedule straight from the
@@ -328,10 +382,49 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
     const LiveTripOutcome out =
         measure_live_trip(bed, point, *live_ptr, horizon, fairness);
     if (rec) trace_base = trace_base + out.sim_end;
+    if (session_metrics != nullptr) {
+      trip_metrics_scope.reset();
+      session_metrics->merge(*trip_metrics);
+    }
     fold.add(out, fairness);
   }
   if (rec) rec->set_time_base(trace_base);
   finish_live_point(fold, days, fairness, r);
+}
+
+/// Shared TripScope tail of both point executors: metric result columns
+/// drawn from the session registry, and per-point trace files when the
+/// point owns its recorder (an ambient caller owns its own export).
+void export_tripscope(const ExperimentPoint& point, PointResult& r,
+                      const obs::TraceRecorder* own_recorder,
+                      const obs::MetricsRegistry* metrics,
+                      const obs::MetricsRegistry* own_metrics) {
+  if (metrics != nullptr && !point.metric_columns.empty()) {
+    // Exact flattened key first (`mac.frames_tx{node=n3,role=vehicle}`),
+    // else the bare name summed across its label variants.
+    const auto flat = metrics->flatten();
+    for (const std::string& name : point.metric_columns) {
+      const auto it = flat.find(name);
+      r.metrics["obs." + name] =
+          it != flat.end() ? it->second : metrics->total(name);
+    }
+  }
+  if (own_recorder != nullptr && !point.trace_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(point.trace_dir);
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "point_%04zu",
+                  static_cast<std::size_t>(point.index));
+    const std::string base = (fs::path(point.trace_dir) / tag).string();
+    std::ofstream chrome(base + ".trace.json");
+    obs::write_chrome_trace(*own_recorder, chrome);
+    std::ofstream jsonl(base + ".jsonl");
+    obs::write_jsonl(*own_recorder, jsonl);
+    if (own_metrics != nullptr) {
+      std::ofstream mjson(base + ".metrics.json");
+      mjson << own_metrics->to_json();
+    }
+  }
 }
 
 }  // namespace
@@ -435,6 +528,7 @@ PointResult run_point(const ExperimentPoint& point) {
   r.fleet = point.fleet_size;
   r.trace_set = point.trace_set;
   r.policy = point.policy;
+  r.coordination = point.coordination;
   r.seed = point.seed;
 
   // TripScope session. A caller (e.g. examples/tripscope) may have
@@ -495,45 +589,18 @@ PointResult run_point(const ExperimentPoint& point) {
     VIFI_EXPECTS(!"unknown workload (expected replay/cbr)");
   }
 
-  if (const obs::MetricsRegistry* metrics = obs::current_metrics();
-      metrics != nullptr && !point.metric_columns.empty()) {
-    // Exact flattened key first (`mac.frames_tx{node=n3,role=vehicle}`),
-    // else the bare name summed across its label variants.
-    const auto flat = metrics->flatten();
-    for (const std::string& name : point.metric_columns) {
-      const auto it = flat.find(name);
-      r.metrics["obs." + name] =
-          it != flat.end() ? it->second : metrics->total(name);
-    }
-  }
-  if (own_recorder != nullptr && !point.trace_dir.empty()) {
-    namespace fs = std::filesystem;
-    fs::create_directories(point.trace_dir);
-    char tag[32];
-    std::snprintf(tag, sizeof(tag), "point_%04zu",
-                  static_cast<std::size_t>(point.index));
-    const std::string base = (fs::path(point.trace_dir) / tag).string();
-    std::ofstream chrome(base + ".trace.json");
-    obs::write_chrome_trace(*own_recorder, chrome);
-    std::ofstream jsonl(base + ".jsonl");
-    obs::write_jsonl(*own_recorder, jsonl);
-    if (own_metrics != nullptr) {
-      std::ofstream mjson(base + ".metrics.json");
-      mjson << own_metrics->to_json();
-    }
-  }
+  export_tripscope(point, r, own_recorder.get(), obs::current_metrics(),
+                   own_metrics.get());
   return r;
 }
 
 PointResult run_point_sharded(const ExperimentPoint& point,
                               const Runner& pool) {
-  // The sharded path covers exactly the city-scale shape: catalog-replay
-  // live points with no TripScope session. Everything else falls back to
-  // the sequential executor (whose recorder timeline and campaign caching
-  // are inherently per-point).
-  if (point.workload != "cbr" || point.trace_set.empty() ||
-      !point.trace_dir.empty() || !point.metric_columns.empty() ||
-      obs::current_recorder() != nullptr || obs::current_metrics() != nullptr)
+  // The sharded path covers catalog-replay live points — instrumented or
+  // not. Everything else falls back to the sequential executor (stochastic
+  // trips draw their channel per point, and the replay workload's campaign
+  // caching is inherently per-point).
+  if (point.workload != "cbr" || point.trace_set.empty())
     return run_point(point);
 
   PointResult r;
@@ -542,25 +609,72 @@ PointResult run_point_sharded(const ExperimentPoint& point,
   r.fleet = point.fleet_size;
   r.trace_set = point.trace_set;
   r.policy = point.policy;
+  r.coordination = point.coordination;
   r.seed = point.seed;
+
+  // TripScope session, mirroring run_point: record into the caller's
+  // ambient recorder/registry when one is installed, else into point-owned
+  // ones when the point asks for a trace dump or metric columns.
+  obs::TraceRecorder* session_rec = obs::current_recorder();
+  obs::MetricsRegistry* session_metrics = obs::current_metrics();
+  std::unique_ptr<obs::TraceRecorder> own_recorder;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics;
+  if (!point.trace_dir.empty() || !point.metric_columns.empty()) {
+    if (session_rec == nullptr) {
+      own_recorder = std::make_unique<obs::TraceRecorder>();
+      session_rec = own_recorder.get();
+    }
+    if (session_metrics == nullptr) {
+      own_metrics = std::make_unique<obs::MetricsRegistry>();
+      session_metrics = own_metrics.get();
+    }
+  }
 
   const scenario::Testbed bed = make_testbed(point.testbed, point.fleet_size);
   const tracegen::CatalogStream stream =
       tracegen::CatalogStream::open(point.trace_set);
   validate_catalog_shape(point, bed, stream.testbed(), stream.fleet_size(),
                          stream.vehicle_ids());
-  const core::SystemConfig sys = live_system_config(point, bed);
+  core::SystemConfig sys = live_system_config(point, bed);
+  // The history fit wants the whole catalog at once; only the coord axis
+  // pays for that load (it comes from the shared cache anyway).
+  std::shared_ptr<const tracegen::TraceCatalog> history_catalog;
+  if (point.coordination == "coord")
+    history_catalog = tracegen::load_catalog_shared(point.trace_set);
+  seed_coordination(point, bed, history_catalog.get(), sys);
   const std::size_t fleet = static_cast<std::size_t>(bed.fleet_size());
   const bool fairness = fleet > 1;
 
   // Each worker materialises only its own trip group's traces, runs the
   // exact trip body run_cbr runs, and returns the trip's contribution as a
   // PointResult-encoded partial. Every trip is a pure function of (point,
-  // trip index), so the partial set is sharding-independent.
+  // trip index), so the partial set is sharding-independent. Instrumented
+  // points give each trip its own recorder/registry (slot-indexed, no
+  // contention), stitched into the session in trip order after the pool
+  // drains — the same fold run_cbr performs, so the output bytes match.
+  const std::size_t n = stream.trip_groups();
+  std::vector<std::unique_ptr<obs::TraceRecorder>> trip_recorders(
+      session_rec != nullptr ? n : 0);
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> trip_registries(
+      session_metrics != nullptr ? n : 0);
+  std::vector<Time> trip_ends(session_rec != nullptr ? n : 0);
   const ResultSink partials = pool.run_indexed(
-      stream.trip_groups(), [&](std::size_t trip) {
+      n, [&](std::size_t trip) {
         PointResult p;
         p.index = trip;
+        // The trip scope must be live before LiveTrip's construction:
+        // VifiSystem labels its nodes through current_recorder().
+        std::optional<obs::TraceScope> trip_trace_scope;
+        std::optional<obs::MetricsScope> trip_metrics_scope;
+        if (session_rec != nullptr) {
+          trip_recorders[trip] = std::make_unique<obs::TraceRecorder>(
+              session_rec->per_node_capacity());
+          trip_trace_scope.emplace(*trip_recorders[trip]);
+        }
+        if (session_metrics != nullptr) {
+          trip_registries[trip] = std::make_unique<obs::MetricsRegistry>();
+          trip_metrics_scope.emplace(*trip_registries[trip]);
+        }
         const std::vector<trace::MeasurementTrace> traces =
             stream.load_group(trip);
         std::vector<const trace::MeasurementTrace*> ptrs;
@@ -571,6 +685,7 @@ PointResult run_point_sharded(const ExperimentPoint& point,
             mix_seed(point.point_seed, static_cast<std::uint64_t>(trip)));
         const LiveTripOutcome out = measure_live_trip(
             bed, point, live, traces.front().duration, fairness);
+        if (session_rec != nullptr) trip_ends[trip] = out.sim_end;
         p.metrics["slots"] = static_cast<double>(out.acc.slots);
         p.metrics["delivered"] = static_cast<double>(out.acc.delivered);
         p.series["session_lengths"] = out.acc.session_lengths;
@@ -607,7 +722,22 @@ PointResult run_point_sharded(const ExperimentPoint& point,
     }
     fold.add(out, fairness);
   }
+  // Stitch the per-trip observability sessions in trip order, replaying
+  // run_cbr's timeline advance and registry fold exactly.
+  if (session_rec != nullptr) {
+    Time trace_base = session_rec->time_base();
+    for (std::size_t trip = 0; trip < n; ++trip) {
+      session_rec->absorb(*trip_recorders[trip], trace_base);
+      trace_base = trace_base + trip_ends[trip];
+    }
+    session_rec->set_time_base(trace_base);
+  }
+  if (session_metrics != nullptr)
+    for (std::size_t trip = 0; trip < n; ++trip)
+      session_metrics->merge(*trip_registries[trip]);
   finish_live_point(fold, stream.days(), fairness, r);
+  export_tripscope(point, r, own_recorder.get(), session_metrics,
+                   own_metrics.get());
   return r;
 }
 

@@ -36,12 +36,18 @@ std::vector<ExperimentPoint> ExperimentSpec::enumerate() const {
   const std::vector<std::string> trace_sets =
       grid.trace_sets.empty() ? std::vector<std::string>{""}
                               : grid.trace_sets;
+  // Same shape for the CoordTier axis: absent by default, so historical
+  // sweeps enumerate (and serialise) exactly as before.
+  const std::vector<std::string> coordinations =
+      grid.coordinations.empty() ? std::vector<std::string>{""}
+                                 : grid.coordinations;
   std::size_t index = 0;
   for (const auto& bed : grid.testbeds) {
     for (const int fleet : grid.fleet_sizes) {
       VIFI_EXPECTS(fleet > 0);
       for (const auto& trace_set : trace_sets) {
         for (const auto& policy : grid.policies) {
+          for (const auto& coordination : coordinations) {
           for (const std::uint64_t seed : grid.seeds) {
             ExperimentPoint p;
             p.index = index++;
@@ -49,6 +55,7 @@ std::vector<ExperimentPoint> ExperimentSpec::enumerate() const {
             p.fleet_size = fleet;
             p.trace_set = trace_set;
             p.policy = policy;
+            p.coordination = coordination;
             p.seed = seed;
             p.days = days;
             p.trips_per_day = trips_per_day;
@@ -80,8 +87,12 @@ std::vector<ExperimentPoint> ExperimentSpec::enumerate() const {
                                          "trace_set:" +
                                              (id.empty() ? trace_set : id));
             }
+            // The coordination label is mixed into *neither* seed: a coord
+            // point and its pab twin must replay/draw identical trips so
+            // the comparison isolates the coordination tier itself.
             p.point_seed = mix_seed(p.campaign_seed, policy);
             points.push_back(std::move(p));
+          }
           }
         }
       }

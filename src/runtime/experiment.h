@@ -39,12 +39,20 @@ struct ParamGrid {
   /// the point's testbed and fleet size.
   std::vector<std::string> trace_sets{};
   std::vector<std::string> policies{"BRR"};
+  /// CoordTier axis for live ("cbr") points: "pab" runs the historical
+  /// vehicle-driven stack, "coord" rides the BS-side ConnectivityManager
+  /// (predictive handoff, pre-staging, relay suppression). Empty — the
+  /// default — enumerates one pass with no coordination value, keeping
+  /// historical sweeps byte-identical. Points differing only in
+  /// coordination share every seed, so coord-vs-pab compares the same
+  /// trips.
+  std::vector<std::string> coordinations{};
   std::vector<std::uint64_t> seeds{1};
 
   std::size_t size() const {
     return testbeds.size() * fleet_sizes.size() *
            std::max<std::size_t>(1, trace_sets.size()) * policies.size() *
-           seeds.size();
+           std::max<std::size_t>(1, coordinations.size()) * seeds.size();
   }
 };
 
@@ -59,6 +67,10 @@ struct ExperimentPoint {
   /// campaign stochastically from campaign_seed (the historical path).
   std::string trace_set;
   std::string policy;     ///< §3.1 replay policy, or "ViFi"/"BRR" live.
+  /// CoordTier axis value: "" (no axis), "pab" (explicit baseline) or
+  /// "coord" (BS-side predictive coordination). Deliberately NOT mixed
+  /// into any seed: a coord point and its pab twin run identical trips.
+  std::string coordination;
   std::uint64_t seed = 1; ///< Replicate seed (the grid's seeds axis).
   int days = 1;
   int trips_per_day = 2;

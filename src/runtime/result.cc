@@ -108,6 +108,9 @@ std::string ResultSink::to_json() const {
   const bool any_trace_set =
       std::any_of(results.begin(), results.end(),
                   [](const PointResult& r) { return !r.trace_set.empty(); });
+  const bool any_coordination = std::any_of(
+      results.begin(), results.end(),
+      [](const PointResult& r) { return !r.coordination.empty(); });
   std::ostringstream os;
   os << "{\n  \"points\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -118,8 +121,11 @@ std::string ResultSink::to_json() const {
        << "      \"fleet\": " << r.fleet << ",\n";
     if (any_trace_set)
       os << "      \"trace_set\": \"" << json_escape(r.trace_set) << "\",\n";
-    os << "      \"policy\": \"" << json_escape(r.policy) << "\",\n"
-       << "      \"seed\": " << r.seed << ",\n";
+    os << "      \"policy\": \"" << json_escape(r.policy) << "\",\n";
+    if (any_coordination)
+      os << "      \"coordination\": \"" << json_escape(r.coordination)
+         << "\",\n";
+    os << "      \"seed\": " << r.seed << ",\n";
     if (!r.error.empty())
       os << "      \"error\": \"" << json_escape(r.error) << "\",\n";
     os << "      \"metrics\": {";
@@ -157,16 +163,23 @@ std::string ResultSink::to_csv() const {
   const bool any_trace_set =
       std::any_of(results.begin(), results.end(),
                   [](const PointResult& r) { return !r.trace_set.empty(); });
+  const bool any_coordination = std::any_of(
+      results.begin(), results.end(),
+      [](const PointResult& r) { return !r.coordination.empty(); });
   std::ostringstream os;
   os << "index,testbed,fleet";
   if (any_trace_set) os << ",trace_set";
-  os << ",policy,seed";
+  os << ",policy";
+  if (any_coordination) os << ",coordination";
+  os << ",seed";
   for (const auto& key : keys) os << "," << csv_escape(key);
   os << ",error\n";
   for (const auto& r : results) {
     os << r.index << "," << csv_escape(r.testbed) << "," << r.fleet;
     if (any_trace_set) os << "," << csv_escape(r.trace_set);
-    os << "," << csv_escape(r.policy) << "," << r.seed;
+    os << "," << csv_escape(r.policy);
+    if (any_coordination) os << "," << csv_escape(r.coordination);
+    os << "," << r.seed;
     for (const auto& key : keys) {
       os << ",";
       const auto it = r.metrics.find(key);

@@ -36,6 +36,10 @@ struct PointResult {
   /// the sweep carries one, so non-replay output bytes stay unchanged.
   std::string trace_set;
   std::string policy;
+  /// CoordTier axis value ("pab"/"coord"); empty when the sweep carried no
+  /// coordination axis. Serialised only when some point has one, exactly
+  /// like trace_set, so historical output bytes stay unchanged.
+  std::string coordination;
   std::uint64_t seed = 0;
   std::map<std::string, double> metrics;
   std::map<std::string, std::vector<double>> series;

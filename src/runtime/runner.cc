@@ -67,6 +67,7 @@ ResultSink Runner::run(const std::vector<ExperimentPoint>& points,
       r.fleet = p.fleet_size;
       r.trace_set = p.trace_set;
       r.policy = p.policy;
+      r.coordination = p.coordination;
       r.seed = p.seed;
       r.error = e.what();
       return r;

@@ -12,6 +12,10 @@ void LiveTrip::build_stack(const Testbed& bed, core::SystemConfig config,
   system_ = std::make_unique<core::VifiSystem>(sim_, *channel_, bed.bs_ids(),
                                                bed.vehicle_ids(),
                                                bed.wired_host(), config);
+  if (config.coord.enabled) {
+    coord_ = std::make_unique<coord::ConnectivityManager>(sim_, config.coord);
+    coord::attach(*system_, *coord_);
+  }
   if (bed.fleet_size() == 1) {
     // Single-vehicle form: the transport keeps the historical catch-all
     // host handler, so callers may still override it wholesale.
@@ -82,6 +86,7 @@ void LiveTrip::run_until(Time until) {
   if (!started_) {
     started_ = true;
     system_->start();
+    if (coord_ != nullptr) coord_->start();
   }
   VIFI_EXPECTS(until >= sim_.now());
   sim_.run_until(until);

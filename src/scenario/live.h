@@ -15,6 +15,7 @@
 
 #include "apps/transport.h"
 #include "channel/loss_model.h"
+#include "coord/manager.h"
 #include "core/system.h"
 #include "scenario/testbed.h"
 #include "sim/simulator.h"
@@ -66,6 +67,10 @@ class LiveTrip {
   }
   channel::LossModel& loss_model() { return *channel_; }
 
+  /// The CoordTier manager riding this trip, or nullptr when the trip's
+  /// SystemConfig left coordination off (the historical PAB-only stack).
+  coord::ConnectivityManager* coord() { return coord_.get(); }
+
   /// Snapshot of the trip's medium accounting (per-node airtime ledger,
   /// role-tagged by VifiSystem) — the raw material for fairness metrics.
   mac::MediumStats medium_stats() const { return system_->medium().snapshot(); }
@@ -84,6 +89,7 @@ class LiveTrip {
   sim::Simulator sim_;
   std::unique_ptr<channel::LossModel> channel_;
   std::unique_ptr<core::VifiSystem> system_;
+  std::unique_ptr<coord::ConnectivityManager> coord_;
   std::vector<std::unique_ptr<apps::VifiTransport>> transports_;
   bool started_ = false;
 };

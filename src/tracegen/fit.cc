@@ -85,6 +85,17 @@ std::vector<Contact> extract_contacts(const trace::MeasurementTrace& trip,
                               trip.beacons_per_second, opts);
 }
 
+std::vector<Contact> contact_timeline(const trace::MeasurementTrace& trip,
+                                      const FitOptions& opts) {
+  std::vector<Contact> contacts = extract_contacts(trip, opts);
+  std::sort(contacts.begin(), contacts.end(),
+            [](const Contact& a, const Contact& b) {
+              if (a.start_sec != b.start_sec) return a.start_sec < b.start_sec;
+              return a.bs < b.bs;
+            });
+  return contacts;
+}
+
 const LinkModel* TraceModel::link(NodeId bs) const {
   for (const LinkModel& l : links)
     if (l.bs == bs) return &l;

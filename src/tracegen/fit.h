@@ -48,6 +48,14 @@ struct Contact {
 std::vector<Contact> extract_contacts(const trace::MeasurementTrace& trip,
                                       const FitOptions& opts = {});
 
+/// The same contacts re-sorted into the order the vehicle *experienced*
+/// them — (start_sec, bs) — so successive entries name successive coverage
+/// episodes. This is the raw material of the coordination tier's next-BS
+/// predictor: each pair of consecutive distinct-BS contacts is one
+/// observed BS-to-BS succession.
+std::vector<Contact> contact_timeline(const trace::MeasurementTrace& trip,
+                                      const FitOptions& opts = {});
+
 /// The generative model of one vehicle<->BS link.
 struct LinkModel {
   NodeId bs;

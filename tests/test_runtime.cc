@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <set>
 #include <stdexcept>
 
@@ -298,6 +300,131 @@ TEST(Executor, ShardedCatalogPointMatchesSequentialByteForByte) {
   b.add(sharded);
   EXPECT_EQ(a.to_json(), b.to_json());
   EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
+// Regression for the sharded executor's instrumented gap: points carrying
+// a TripScope session (trace dump and/or metric columns) used to fall back
+// to the sequential path wholesale; now they shard too, stitching per-trip
+// recorders/registries in trip order. The whole output — result bytes AND
+// every exported trace file — must match the sequential executor exactly.
+TEST(Executor, ShardedInstrumentedPointMatchesSequentialByteForByte) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "vifi_test_sharded_instr";
+  const fs::path seq_dir = dir / "seq", shard_dir = dir / "shard";
+  fs::remove_all(dir);
+  const scenario::Testbed bed = make_testbed("DieselNet-Ch1", 2);
+  scenario::CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 3;
+  cfg.trip_duration = Time::seconds(10.0);
+  cfg.seed = 42;
+  cfg.log_probes = false;
+  tracegen::write_catalog((dir / "catalog").string(), "unit",
+                          scenario::generate_campaign(bed, cfg));
+
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"DieselNet-Ch1"};
+  spec.grid.fleet_sizes = {2};
+  spec.grid.trace_sets = {(dir / "catalog").string()};
+  spec.grid.policies = {"ViFi"};
+  spec.grid.seeds = {1};
+  spec.workload = "cbr";
+  spec.metric_columns = {"mac.transmissions", "core.salvaged"};
+  spec.trace_dir = seq_dir.string();
+  ExperimentPoint point = spec.enumerate().front();
+
+  tracegen::drop_catalog_cache();
+  const PointResult sequential = run_point(point);
+  point.trace_dir = shard_dir.string();
+  const PointResult sharded = run_point_sharded(point, Runner({.threads = 4}));
+  tracegen::drop_catalog_cache();
+  ASSERT_TRUE(sequential.error.empty()) << sequential.error;
+
+  // The metric columns landed and agree exactly.
+  for (const std::string& name : spec.metric_columns) {
+    ASSERT_TRUE(sequential.metrics.count("obs." + name)) << name;
+    EXPECT_EQ(sequential.metrics.at("obs." + name),
+              sharded.metrics.at("obs." + name))
+        << name;
+  }
+  ResultSink a, b;
+  PointResult seq_copy = sequential;
+  seq_copy.index = 0;
+  a.add(std::move(seq_copy));
+  b.add(sharded);
+  EXPECT_EQ(a.to_json(), b.to_json());
+
+  // Every exported trace artifact is byte-identical across the two paths.
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.good()) << p;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  for (const char* name :
+       {"point_0000.trace.json", "point_0000.jsonl",
+        "point_0000.metrics.json"}) {
+    const std::string seq_bytes = slurp(seq_dir / name);
+    EXPECT_FALSE(seq_bytes.empty()) << name;
+    EXPECT_EQ(seq_bytes, slurp(shard_dir / name)) << name;
+  }
+  fs::remove_all(dir);
+}
+
+// The coordination axis rides the sharded path too: a coord point's
+// sharded run must reproduce the sequential bytes (the predictor history
+// fit and every per-trip manager decision are functions of the point).
+TEST(Executor, ShardedCoordPointMatchesSequentialByteForByte) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "vifi_test_sharded_coord";
+  fs::remove_all(dir);
+  const scenario::Testbed bed = make_testbed("VanLAN", 2);
+  scenario::CampaignConfig cfg;
+  cfg.days = 1;
+  cfg.trips_per_day = 3;
+  cfg.trip_duration = Time::seconds(10.0);
+  cfg.seed = 7;
+  cfg.log_probes = false;
+  tracegen::write_catalog(dir.string(), "unit",
+                          scenario::generate_campaign(bed, cfg));
+
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN"};
+  spec.grid.fleet_sizes = {2};
+  spec.grid.trace_sets = {dir.string()};
+  spec.grid.policies = {"ViFi"};
+  spec.grid.coordinations = {"coord"};
+  spec.grid.seeds = {1};
+  spec.workload = "cbr";
+  const ExperimentPoint point = spec.enumerate().front();
+
+  tracegen::drop_catalog_cache();
+  const PointResult sequential = run_point(point);
+  const PointResult sharded = run_point_sharded(point, Runner({.threads = 4}));
+  fs::remove_all(dir);
+  tracegen::drop_catalog_cache();
+  ASSERT_TRUE(sequential.error.empty()) << sequential.error;
+  EXPECT_EQ(sequential.coordination, "coord");
+
+  ResultSink a, b;
+  a.add(sequential);
+  b.add(sharded);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
+TEST(Executor, UnknownCoordinationFailsLoudly) {
+  ExperimentSpec spec;
+  spec.grid.testbeds = {"VanLAN"};
+  spec.grid.policies = {"ViFi"};
+  spec.grid.coordinations = {"teleport"};
+  spec.grid.seeds = {1};
+  spec.workload = "cbr";
+  spec.days = 1;
+  spec.trips_per_day = 1;
+  spec.trip_duration = Time::seconds(5.0);
+  EXPECT_THROW(run_point(spec.enumerate().front()), std::runtime_error);
 }
 
 TEST(Executor, ShardedFallsBackForUncoveredShapes) {

@@ -26,7 +26,8 @@ implies but no generic tool can check:
                    doubles shortest-round-trip: std::to_chars or
                    printf "%.17g" only. Any other %-float conversion
                    in a JSON-emitting file is flagged.
-  mutex-guard      shared state under src/runtime/ and src/obs/ is
+  mutex-guard      shared state under src/runtime/, src/obs/ and
+                   src/coord/ is
                    guarded RAII-only: raw .lock()/.unlock() calls are
                    flagged, and declaring a mutex in a unit that never
                    names a lock_guard/scoped_lock/unique_lock/
@@ -63,7 +64,7 @@ RULES = {
     "raw-rng": "raw std RNG engine instead of util::rng forks",
     "unordered-iter": "range-for over an unordered container in src/",
     "json-float": "non-%.17g float format in a JSON emitter",
-    "mutex-guard": "non-RAII mutex use in runtime/ or obs/",
+    "mutex-guard": "non-RAII mutex use in runtime/, obs/ or coord/",
 }
 
 SOURCE_EXTS = (".h", ".cc", ".cpp", ".hpp")
@@ -343,8 +344,9 @@ def scan_file(path, root, findings):
                              "round-trip byte-identically"
                              % match.group(0))
 
-    # ---- mutex-guard: src/runtime/ and src/obs/ ----
-    if rel.startswith("src/runtime/") or rel.startswith("src/obs/"):
+    # ---- mutex-guard: src/runtime/, src/obs/ and src/coord/ ----
+    if (rel.startswith("src/runtime/") or rel.startswith("src/obs/")
+            or rel.startswith("src/coord/")):
         for idx, line in enumerate(code, start=1):
             if RAW_LOCK_RE.search(line):
                 emit(idx, "mutex-guard",

@@ -1,0 +1,20 @@
+// Positive fixtures for the coord tier: the ConnectivityManager's shared
+// per-client state must be held RAII-only, same as runtime/ and obs/.
+#include <mutex>
+
+namespace fixture {
+
+class ClientTable {
+ public:
+  void touch_unsafe() {
+    mu_.lock();  // expect: mutex-guard
+    ++generation_;
+    mu_.unlock();  // expect: mutex-guard
+  }
+
+ private:
+  std::mutex mu_;  // expect: mutex-guard
+  int generation_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Negative fixtures for the coord tier: RAII-guarded mutex use passes.
+#include <mutex>
+
+namespace fixture {
+
+class ClientTable {
+ public:
+  void touch() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+  }
+
+ private:
+  std::mutex mu_;
+  int generation_ = 0;
+};
+
+}  // namespace fixture
