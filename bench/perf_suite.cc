@@ -14,7 +14,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "apps/cbr.h"
@@ -29,6 +31,7 @@
 #include "net/packet.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/sink.h"
 #include "scenario/live.h"
 #include "scenario/testbed.h"
 #include "sim/simulator.h"
@@ -463,6 +466,77 @@ void BM_EndToEndTraceOn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kPackets);
 }
 BENCHMARK(BM_EndToEndTraceOn);
+
+void BM_TraceStreamEnabled(benchmark::State& state) {
+  // BM_TraceRecordEnabled with the disk spool behind the recorder: the
+  // amortised per-event cost of streaming (block buffering + one chunk
+  // write per kSpoolBlockEvents pushes). Compare against
+  // BM_TraceRecordEnabled to read the rings-vs-streams premium.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vifi_bench_stream.spool")
+          .string();
+  obs::TraceRecorder recorder(std::make_unique<obs::StreamSink>(path));
+  obs::TraceScope scope(recorder);
+  const NodeId node(3);
+  const NodeId peer(10);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    obs::TraceRecorder* rec = obs::current_recorder();
+    if (rec)
+      rec->record(obs::EventKind::FrameTx, Time::micros(i), node, peer, i,
+                  0.002, 1.0, 0);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+  recorder.finalize();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceStreamEnabled);
+
+void BM_EndToEndTraceStreamOn(benchmark::State& state) {
+  // BM_EndToEndTraceOn with the recorder spooling to disk: the price of a
+  // fully-traced point at full fidelity (no ring horizon). Compare
+  // against BM_EndToEndTraceOn for the streaming overhead on a whole
+  // deployment.
+  constexpr int kPackets = 100;
+  constexpr double kSimSeconds = 2.0;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vifi_bench_e2e.spool")
+          .string();
+  for (auto _ : state) {
+    obs::TraceRecorder recorder(std::make_unique<obs::StreamSink>(path));
+    obs::MetricsRegistry metrics;
+    obs::TraceScope trace_scope(recorder);
+    obs::MetricsScope metrics_scope(metrics);
+    sim::Simulator sim;
+    channel::VehicularChannelParams cparams;
+    channel::VehicularChannel loss(
+        cparams,
+        [](NodeId id, Time t) {
+          if (id.value() == 1)  // the vehicle, driving along x
+            return mobility::Vec2{10.0 * t.to_seconds(), 0.0};
+          return mobility::Vec2{(id.value() - 10) * 40.0, 30.0};
+        },
+        Rng(7));
+    core::SystemConfig config;
+    config.seed = 42;
+    core::VifiSystem system(sim, loss, {NodeId(10), NodeId(11), NodeId(12)},
+                            NodeId(1), NodeId(100), config);
+    system.start();
+    for (int i = 0; i < kPackets; ++i) {
+      sim.schedule_at(Time::seconds(kSimSeconds * i / kPackets),
+                      [&system] { system.send_up(500); });
+    }
+    sim.run_until(Time::seconds(kSimSeconds + 1.0));
+    recorder.finalize();
+    benchmark::DoNotOptimize(recorder.recorded());
+    benchmark::DoNotOptimize(system.stats());
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_EndToEndTraceStreamOn);
 
 }  // namespace
 

@@ -67,6 +67,11 @@ int usage(const char* argv0) {
       << "  --trace DIR         TripScope: dump per-point timelines into\n"
          "                      DIR (point_NNNN.trace.json Chrome/Perfetto\n"
          "                      format, .jsonl event stream, .metrics.json)\n"
+      << "  --trace-stream      TripScope: spool each point's full event\n"
+         "                      stream to DIR/point_NNNN.spool instead of\n"
+         "                      the in-memory rings (full fidelity past the\n"
+         "                      16k-per-node ring horizon; query with\n"
+         "                      `tripscope query`); requires --trace\n"
       << "  --metrics a,b       TripScope: emit registered metrics as result\n"
          "                      columns (exact key or name summed over\n"
          "                      labels), e.g. mac.transmissions\n"
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
     else if (arg == "--workload") spec.workload = value();
     else if (arg == "--base-seed") spec.base_seed = std::stoull(value());
     else if (arg == "--trace") spec.trace_dir = value();
+    else if (arg == "--trace-stream") spec.trace_stream = true;
     else if (arg == "--metrics") spec.metric_columns = split_csv(value());
     else if (arg == "--cull") spec.cull_medium = true;
     else if (arg == "--shard-trips") shard_trips = true;
@@ -151,6 +157,10 @@ int main(int argc, char** argv) {
       std::cerr << "fleet sizes must be >= 1\n";
       return usage(argv[0]);
     }
+  }
+  if (spec.trace_stream && spec.trace_dir.empty()) {
+    std::cerr << "--trace-stream requires --trace DIR\n";
+    return usage(argv[0]);
   }
 
   const runtime::Runner runner({.threads = threads});

@@ -7,25 +7,40 @@
 // (loadable in Perfetto / chrome://tracing), a JSONL event stream, and a
 // metrics JSON document.
 //
+// The `query` subcommand reads a spooled trace (sweep --trace-stream)
+// without loading it whole: the spool's footer index seeks straight to a
+// node's chunks, filters stream chunk-by-chunk, per-kind counts reconcile
+// exactly against the recorder counters stored in the footer, and span
+// summaries report anchor-tenure percentiles and the handoff gap
+// distribution.
+//
 // Examples:
 //   tripscope --testbed VanLAN --workload cbr --policy ViFi
 //   tripscope --testbed DieselNet-Ch1 --fleet 4 --workload cbr --out /tmp/ts
 //   tripscope --catalog ./catalog_dir --workload cbr --policy ViFi
+//   tripscope query /tmp/traces/point_0000.spool --counts --spans
+//   tripscope query point_0000.spool --node 3 --kind anchor_change --jsonl
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/span.h"
+#include "obs/spool.h"
 #include "runtime/executor.h"
 #include "runtime/experiment.h"
+#include "util/cdf.h"
 #include "util/table.h"
 
 using namespace vifi;
@@ -52,7 +67,11 @@ int usage(const char* argv0) {
       << "  --events N         print the first N merged timeline events\n"
          "                     (default 0)\n"
       << "  --out DIR          export trip.trace.json (Chrome/Perfetto),\n"
-         "                     trip.jsonl and trip.metrics.json into DIR\n";
+         "                     trip.jsonl and trip.metrics.json into DIR\n"
+      << "Subcommands:\n"
+      << "  query SPOOL ...    inspect a spooled trace (sweep\n"
+         "                     --trace-stream); see `" << argv0
+      << " query`\n";
   return 2;
 }
 
@@ -64,9 +83,256 @@ std::string node_name(const obs::TraceRecorder& rec, sim::NodeId node) {
   return name;
 }
 
+// --- the query subcommand --------------------------------------------------
+
+int query_usage(const char* argv0) {
+  std::cerr
+      << "Usage: " << argv0 << " query SPOOL [options]\n"
+      << "  Reads a TripScope spool (sweep --trace-stream) via its footer\n"
+         "  index — chunks stream from disk, never the whole file.\n"
+      << "  --node N           only node N's events (footer-index seek)\n"
+      << "  --kind NAME        only events of this kind (e.g. beacon_rx,\n"
+         "                     anchor_change, coord_transition)\n"
+      << "  --from S / --to S  only events in the [S, S] second window\n"
+      << "  --limit N          print the first N matching events (timeline\n"
+         "                     order) as a table\n"
+      << "  --jsonl            print matching events as JSONL instead\n"
+      << "  --counts           per-kind counts: full chunk scan reconciled\n"
+         "                     exactly against the footer's recorder\n"
+         "                     counters (exit 1 on any mismatch)\n"
+      << "  --spans            span summaries: anchor-tenure percentiles,\n"
+         "                     handoff gap distribution, coord-phase\n"
+         "                     occupancy, contact runs\n"
+      << "  With none of --limit/--jsonl/--counts/--spans, prints the\n"
+      << "  overview plus --counts and --spans.\n";
+  return 2;
+}
+
+std::optional<obs::EventKind> parse_kind(const std::string& name) {
+  for (int k = 0; k < obs::kEventKindCount; ++k) {
+    const auto kind = static_cast<obs::EventKind>(k);
+    if (name == obs::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string spool_node_name(const obs::SpoolReader& reader, sim::NodeId node) {
+  if (!node.valid()) return "-";
+  std::string name = node.to_string();
+  const obs::SpoolNodeIndex* idx = reader.find_node(node);
+  if (idx != nullptr && !idx->label.empty()) name += "(" + idx->label + ")";
+  return name;
+}
+
+std::string quantile_row(const Cdf& cdf, double q) {
+  return cdf.empty() ? "-" : TextTable::num(cdf.quantile(q), 3);
+}
+
+/// Per-kind counts from a full chunk scan, reconciled against the footer's
+/// recorder counters. Returns false on any mismatch.
+bool query_counts(const obs::SpoolReader& reader) {
+  std::uint64_t scanned[obs::kEventKindCount] = {};
+  std::uint64_t total = 0;
+  reader.scan([&](const obs::TraceEvent& e) {
+    ++scanned[static_cast<int>(e.kind)];
+    ++total;
+  });
+  bool ok = true;
+  TextTable table("Event counts (chunk scan vs recorder counters)");
+  table.set_header({"event", "scanned", "recorded", "match"});
+  for (int k = 0; k < obs::kEventKindCount; ++k) {
+    const auto kind = static_cast<obs::EventKind>(k);
+    // Log lines travel in the footer, not as chunk records.
+    const std::uint64_t have = kind == obs::EventKind::Log
+                                   ? static_cast<std::uint64_t>(
+                                         reader.logs().size())
+                                   : scanned[k];
+    const std::uint64_t want = reader.kind_count(kind);
+    if (have == 0 && want == 0) continue;
+    if (have != want) ok = false;
+    table.add_row({obs::to_string(kind), std::to_string(have),
+                   std::to_string(want), have == want ? "ok" : "MISMATCH"});
+  }
+  table.print(std::cout);
+  std::cout << total << " records scanned, " << reader.recorded()
+            << " recorded in footer"
+            << (total == reader.recorded() ? "" : "  [MISMATCH]") << "\n\n";
+  if (total != reader.recorded()) ok = false;
+  return ok;
+}
+
+void query_spans(const obs::SpoolReader& reader) {
+  const std::vector<obs::TraceEvent> events = reader.events();
+  const std::vector<obs::Span> spans =
+      obs::build_spans(events, Time::micros(reader.max_at_us()));
+
+  // Anchor tenures: how long each designation stretch lasted, and the
+  // handoff gap (anchor-less stretch) between consecutive tenures of the
+  // same vehicle.
+  Cdf tenure_s, gap_s, contact_s;
+  std::size_t tenures = 0, contacts = 0;
+  std::map<sim::NodeId, Time> last_tenure_end;
+  std::map<std::string, Time> phase_occupancy;
+  for (const obs::Span& span : spans) {
+    switch (span.kind) {
+      case obs::SpanKind::AnchorTenure: {
+        ++tenures;
+        tenure_s.add(span.duration().to_seconds());
+        const auto it = last_tenure_end.find(span.node);
+        if (it != last_tenure_end.end())
+          gap_s.add((span.begin - it->second).to_seconds());
+        last_tenure_end[span.node] = span.end;
+        break;
+      }
+      case obs::SpanKind::CoordPhase:
+        phase_occupancy[span.detail] += span.duration();
+        break;
+      case obs::SpanKind::Contact:
+        ++contacts;
+        contact_s.add(span.duration().to_seconds());
+        break;
+    }
+  }
+
+  TextTable table("Span summaries (seconds)");
+  table.set_header({"span", "count", "p10", "p25", "p50", "p75", "p90"});
+  const auto add_cdf_row = [&table](const std::string& name, std::size_t n,
+                                    const Cdf& cdf) {
+    table.add_row({name, std::to_string(n), quantile_row(cdf, 0.10),
+                   quantile_row(cdf, 0.25), quantile_row(cdf, 0.50),
+                   quantile_row(cdf, 0.75), quantile_row(cdf, 0.90)});
+  };
+  add_cdf_row("anchor_tenure", tenures, tenure_s);
+  add_cdf_row("handoff_gap", gap_s.sample_count(), gap_s);
+  add_cdf_row("contact", contacts, contact_s);
+  table.print(std::cout);
+  std::cout << "\n";
+
+  if (!phase_occupancy.empty()) {
+    TextTable phases("Coord-phase occupancy");
+    phases.set_header({"phase", "total_s"});
+    for (const auto& [phase, total] : phase_occupancy)
+      phases.add_row({phase, TextTable::num(total.to_seconds(), 3)});
+    phases.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+int run_query(int argc, char** argv) {
+  if (argc < 3) return query_usage(argv[0]);
+  const std::string path = argv[2];
+  std::optional<sim::NodeId> node_filter;
+  std::optional<obs::EventKind> kind_filter;
+  Time from = Time::micros(INT64_MIN);
+  Time to = Time::max();
+  std::size_t limit = 0;
+  bool jsonl = false, counts = false, spans = false;
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(query_usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--node") node_filter = sim::NodeId{std::atoi(value().c_str())};
+    else if (arg == "--kind") {
+      const std::string name = value();
+      kind_filter = parse_kind(name);
+      if (!kind_filter) {
+        std::cerr << "unknown event kind: " << name << "\n";
+        return query_usage(argv[0]);
+      }
+    }
+    else if (arg == "--from") from = Time::seconds(std::atof(value().c_str()));
+    else if (arg == "--to") to = Time::seconds(std::atof(value().c_str()));
+    else if (arg == "--limit")
+      limit = static_cast<std::size_t>(std::atoll(value().c_str()));
+    else if (arg == "--jsonl") jsonl = true;
+    else if (arg == "--counts") counts = true;
+    else if (arg == "--spans") spans = true;
+    else return query_usage(argv[0]);
+  }
+  const bool overview = !counts && !spans && limit == 0 && !jsonl;
+  if (overview) counts = spans = true;
+
+  try {
+    const obs::SpoolReader reader(path);
+
+    if (overview) {
+      std::cout << "Spool: " << reader.path() << "\n  " << reader.recorded()
+                << " events across " << reader.nodes().size()
+                << " nodes, timeline end "
+                << Time::micros(reader.max_at_us()).to_seconds() << "s, "
+                << reader.logs().size() << " log lines, block "
+                << reader.block_events() << " events\n\n";
+    }
+
+    if (limit > 0 || jsonl) {
+      // Stream the chunks (one node's via the footer index when --node is
+      // given), keep only matches, then restore timeline (seq) order.
+      std::vector<obs::TraceEvent> matched;
+      const auto consider = [&](const obs::TraceEvent& e) {
+        if (kind_filter && e.kind != *kind_filter) return;
+        if (e.at < from || e.at > to) return;
+        matched.push_back(e);
+      };
+      if (node_filter)
+        reader.scan_node(*node_filter, consider);
+      else
+        reader.scan(consider);
+      std::sort(matched.begin(), matched.end(),
+                [](const obs::TraceEvent& x, const obs::TraceEvent& y) {
+                  return x.seq < y.seq;
+                });
+      if (limit > 0 && matched.size() > limit) matched.resize(limit);
+      if (jsonl) {
+        char a[64], b[64];
+        for (const obs::TraceEvent& e : matched) {
+          std::snprintf(a, sizeof(a), "%.17g", e.a);
+          std::snprintf(b, sizeof(b), "%.17g", e.b);
+          std::cout << "{\"seq\":" << e.seq << ",\"t_us\":" << e.at.to_micros()
+                    << ",\"kind\":\"" << obs::to_string(e.kind)
+                    << "\",\"node\":\""
+                    << (e.node.valid() ? e.node.to_string() : std::string("-"))
+                    << "\",\"peer\":\""
+                    << (e.peer.valid() ? e.peer.to_string() : std::string("-"))
+                    << "\",\"id\":" << e.id << ",\"a\":" << a << ",\"b\":" << b
+                    << ",\"c\":" << e.c << "}\n";
+        }
+      } else {
+        TextTable table("Matching events (" + std::to_string(matched.size()) +
+                        ")");
+        table.set_header({"t_s", "kind", "node", "peer", "id", "a", "b", "c"});
+        for (const obs::TraceEvent& e : matched)
+          table.add_row({TextTable::num(e.at.to_seconds(), 3),
+                         obs::to_string(e.kind), spool_node_name(reader, e.node),
+                         spool_node_name(reader, e.peer), std::to_string(e.id),
+                         TextTable::num(e.a, 4), TextTable::num(e.b, 4),
+                         std::to_string(e.c)});
+        table.print(std::cout);
+        std::cout << "\n";
+      }
+    }
+
+    bool ok = true;
+    if (counts) ok = query_counts(reader);
+    if (spans) query_spans(reader);
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "query")
+    return run_query(argc, argv);
+
   runtime::ExperimentPoint point;
   point.testbed = "VanLAN";
   point.policy = "ViFi";

@@ -1,8 +1,11 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+
+#include "obs/span.h"
 
 namespace vifi::obs {
 
@@ -71,6 +74,12 @@ std::string args_json(const TraceEvent& e) {
   return out;
 }
 
+std::string dropped_warning(std::uint64_t dropped) {
+  return "ring dropped " + std::to_string(dropped) +
+         " events (oldest overwritten); timeline is truncated — use "
+         "--trace-stream for full fidelity";
+}
+
 }  // namespace
 
 std::string json_escape(std::string_view s) {
@@ -125,11 +134,13 @@ void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os) {
          ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
          json_escape(name) + "\"}}");
   }
-  if (!recorder.log_records().empty())
+  const std::uint64_t dropped = recorder.dropped();
+  if (!recorder.log_records().empty() || dropped > 0)
     emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(kLogTid) +
          ",\"name\":\"thread_name\",\"args\":{\"name\":\"log\"}}");
 
-  for (const TraceEvent& e : recorder.merged()) {
+  const std::vector<TraceEvent> events = recorder.merged();
+  for (const TraceEvent& e : events) {
     std::string line = "{\"name\":\"";
     line += to_string(e.kind);
     line += "\",\"cat\":\"";
@@ -146,6 +157,28 @@ void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os) {
     line += ",\"args\":" + args_json(e) + "}";
     emit(line);
   }
+
+  // The derived span layer: anchor tenures, coord-phase occupancy, and
+  // contact runs as duration slices on the owning node's track.
+  Time horizon;
+  for (const TraceEvent& e : events) horizon = std::max(horizon, e.at);
+  for (const Span& span : build_spans(events, horizon)) {
+    std::string line = "{\"name\":\"" + json_escape(span_label(span));
+    line += "\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":0,\"tid\":" +
+            std::to_string(tid_of(span.node));
+    line += ",\"ts\":" + std::to_string(span.begin.to_micros());
+    line += ",\"dur\":" + std::to_string(span.duration().to_micros());
+    line += ",\"args\":{\"peer\":\"" +
+            (span.peer.valid() ? span.peer.to_string() : std::string("-")) +
+            "\"}}";
+    emit(line);
+  }
+
+  if (dropped > 0)
+    emit("{\"name\":\"" + json_escape(dropped_warning(dropped)) +
+         "\",\"cat\":\"log\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" +
+         std::to_string(kLogTid) + ",\"ts\":0,\"args\":{\"dropped\":" +
+         std::to_string(dropped) + "}}");
 
   for (const LogRecord& rec : recorder.log_records()) {
     emit("{\"name\":\"" + json_escape(rec.message) +
@@ -165,6 +198,9 @@ std::string chrome_trace_json(const TraceRecorder& recorder) {
 }
 
 void write_jsonl(const TraceRecorder& recorder, std::ostream& os) {
+  if (const std::uint64_t dropped = recorder.dropped(); dropped > 0)
+    os << "{\"warning\":\"" << json_escape(dropped_warning(dropped))
+       << "\",\"dropped\":" << dropped << "}\n";
   for (const TraceEvent& e : recorder.merged()) {
     os << "{\"seq\":" << e.seq << ",\"t_us\":" << e.at.to_micros()
        << ",\"kind\":\"" << to_string(e.kind) << "\",\"node\":\""

@@ -7,12 +7,17 @@
 ///  * Chrome trace-event JSON (`{"traceEvents": [...]}`), loadable in
 ///    Perfetto / chrome://tracing: one track (tid) per simulated node,
 ///    frame transmissions as duration ("X") slices, everything else as
-///    instant ("i") events with the typed arguments in `args`.
+///    instant ("i") events with the typed arguments in `args` — plus the
+///    derived span layer (span.h) as "X" slices under cat "span", so
+///    anchor tenures, coord-phase occupancy, and contacts render as bars.
 ///  * JSONL: one event object per line in deterministic recording order —
 ///    the grep/jq-friendly stream, byte-identical across runner thread
 ///    counts for the same point.
 ///
-/// Both renderings are pure functions of the recorder's contents.
+/// Both renderings are pure functions of the recorder's contents. When a
+/// ring-backed recorder has overwritten events (`dropped() > 0`) both
+/// formats carry a one-line truncation warning — silent truncation made
+/// count reconciliation fail mysteriously (ISSUE 10 satellite).
 
 #include <iosfwd>
 #include <string>

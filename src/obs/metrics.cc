@@ -92,16 +92,61 @@ std::map<std::string, double> MetricsRegistry::flatten() const {
 }
 
 double MetricsRegistry::total(const std::string& name) const {
-  double sum = 0.0;
-  const auto name_matches = [&name](const std::string& k) {
+  const auto family_of = [](const std::string& k) {
     const std::size_t brace = k.find('{');
-    return (brace == std::string::npos ? k : k.substr(0, brace)) == name;
+    return brace == std::string::npos ? k : k.substr(0, brace);
   };
+  double scalar_sum = 0.0;
+  bool scalar_hit = false;
   for (const auto& [k, c] : counters_)
-    if (name_matches(k)) sum += c.value;
+    if (family_of(k) == name) {
+      scalar_sum += c.value;
+      scalar_hit = true;
+    }
   for (const auto& [k, g] : gauges_)
-    if (name_matches(k)) sum += g.value;
-  return sum;
+    if (family_of(k) == name) {
+      scalar_sum += g.value;
+      scalar_hit = true;
+    }
+  // Histograms have no single total (count vs sum ambiguity — see the
+  // header contract): a bare family name is an error, a `.count`/`.sum`
+  // suffix sums that statistic across the family's label variants.
+  double hist_sum = 0.0;
+  bool hist_stat_hit = false;
+  bool hist_bare_hit = false;
+  for (const auto& [k, h] : histograms_) {
+    const std::string family = family_of(k);
+    if (family == name) {
+      hist_bare_hit = true;
+    } else if (name == family + ".count") {
+      hist_sum += static_cast<double>(h.count());
+      hist_stat_hit = true;
+    } else if (name == family + ".sum") {
+      hist_sum += h.sum();
+      hist_stat_hit = true;
+    }
+  }
+  if (hist_bare_hit) {
+    if (scalar_hit)
+      throw ContractViolation(
+          "MetricsRegistry::total(\"" + name +
+          "\"): name matches both a counter/gauge family and a histogram "
+          "family; no single sum is right — rename one, or ask for the "
+          "histogram's \"" + name + ".count\" / \"" + name + ".sum\"");
+    throw ContractViolation(
+        "MetricsRegistry::total(\"" + name +
+        "\"): name is a histogram family, which has no single total; ask "
+        "for \"" + name + ".count\" or \"" + name + ".sum\"");
+  }
+  if (hist_stat_hit) {
+    if (scalar_hit)
+      throw ContractViolation(
+          "MetricsRegistry::total(\"" + name +
+          "\"): name matches both a counter/gauge family and a histogram "
+          "statistic; no single sum is right — rename one of them");
+    return hist_sum;
+  }
+  return scalar_sum;
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -88,8 +88,22 @@ class MetricsRegistry {
   /// This is what the executor draws result columns from.
   std::map<std::string, double> flatten() const;
 
-  /// Sum of all counters/gauges whose name part (before '{') equals
-  /// \p name. Lets callers ask for "mac.frames_tx" across all nodes.
+  /// Sum across label variants of one metric family. The name part of a
+  /// key is everything before '{'; `total("mac.frames_tx")` sums that
+  /// counter over all nodes.
+  ///
+  /// The label-summing contract, precisely:
+  ///  * A name matching counters and/or gauges sums their values.
+  ///  * Histograms are *not* silently folded in — a histogram has no
+  ///    single total (count vs sum ambiguity). Ask for the statistic:
+  ///    `total("lat.ms.count")` / `total("lat.ms.sum")` sum that
+  ///    statistic across the family's label variants.
+  ///  * A bare name matching only histograms throws ContractViolation
+  ///    (ask for .count or .sum); a name matching both a scalar family
+  ///    and a histogram family (mixed registration) throws too, since no
+  ///    one sum is right.
+  ///  * A name matching nothing returns 0.0 (absent metrics read as
+  ///    zero, like an untouched counter).
   double total(const std::string& name) const;
 
   /// Deterministic JSON document ({"counters":{...},"gauges":{...},

@@ -58,34 +58,18 @@ const char* to_string(EventKind kind) {
   return "?";
 }
 
-EventRing::EventRing(std::size_t capacity) : capacity_(capacity) {
-  VIFI_EXPECTS(capacity > 0);
-}
-
-void EventRing::push(const TraceEvent& e) {
-  if (events_.size() < capacity_) {
-    events_.push_back(e);
-    return;
-  }
-  events_[head_] = e;
-  head_ = (head_ + 1) % capacity_;
-  ++dropped_;
-}
-
-std::vector<TraceEvent> EventRing::snapshot() const {
-  std::vector<TraceEvent> out;
-  out.reserve(events_.size());
-  out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(head_),
-             events_.end());
-  out.insert(out.end(), events_.begin(),
-             events_.begin() + static_cast<std::ptrdiff_t>(head_));
-  return out;
-}
-
 TraceRecorder::TraceRecorder(std::size_t per_node_capacity)
-    : per_node_capacity_(per_node_capacity) {
-  VIFI_EXPECTS(per_node_capacity > 0);
+    : TraceRecorder(std::make_unique<RingSink>(per_node_capacity)) {}
+
+TraceRecorder::TraceRecorder(std::unique_ptr<TraceSink> sink)
+    : per_node_capacity_(1 << 14), sink_(std::move(sink)) {
+  VIFI_EXPECTS(sink_ != nullptr);
+  ring_ = dynamic_cast<RingSink*>(sink_.get());
+  stream_ = dynamic_cast<StreamSink*>(sink_.get());
+  if (ring_ != nullptr) per_node_capacity_ = ring_->per_node_capacity();
 }
+
+TraceRecorder::~TraceRecorder() = default;
 
 void TraceRecorder::record(EventKind kind, Time at, sim::NodeId node,
                            sim::NodeId peer, std::uint64_t id, double a,
@@ -103,10 +87,11 @@ void TraceRecorder::record(EventKind kind, Time at, sim::NodeId node,
   last_local_ = at;
   ++recorded_;
   ++kind_counts_[static_cast<int>(kind)];
-  auto it = rings_.find(node);
-  if (it == rings_.end())
-    it = rings_.emplace(node, EventRing(per_node_capacity_)).first;
-  it->second.push(e);
+  // Devirtualized fast path for the default backend (RingSink is final).
+  if (ring_ != nullptr)
+    ring_->push(e);
+  else
+    sink_->push(e);
 }
 
 void TraceRecorder::log(LogLevel level, std::string message) {
@@ -120,7 +105,32 @@ void TraceRecorder::log(LogLevel level, std::string message) {
   if (logs_.size() > kMaxLogRecords) logs_.pop_front();
 }
 
+const std::string& TraceRecorder::spool_path() const {
+  VIFI_EXPECTS(stream_ != nullptr);
+  return stream_->path();
+}
+
+std::vector<SpoolLog> TraceRecorder::spool_logs() const {
+  std::vector<SpoolLog> out;
+  out.reserve(logs_.size());
+  for (const LogRecord& log : logs_) {
+    SpoolLog s;
+    s.at_us = log.at.to_micros();
+    s.seq = log.seq;
+    s.level = static_cast<std::int32_t>(log.level);
+    s.message = log.message;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void TraceRecorder::finalize() const {
+  if (stream_ != nullptr && !stream_->finalized())
+    stream_->finalize(spool_logs());
+}
+
 void TraceRecorder::set_node_label(sim::NodeId node, std::string label) {
+  sink_->set_node_label(node, label);
   labels_[node] = std::move(label);
 }
 
@@ -131,14 +141,11 @@ const std::string& TraceRecorder::node_label(sim::NodeId node) const {
 }
 
 std::vector<sim::NodeId> TraceRecorder::nodes() const {
-  std::vector<sim::NodeId> out;
-  for (const auto& [node, ring] : rings_) {
-    (void)ring;
-    out.push_back(node);
-  }
+  std::vector<sim::NodeId> out = sink_->nodes();
   for (const auto& [node, label] : labels_) {
     (void)label;
-    if (!rings_.contains(node)) out.push_back(node);
+    if (std::find(out.begin(), out.end(), node) == out.end())
+      out.push_back(node);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -146,47 +153,23 @@ std::vector<sim::NodeId> TraceRecorder::nodes() const {
 
 const EventRing& TraceRecorder::ring(sim::NodeId node) const {
   static const EventRing kEmpty{1};
-  const auto it = rings_.find(node);
-  return it == rings_.end() ? kEmpty : it->second;
+  return ring_ != nullptr ? ring_->ring(node) : kEmpty;
 }
 
 std::vector<TraceEvent> TraceRecorder::merged() const {
-  std::vector<TraceEvent> out;
-  for (const auto& [node, ring] : rings_) {
-    (void)node;
-    const auto events = ring.snapshot();
-    out.insert(out.end(), events.begin(), events.end());
-  }
-  std::sort(out.begin(), out.end(),
-            [](const TraceEvent& x, const TraceEvent& y) {
-              return x.seq < y.seq;
-            });
-  return out;
+  // Seal a streaming recorder's spool first so its footer carries the
+  // routed logs (StreamSink::events alone would finalize without them).
+  finalize();
+  return sink_->events();
 }
 
 void TraceRecorder::absorb(const TraceRecorder& other, Time offset) {
-  VIFI_EXPECTS(other.per_node_capacity_ == per_node_capacity_);
+  VIFI_EXPECTS(streaming() == other.streaming());
   // Sequence numbers continue after everything (events *and* logs) this
   // recorder has issued, exactly as if other's stream had been recorded
   // here next.
   const std::uint64_t seq_offset = next_seq_ - 1;
-  for (const auto& [node, ring] : other.rings_) {
-    auto it = rings_.find(node);
-    if (it == rings_.end())
-      it = rings_.emplace(node, EventRing(per_node_capacity_)).first;
-    // Replaying other's *retained* window reproduces the ring a direct
-    // recording would hold: the survivors of a ring of capacity C are
-    // always a suffix of the pushed stream, and any suffix of the
-    // combined stream of length <= C is covered by the retained windows.
-    // Only the drop count needs other's own overwrites added back.
-    for (const TraceEvent& e : ring.snapshot()) {
-      TraceEvent shifted = e;
-      shifted.at = e.at + offset;
-      shifted.seq = e.seq + seq_offset;
-      it->second.push(shifted);
-    }
-    it->second.add_dropped(ring.dropped());
-  }
+  sink_->absorb(*other.sink_, offset, seq_offset);
   for (const LogRecord& log : other.logs_) {
     LogRecord shifted = log;
     shifted.at = log.at + offset;
@@ -194,7 +177,7 @@ void TraceRecorder::absorb(const TraceRecorder& other, Time offset) {
     logs_.push_back(std::move(shifted));
     if (logs_.size() > kMaxLogRecords) logs_.pop_front();
   }
-  for (const auto& [node, label] : other.labels_) labels_[node] = label;
+  for (const auto& [node, label] : other.labels_) set_node_label(node, label);
   for (int k = 0; k < kEventKindCount; ++k)
     kind_counts_[k] += other.kind_counts_[k];
   recorded_ += other.recorded_;
@@ -202,15 +185,6 @@ void TraceRecorder::absorb(const TraceRecorder& other, Time offset) {
   // A log stamped after the absorb lands where a direct recording would
   // have put it: offset + other's last local time, relative to our base.
   last_local_ = offset + other.base_ + other.last_local_ - base_;
-}
-
-std::uint64_t TraceRecorder::dropped() const {
-  std::uint64_t n = 0;
-  for (const auto& [node, ring] : rings_) {
-    (void)node;
-    n += ring.dropped();
-  }
-  return n;
 }
 
 TraceRecorder* current_recorder() { return t_current; }

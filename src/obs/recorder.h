@@ -1,13 +1,17 @@
 #pragma once
 
 /// \file recorder.h
-/// TripScope's TraceRecorder: per-node ring buffers of typed protocol
-/// events (event.h) plus a bounded side channel for routed log lines.
+/// TripScope's TraceRecorder: typed protocol events (event.h) stamped
+/// with a timeline time and a recorder-wide sequence number, handed to a
+/// pluggable TraceSink (sink.h) — per-node rings by default, a disk
+/// spool (StreamSink) for full-fidelity city-scale timelines — plus a
+/// bounded side channel for routed log lines.
 ///
-/// Recording is *pull-free and allocation-free on the steady state*: each
-/// node's events land in a fixed-capacity ring that overwrites its oldest
-/// entries on wrap (the newest window is what a timeline wants), and a
-/// recorder-wide sequence number makes the merged stream deterministic.
+/// Recording is *pull-free and allocation-free on the steady state* with
+/// the default ring sink: each node's events land in a fixed-capacity
+/// ring that overwrites its oldest entries on wrap (the newest window is
+/// what a timeline wants), and the recorder-wide sequence number makes
+/// the merged stream deterministic.
 ///
 /// Enabling/disabling is a thread-local pointer: `current_recorder()`
 /// returns the recorder installed by the innermost `TraceScope` on this
@@ -24,40 +28,17 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/event.h"
+#include "obs/sink.h"
 #include "sim/ids.h"
 #include "util/logging.h"
 #include "util/time.h"
 
 namespace vifi::obs {
-
-/// Fixed-capacity event ring. Overwrites the oldest entry once full;
-/// `dropped()` counts overwritten events so exporters can say so.
-class EventRing {
- public:
-  explicit EventRing(std::size_t capacity);
-
-  void push(const TraceEvent& e);
-
-  std::size_t size() const { return events_.size(); }
-  std::size_t capacity() const { return capacity_; }
-  std::uint64_t dropped() const { return dropped_; }
-  /// Folds another ring's drop count in (TraceRecorder::absorb: the
-  /// absorbed ring's own overwrites must still be accounted for).
-  void add_dropped(std::uint64_t n) { dropped_ += n; }
-
-  /// Events oldest-to-newest (unwraps the ring).
-  std::vector<TraceEvent> snapshot() const;
-
- private:
-  std::size_t capacity_;
-  std::size_t head_ = 0;  ///< Next write position once the ring is full.
-  std::uint64_t dropped_ = 0;
-  std::vector<TraceEvent> events_;
-};
 
 /// A routed log line (the VIFI_WARN+ channel, satellite of ISSUE 6).
 struct LogRecord {
@@ -69,9 +50,15 @@ struct LogRecord {
 
 class TraceRecorder {
  public:
-  /// \p per_node_capacity bounds each node's ring (64 B per slot).
+  /// Ring-backed recorder (the default): \p per_node_capacity bounds
+  /// each node's ring (64 B per slot).
   explicit TraceRecorder(std::size_t per_node_capacity = 1 << 14);
 
+  /// Recorder over an explicit sink — `std::make_unique<StreamSink>(path)`
+  /// for a full-fidelity disk spool.
+  explicit TraceRecorder(std::unique_ptr<TraceSink> sink);
+
+  ~TraceRecorder();
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
@@ -94,14 +81,25 @@ class TraceRecorder {
   Time time_base() const { return base_; }
   std::size_t per_node_capacity() const { return per_node_capacity_; }
 
+  /// True when the sink is a StreamSink (events spooled to disk).
+  bool streaming() const { return stream_ != nullptr; }
+  /// The stream sink's spool path; expects streaming().
+  const std::string& spool_path() const;
+  /// Seals a streaming recorder's spool (flushes residual blocks, writes
+  /// the footer with the routed logs). No-op for ring recorders and on
+  /// repeat calls; recording after finalize is a contract violation.
+  void finalize() const;
+
   /// Folds a whole recorder in: \p other's events land at their recorded
   /// time plus \p offset, with sequence numbers continued after this
   /// recorder's. When \p other recorded one trip (base 0) and \p offset is
   /// the accumulated horizon, the result is byte-identical to having
   /// recorded that trip directly into this recorder under
   /// set_time_base(offset) — including ring overwrite behaviour and
-  /// per-kind counts (capacities must match). The sharded executor uses
-  /// this to stitch per-worker trip recorders into one point timeline.
+  /// per-kind counts (sink kinds must match; ring capacities must match).
+  /// The sharded executor uses this to stitch per-worker trip recorders
+  /// into one point timeline; a stream \p other's part spool is finalized
+  /// and fully replayed (streams never drop).
   void absorb(const TraceRecorder& other, Time offset);
 
   /// Human-readable track label for a node ("bs", "vehicle", "host").
@@ -111,30 +109,34 @@ class TraceRecorder {
   // --- queries (exporters, tests, the tripscope CLI) ---------------------
   /// Nodes with at least one event or a label, ascending id.
   std::vector<sim::NodeId> nodes() const;
-  /// A node's ring; creates an empty one for unseen nodes.
+  /// A node's ring; an empty one for unseen nodes and stream recorders.
   const EventRing& ring(sim::NodeId node) const;
-  /// All retained events merged in recording order (seq ascending).
+  /// All retained events merged in recording order (seq ascending). For
+  /// a streaming recorder this finalizes the spool and reads it back —
+  /// it is an export-time call, not a mid-run one.
   std::vector<TraceEvent> merged() const;
   const std::deque<LogRecord>& log_records() const { return logs_; }
 
   std::uint64_t recorded() const { return recorded_; }
-  std::uint64_t dropped() const;
-  /// Total events recorded of one kind (counted even when the ring has
+  std::uint64_t dropped() const { return sink_->dropped(); }
+  /// Total events recorded of one kind (counted even when a ring has
   /// since overwritten them — reconciliation wants exact counts).
   std::uint64_t count(EventKind kind) const {
     return kind_counts_[static_cast<int>(kind)];
   }
 
  private:
+  std::vector<SpoolLog> spool_logs() const;
+
   std::size_t per_node_capacity_;
   Time base_;
   Time last_local_;  ///< Last record()'s local time, for log timestamps.
   std::uint64_t next_seq_ = 1;
   std::uint64_t recorded_ = 0;
   std::uint64_t kind_counts_[kEventKindCount] = {};
-  /// Ordered map: node iteration order is deterministic and references
-  /// stay stable while rings grow elsewhere.
-  std::map<sim::NodeId, EventRing> rings_;
+  std::unique_ptr<TraceSink> sink_;
+  RingSink* ring_ = nullptr;      ///< sink_ downcast when ring-backed.
+  StreamSink* stream_ = nullptr;  ///< sink_ downcast when stream-backed.
   std::map<sim::NodeId, std::string> labels_;
   std::deque<LogRecord> logs_;
   static constexpr std::size_t kMaxLogRecords = 4096;

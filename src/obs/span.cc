@@ -1,0 +1,123 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "coord/state.h"
+
+namespace vifi::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::AnchorTenure:
+      return "anchor_tenure";
+    case SpanKind::CoordPhase:
+      return "coord_phase";
+    case SpanKind::Contact:
+      return "contact";
+  }
+  return "?";
+}
+
+std::string span_label(const Span& span) {
+  if (span.kind == SpanKind::CoordPhase) return "phase:" + span.detail;
+  return to_string(span.kind);
+}
+
+namespace {
+
+struct OpenTenure {
+  sim::NodeId anchor;
+  Time begin;
+};
+
+struct OpenPhase {
+  coord::ClientPhase phase = coord::ClientPhase::Idle;
+  sim::NodeId anchor;
+  Time begin;
+};
+
+struct OpenContact {
+  Time begin;
+  Time last;
+};
+
+coord::ClientPhase to_phase_of(const TraceEvent& e) {
+  return static_cast<coord::ClientPhase>(e.c & 0xF);
+}
+
+}  // namespace
+
+std::vector<Span> build_spans(const std::vector<TraceEvent>& events,
+                              Time horizon, const SpanConfig& config) {
+  std::vector<Span> out;
+  // Ordered maps for deterministic horizon-close order (the final sort
+  // ties on every Span field, so this is belt-and-braces, not required).
+  std::map<sim::NodeId, OpenTenure> tenures;
+  std::map<sim::NodeId, OpenPhase> phases;
+  std::map<std::pair<sim::NodeId, sim::NodeId>, OpenContact> contacts;
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::AnchorChange: {
+        const auto it = tenures.find(e.node);
+        if (it != tenures.end()) {
+          out.push_back({SpanKind::AnchorTenure, e.node, it->second.anchor,
+                         it->second.begin, e.at, {}});
+          tenures.erase(it);
+        }
+        if (e.peer.valid()) tenures[e.node] = {e.peer, e.at};
+        break;
+      }
+      case EventKind::CoordTransition: {
+        const auto it = phases.find(e.node);
+        if (it != phases.end())
+          out.push_back({SpanKind::CoordPhase, e.node, it->second.anchor,
+                         it->second.begin, e.at,
+                         coord::to_string(it->second.phase)});
+        // The stream only shows when phases *change*, so the stretch
+        // before a client's first transition has no observable start —
+        // tracking begins here.
+        phases[e.node] = {to_phase_of(e), e.peer, e.at};
+        break;
+      }
+      case EventKind::BeaconRx: {
+        const std::pair<sim::NodeId, sim::NodeId> key{e.node, e.peer};
+        const auto it = contacts.find(key);
+        if (it == contacts.end()) {
+          contacts[key] = {e.at, e.at};
+        } else if (e.at - it->second.last > config.contact_gap) {
+          out.push_back({SpanKind::Contact, e.node, e.peer, it->second.begin,
+                         it->second.last, {}});
+          it->second = {e.at, e.at};
+        } else {
+          it->second.last = e.at;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [node, open] : tenures)
+    out.push_back(
+        {SpanKind::AnchorTenure, node, open.anchor, open.begin, horizon, {}});
+  for (const auto& [node, open] : phases)
+    if (open.phase != coord::ClientPhase::Idle)
+      out.push_back({SpanKind::CoordPhase, node, open.anchor, open.begin,
+                     horizon, coord::to_string(open.phase)});
+  for (const auto& [key, open] : contacts)
+    out.push_back(
+        {SpanKind::Contact, key.first, key.second, open.begin, open.last, {}});
+
+  std::sort(out.begin(), out.end(), [](const Span& x, const Span& y) {
+    return std::tie(x.begin, x.end, x.node, x.peer, x.kind, x.detail) <
+           std::tie(y.begin, y.end, y.node, y.peer, y.kind, y.detail);
+  });
+  return out;
+}
+
+}  // namespace vifi::obs

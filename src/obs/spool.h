@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file spool.h
+/// TripScope's disk spool: the on-disk format behind obs::StreamSink and
+/// the `tripscope query` engine. A spool holds one recorder's
+/// full-fidelity event stream — rings keep the newest window, spools keep
+/// everything, so city-scale timelines survive past 16k events per node.
+///
+/// Layout (fixed-width host-endian fields; spools are per-run artifacts
+/// compared byte-wise on one host, not an interchange format):
+///
+///   header   magic "VIFISPL1", u32 version, u32 record_bytes,
+///            u64 block_events
+///   chunks   repeated { i32 node, u32 count, count x 56-byte records },
+///            appended whenever a node's in-memory block fills (and once
+///            more per non-empty block at finalize) — the flush cadence is
+///            a pure function of the push sequence, so spool bytes are
+///            deterministic for any worker count
+///   footer   stream totals, exact per-kind counts, per-node chunk index
+///            with labels, and the recorder's routed log lines
+///   trailer  u64 footer_offset, magic "VIFIEND1"
+///
+/// Records store doubles as raw IEEE-754 bits, so spool -> load -> export
+/// reproduces an in-memory recorder's exports byte-for-byte. The trailer
+/// lets SpoolReader seek the footer from EOF and then seek straight to any
+/// node's chunks without reading the rest of the file.
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "sim/ids.h"
+#include "util/time.h"
+
+namespace vifi::obs {
+
+inline constexpr char kSpoolMagic[9] = "VIFISPL1";
+inline constexpr char kSpoolEndMagic[9] = "VIFIEND1";
+inline constexpr std::uint32_t kSpoolVersion = 1;
+/// Encoded size of one TraceEvent record.
+inline constexpr std::size_t kSpoolRecordBytes = 56;
+/// Events buffered per node before a chunk is appended to the file.
+inline constexpr std::size_t kSpoolBlockEvents = 512;
+
+/// Encodes \p e into exactly kSpoolRecordBytes at \p out.
+void encode_event(const TraceEvent& e, char* out);
+/// Decodes kSpoolRecordBytes at \p in (the encode_event inverse).
+TraceEvent decode_event(const char* in);
+
+/// One chunk's position in the file: \p offset points at the chunk header
+/// (i32 node, u32 count), \p count is its record count.
+struct SpoolChunkRef {
+  std::uint64_t offset = 0;
+  std::uint32_t count = 0;
+};
+
+/// Footer index entry for one node.
+struct SpoolNodeIndex {
+  sim::NodeId node;
+  std::uint64_t events = 0;  ///< Total records across this node's chunks.
+  std::string label;         ///< Recorder track label ("bs", "vehicle"...).
+  std::vector<SpoolChunkRef> chunks;
+};
+
+/// A routed log line carried in the footer (the recorder's bounded
+/// VIFI_WARN+ channel; logs are not chunk records).
+struct SpoolLog {
+  std::int64_t at_us = 0;
+  std::uint64_t seq = 0;
+  std::int32_t level = 0;
+  std::string message;
+};
+
+/// Writes one spool file. Pushes buffer into per-node blocks and flush to
+/// disk only when a block fills; finalize() flushes the remainder and
+/// writes the footer + trailer. Destruction finalizes best-effort so a
+/// spool is never left without its index.
+class SpoolWriter {
+ public:
+  explicit SpoolWriter(std::string path,
+                       std::size_t block_events = kSpoolBlockEvents);
+  ~SpoolWriter();
+  SpoolWriter(const SpoolWriter&) = delete;
+  SpoolWriter& operator=(const SpoolWriter&) = delete;
+
+  /// Buffers one event on its node's block (amortised: one chunk write per
+  /// block_events pushes). Must not be called after finalize().
+  void push(const TraceEvent& e);
+
+  /// Track label recorded into the footer's node index.
+  void set_node_label(sim::NodeId node, const std::string& label);
+
+  /// Flushes every non-empty block (ascending node order) and writes the
+  /// footer + trailer. Idempotent; the \p logs of the first call win. The
+  /// footer's Log kind count is logs.size() — log lines travel in the
+  /// footer, not as chunk records.
+  void finalize(const std::vector<SpoolLog>& logs);
+  bool finalized() const { return finalized_; }
+
+  const std::string& path() const { return path_; }
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t kind_count(EventKind kind) const {
+    return kind_counts_[static_cast<int>(kind)];
+  }
+  /// Nodes with at least one pushed event or a label, ascending id.
+  std::vector<sim::NodeId> nodes() const;
+
+ private:
+  struct NodeState {
+    std::uint64_t events = 0;
+    std::string label;
+    std::vector<TraceEvent> block;
+    std::vector<SpoolChunkRef> chunks;
+  };
+
+  void flush_block(sim::NodeId node, NodeState& state);
+
+  std::string path_;
+  std::size_t block_events_;
+  bool finalized_ = false;
+  std::uint64_t pushed_ = 0;
+  std::int64_t max_at_us_ = 0;
+  std::uint64_t kind_counts_[kEventKindCount] = {};
+  /// Ordered: finalize's residual-block flush and the footer index walk
+  /// nodes ascending, part of the byte-determinism contract.
+  std::map<sim::NodeId, NodeState> nodes_;
+  std::ofstream out_;
+};
+
+/// Reads one spool file. The constructor parses only the trailer + footer;
+/// scans stream chunk-by-chunk (never materialising the whole file) and
+/// scan_node() seeks straight to one node's chunks via the footer index.
+class SpoolReader {
+ public:
+  /// Opens and validates \p path; throws std::runtime_error with a crisp
+  /// message on missing/truncated/foreign files.
+  explicit SpoolReader(std::string path);
+
+  const std::string& path() const { return path_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::int64_t max_at_us() const { return max_at_us_; }
+  std::uint64_t block_events() const { return block_events_; }
+  /// Exact per-kind counts from the footer — the recorder's counters at
+  /// finalize time, which `tripscope query` reconciles against a chunk
+  /// scan.
+  std::uint64_t kind_count(EventKind kind) const {
+    return kind_counts_[static_cast<int>(kind)];
+  }
+  const std::vector<SpoolNodeIndex>& nodes() const { return nodes_; }
+  const SpoolNodeIndex* find_node(sim::NodeId node) const;
+  const std::vector<SpoolLog>& logs() const { return logs_; }
+
+  /// Streams every record in file (chunk-major) order. Within a chunk
+  /// records are seq-ascending; across chunks they are not globally
+  /// sorted — callers needing the timeline order sort by seq (events()).
+  void scan(const std::function<void(const TraceEvent&)>& fn) const;
+  /// Streams only \p node's records, seeking each chunk via the footer
+  /// index; a node absent from the index is a no-op.
+  void scan_node(sim::NodeId node,
+                 const std::function<void(const TraceEvent&)>& fn) const;
+  /// Full materialisation in seq (recording) order — what exporters and
+  /// TraceRecorder::absorb consume.
+  std::vector<TraceEvent> events() const;
+
+ private:
+  std::string path_;
+  std::uint64_t recorded_ = 0;
+  std::int64_t max_at_us_ = 0;
+  std::uint64_t block_events_ = 0;
+  std::uint64_t kind_counts_[kEventKindCount] = {};
+  std::vector<SpoolNodeIndex> nodes_;
+  std::vector<SpoolLog> logs_;
+};
+
+}  // namespace vifi::obs

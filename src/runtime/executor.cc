@@ -392,13 +392,37 @@ void run_cbr(const scenario::Testbed& bed, const ExperimentPoint& point,
   finish_live_point(fold, days, fairness, r);
 }
 
+/// The recorder a point that owns its session records into: ring-backed
+/// by default, stream-backed (full-fidelity disk spool next to the other
+/// trace artifacts) when the point asks for --trace-stream.
+std::unique_ptr<obs::TraceRecorder> make_point_recorder(
+    const ExperimentPoint& point) {
+  if (!point.trace_stream || point.trace_dir.empty())
+    return std::make_unique<obs::TraceRecorder>();
+  namespace fs = std::filesystem;
+  fs::create_directories(point.trace_dir);
+  char tag[40];
+  std::snprintf(tag, sizeof(tag), "point_%04zu.spool",
+                static_cast<std::size_t>(point.index));
+  return std::make_unique<obs::TraceRecorder>(
+      std::make_unique<obs::StreamSink>(
+          (fs::path(point.trace_dir) / tag).string()));
+}
+
 /// Shared TripScope tail of both point executors: metric result columns
 /// drawn from the session registry, and per-point trace files when the
 /// point owns its recorder (an ambient caller owns its own export).
 void export_tripscope(const ExperimentPoint& point, PointResult& r,
                       const obs::TraceRecorder* own_recorder,
-                      const obs::MetricsRegistry* metrics,
+                      obs::MetricsRegistry* metrics,
                       const obs::MetricsRegistry* own_metrics) {
+  // Ring truncation is loud, not silent: a dropped-events counter beside
+  // the export warnings, so reconciliation failures name their cause.
+  const obs::TraceRecorder* rec =
+      own_recorder != nullptr ? own_recorder : obs::current_recorder();
+  if (rec != nullptr && metrics != nullptr && rec->dropped() > 0)
+    metrics->counter("obs.trace.dropped_events")
+        .add(static_cast<double>(rec->dropped()));
   if (metrics != nullptr && !point.metric_columns.empty()) {
     // Exact flattened key first (`mac.frames_tx{node=n3,role=vehicle}`),
     // else the bare name summed across its label variants.
@@ -543,7 +567,7 @@ PointResult run_point(const ExperimentPoint& point) {
   std::optional<obs::MetricsScope> metrics_scope;
   if (!point.trace_dir.empty() || !point.metric_columns.empty()) {
     if (obs::current_recorder() == nullptr) {
-      own_recorder = std::make_unique<obs::TraceRecorder>();
+      own_recorder = make_point_recorder(point);
       trace_scope.emplace(*own_recorder);
     }
     if (obs::current_metrics() == nullptr) {
@@ -621,7 +645,7 @@ PointResult run_point_sharded(const ExperimentPoint& point,
   std::unique_ptr<obs::MetricsRegistry> own_metrics;
   if (!point.trace_dir.empty() || !point.metric_columns.empty()) {
     if (session_rec == nullptr) {
-      own_recorder = std::make_unique<obs::TraceRecorder>();
+      own_recorder = make_point_recorder(point);
       session_rec = own_recorder.get();
     }
     if (session_metrics == nullptr) {
@@ -667,8 +691,20 @@ PointResult run_point_sharded(const ExperimentPoint& point,
         std::optional<obs::TraceScope> trip_trace_scope;
         std::optional<obs::MetricsScope> trip_metrics_scope;
         if (session_rec != nullptr) {
-          trip_recorders[trip] = std::make_unique<obs::TraceRecorder>(
-              session_rec->per_node_capacity());
+          if (session_rec->streaming()) {
+            // Per-trip part spools beside the session spool; absorbed in
+            // trip order and deleted after the stitch, they reproduce the
+            // sequential push sequence (hence the session spool's bytes)
+            // for any worker count.
+            char part[24];
+            std::snprintf(part, sizeof(part), ".trip%05zu.part", trip);
+            trip_recorders[trip] = std::make_unique<obs::TraceRecorder>(
+                std::make_unique<obs::StreamSink>(session_rec->spool_path() +
+                                                  part));
+          } else {
+            trip_recorders[trip] = std::make_unique<obs::TraceRecorder>(
+                session_rec->per_node_capacity());
+          }
           trip_trace_scope.emplace(*trip_recorders[trip]);
         }
         if (session_metrics != nullptr) {
@@ -729,6 +765,11 @@ PointResult run_point_sharded(const ExperimentPoint& point,
     for (std::size_t trip = 0; trip < n; ++trip) {
       session_rec->absorb(*trip_recorders[trip], trace_base);
       trace_base = trace_base + trip_ends[trip];
+      if (trip_recorders[trip]->streaming()) {
+        const std::string part = trip_recorders[trip]->spool_path();
+        trip_recorders[trip].reset();
+        std::filesystem::remove(part);
+      }
     }
     session_rec->set_time_base(trace_base);
   }

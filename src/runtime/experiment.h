@@ -89,6 +89,11 @@ struct ExperimentPoint {
   /// already installed on the thread) and write
   /// `point_<index>.trace.json` / `.jsonl` / `.metrics.json` there.
   std::string trace_dir;
+  /// TripScope: spool the point's full event stream to
+  /// `<trace_dir>/point_<index>.spool` (obs::StreamSink) instead of the
+  /// default in-memory rings — full fidelity past the ring horizon, at
+  /// the cost of disk I/O. Requires a non-empty trace_dir.
+  bool trace_stream = false;
   /// TripScope: registered metric names (exact flattened keys, or bare
   /// names summed across label variants) to surface as result columns
   /// (`obs.<name>` in the point's metrics map).
@@ -119,8 +124,9 @@ struct ExperimentSpec {
   bool cull_medium = false;
   std::uint64_t base_seed = 20080817;
   /// TripScope knobs, copied verbatim onto every point (see
-  /// ExperimentPoint::trace_dir / metric_columns).
+  /// ExperimentPoint::trace_dir / trace_stream / metric_columns).
   std::string trace_dir;
+  bool trace_stream = false;
   std::vector<std::string> metric_columns;
 
   /// Row-major (testbed, fleet size, policy, seed) enumeration with

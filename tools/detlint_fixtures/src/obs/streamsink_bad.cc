@@ -1,0 +1,30 @@
+// Positive fixtures for the TripScope stream layer (src/obs/): a spool
+// exporter that renders doubles with anything but %.17g breaks the
+// spool -> load -> export == in-memory-export byte contract, and the
+// sink's shared flush state must be held RAII-only.
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+std::string spool_record_json(double airtime_s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%f", airtime_s);  // expect: json-float
+  return std::string("{\"a\": ") + buf + "}";
+}
+
+class FlushState {
+ public:
+  void bump_unsafe() {
+    mu_.lock();  // expect: mutex-guard
+    ++flushed_chunks_;
+    mu_.unlock();  // expect: mutex-guard
+  }
+
+ private:
+  std::mutex mu_;  // expect: mutex-guard
+  int flushed_chunks_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Clean twin of streamsink_bad.cc: %.17g doubles in the JSON emitter and
+// the flush state held via lock_guard only. Must produce zero findings.
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+std::string spool_record_json_ok(double airtime_s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", airtime_s);
+  return std::string("{\"a\": ") + buf + "}";
+}
+
+class FlushStateOk {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++flushed_chunks_;
+  }
+
+ private:
+  std::mutex mu_;
+  int flushed_chunks_ = 0;
+};
+
+}  // namespace fixture
